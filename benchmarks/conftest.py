@@ -1,0 +1,53 @@
+"""Benchmark configuration.
+
+``REPRO_BENCH_SCALE`` selects the experiment scale:
+
+* ``quick``   — minutes-scale smoke numbers,
+* ``default`` — the scale the committed EXPERIMENTS.md numbers use
+  (the default),
+* ``paper``   — largest trace-scale runs (slow).
+
+The Fig 9/10/§V-E experiments share one workload x scheme matrix; it is
+computed once per session and cached here so the suite doesn't re-run a
+multi-minute sweep three times.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench import BenchScale
+from repro.bench.harness import run_matrix
+
+_SCALES = {
+    "quick": BenchScale.quick,
+    "default": BenchScale.default,
+    "paper": BenchScale.paper,
+}
+
+
+def bench_scale() -> BenchScale:
+    name = os.environ.get("REPRO_BENCH_SCALE", "default")
+    try:
+        return _SCALES[name]()
+    except KeyError:
+        raise RuntimeError(
+            f"REPRO_BENCH_SCALE={name!r}: choose from {sorted(_SCALES)}")
+
+
+_MATRIX_CACHE: dict[str, object] = {}
+
+
+def shared_matrix():
+    """The Fig 9/10/§V-E matrix, computed once per session."""
+    key = os.environ.get("REPRO_BENCH_SCALE", "default")
+    if key not in _MATRIX_CACHE:
+        _MATRIX_CACHE[key] = run_matrix(bench_scale())
+    return _MATRIX_CACHE[key]
+
+
+@pytest.fixture(scope="session")
+def scale() -> BenchScale:
+    return bench_scale()

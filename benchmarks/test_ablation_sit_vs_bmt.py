@@ -1,0 +1,53 @@
+"""Ablation: SIT vs BMT hashing structure (paper §II-D4).
+
+The paper's case for SIT over BMT: once counters are bumped, SIT's branch
+HMACs are independent and compute in one parallel burst, while a BMT must
+chain digests level by level.  This sweep runs eager-SIT and eager-BMT
+(same substrate, same 9-level geometry, same root-consistency courtesy)
+across the Table II hash latencies; BMT's write cost grows ~height-fold
+faster.
+"""
+
+from repro.bench.reporting import format_simple_table
+from repro.sim.config import SystemConfig
+from repro.sim.system import System
+from repro.workloads import make_workload
+
+CAPACITY = 16 * 1024 * 1024
+OPERATIONS = 400
+HASH_SWEEP = (20, 40, 80, 160)
+
+
+def run_tree(scheme: str, hash_latency: int) -> float:
+    config = SystemConfig(scheme=scheme, data_capacity=CAPACITY,
+                          tree_levels=9, hash_latency=hash_latency,
+                          metadata_cache_size=64 * 1024)
+    system = System(config)
+    system.run(make_workload("array", CAPACITY, OPERATIONS,
+                             seed=23).trace())
+    return system.result("array").avg_write_latency
+
+
+def test_ablation_sit_vs_bmt(benchmark):
+    table = benchmark.pedantic(
+        lambda: {lat: {s: run_tree(s, lat) for s in ("eager", "bmt-eager")}
+                 for lat in HASH_SWEEP},
+        rounds=1, iterations=1)
+    rows = [[lat,
+             f"{table[lat]['eager']:.0f}cy",
+             f"{table[lat]['bmt-eager']:.0f}cy",
+             f"{table[lat]['bmt-eager'] / table[lat]['eager']:.2f}x"]
+            for lat in HASH_SWEEP]
+    print()
+    print(format_simple_table(
+        "Ablation: eager SIT (parallel burst) vs eager BMT (chain), "
+        "9 levels",
+        ["hash cycles", "SIT write lat", "BMT write lat", "BMT/SIT"],
+        rows))
+    # BMT is never cheaper, and the gap widens with hash latency.
+    gaps = [table[lat]["bmt-eager"] / table[lat]["eager"]
+            for lat in HASH_SWEEP]
+    assert all(g >= 1.0 for g in gaps)
+    assert gaps[-1] > gaps[0], "the chain penalty grows with hash cost"
+    # At 160 cycles the 9-level chain dominates visibly.
+    assert gaps[-1] > 1.5

@@ -1,0 +1,65 @@
+"""Ablation: integrity-tree fan-out (VAULT/MorphCtr-style wide nodes,
+§VII).
+
+The paper argues SIT (8-ary, 56-bit counters) wins on storage and height,
+and cites VAULT/MorphCtr as ways to widen nodes further.  With SCUE's
+write path touching only the leaf and a register, the arity shouldn't
+change write latency — but it shortens the tree, shrinking metadata
+storage and full-reconstruction read counts, at the cost of counters that
+wrap sooner (28/14-bit).  This ablation measures all three.
+"""
+
+from repro.bench.reporting import format_simple_table
+from repro.sim.config import SystemConfig
+from repro.sim.system import System
+from repro.workloads import make_workload
+
+CAPACITY = 32 * 1024 * 1024
+OPERATIONS = 600
+
+
+def run_arity(arity: int):
+    config = SystemConfig(scheme="scue", data_capacity=CAPACITY,
+                          tree_arity=arity,
+                          metadata_cache_size=32 * 1024)
+    system = System(config)
+    system.run(make_workload("array", CAPACITY, OPERATIONS,
+                             seed=21).trace())
+    result = system.result("array")
+    system.crash()
+    report = system.recover()
+    amap = system.controller.amap
+    return {
+        "levels": amap.tree_levels,
+        "tree_nodes": amap.num_tree_nodes,
+        "counter_bits": amap.counter_bits,
+        "write_latency": result.avg_write_latency,
+        "recovery_reads": report.metadata_reads,
+        "recovered": report.success,
+    }
+
+
+def test_ablation_tree_arity(benchmark):
+    outcomes = benchmark.pedantic(
+        lambda: {arity: run_arity(arity) for arity in (8, 16, 32)},
+        rounds=1, iterations=1)
+    rows = [[arity, o["levels"], o["tree_nodes"],
+             f"{o['counter_bits']}b",
+             f"{o['write_latency']:.0f}cy",
+             o["recovery_reads"],
+             "yes" if o["recovered"] else "NO"]
+            for arity, o in outcomes.items()]
+    print()
+    print(format_simple_table(
+        "Ablation: tree arity under SCUE (32MB NVM, array)",
+        ["arity", "levels", "tree nodes", "ctr width", "write latency",
+         "recovery reads", "recovers"], rows))
+    # Wider nodes => shorter trees and less metadata storage.
+    assert outcomes[32]["levels"] < outcomes[8]["levels"]
+    assert outcomes[32]["tree_nodes"] < outcomes[8]["tree_nodes"]
+    # SCUE's write path is height-independent: latency within 5%.
+    base = outcomes[8]["write_latency"]
+    for arity in (16, 32):
+        assert abs(outcomes[arity]["write_latency"] - base) / base < 0.05
+    # Recovery works at every arity.
+    assert all(o["recovered"] for o in outcomes.values())

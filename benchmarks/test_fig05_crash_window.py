@@ -1,0 +1,28 @@
+"""Fig 5 / §III-B — the root crash inconsistency problem, demonstrated:
+crash immediately after a persist (inside the crash window) and attempt
+recovery under every scheme.
+
+Paper claim: lazy and eager misreport attacks after an ordinary crash;
+SCUE (and the crash-consistent baselines) recover every time.
+"""
+
+from repro.bench.figures import fig5_crash_window
+from repro.bench.reporting import format_simple_table
+
+
+def test_fig5_crash_window(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig5_crash_window(trials=8, operations=400),
+        rounds=1, iterations=1)
+    rows = [[scheme, f"{rate:.0%}"]
+            for scheme, rate in result.success_rate.items()]
+    print()
+    print(format_simple_table(
+        f"Fig 5: recovery success after mid-burst crashes "
+        f"({result.trials} trials)",
+        ["scheme", "recovery success"], rows))
+    assert result.success_rate["scue"] == 1.0
+    assert result.success_rate["plp"] == 1.0
+    assert result.success_rate["bmf-ideal"] == 1.0
+    assert result.success_rate["lazy"] == 0.0
+    assert result.success_rate["eager"] == 0.0

@@ -1,0 +1,25 @@
+"""Fig 10 — execution time on different workloads, normalised to the
+insecure Baseline.
+
+Paper averages: PLP 1.96x, Lazy 1.17x, BMF-ideal 1.11x, SCUE 1.07x.
+"""
+
+from repro.bench.figures import fig10_execution_time
+from repro.bench.reporting import format_ratio_table
+
+from benchmarks.conftest import shared_matrix
+
+
+def test_fig10_execution_time(benchmark):
+    matrix = shared_matrix()
+    fig = benchmark.pedantic(
+        lambda: fig10_execution_time(matrix=matrix), rounds=1, iterations=1)
+    print()
+    print(format_ratio_table("Fig 10: execution time", fig.table,
+                             fig.paper_average))
+    avg = fig.measured_average
+    assert avg["plp"] > avg["lazy"], "PLP slowest (paper: 1.96x)"
+    assert avg["lazy"] >= avg["scue"] * 0.98, "SCUE at worst matches lazy"
+    assert avg["scue"] < 1.45, "SCUE near baseline (paper: 1.07x)"
+    assert abs(avg["bmf-ideal"] - avg["scue"]) < 0.25, \
+        "BMF-ideal and SCUE are the two near-baseline schemes"

@@ -1,0 +1,26 @@
+"""§V-E — security-metadata memory accesses, normalised to the Lazy
+scheme.
+
+Paper: PLP ~7.04x Lazy (whole-branch reads + shadow persists on a 9-level
+SIT); BMF-ideal ~8.7% below Lazy (no ancestor traffic at all); SCUE about
+equal to Lazy (the same reads happen, just off the critical path).
+"""
+
+from repro.bench.figures import sec5e_memory_accesses
+from repro.bench.reporting import format_ratio_table
+
+from benchmarks.conftest import shared_matrix
+
+
+def test_sec5e_memory_accesses(benchmark):
+    matrix = shared_matrix()
+    result = benchmark.pedantic(
+        lambda: sec5e_memory_accesses(matrix=matrix), rounds=1, iterations=1)
+    print()
+    print(format_ratio_table("Sec V-E: metadata NVM accesses",
+                             result.table, result.paper_average,
+                             baseline_note="normalized to Lazy"))
+    avg = result.measured_average
+    assert avg["plp"] > 3.0, "PLP metadata traffic several x Lazy"
+    assert avg["bmf-ideal"] < 1.0, "BMF-ideal strictly below Lazy"
+    assert 0.6 < avg["scue"] < 1.4, "SCUE ~ Lazy (paper: equal)"

@@ -1,0 +1,27 @@
+"""Table I — which detector catches which attack class during SCUE's
+counter-summing recovery.
+
+Paper: roll-forward -> leaf HMACs; roll-back/replay -> Recovery_root;
+combined roll-forward + roll-back -> leaf HMACs.  A clean crash must
+recover with no (false) attack report.
+"""
+
+from repro.bench.figures import table1_attack_detection
+from repro.bench.reporting import format_simple_table
+
+
+def test_table1_attack_detection(benchmark):
+    result = benchmark.pedantic(
+        lambda: table1_attack_detection(data_capacity=8 * 1024 * 1024,
+                                        operations=400),
+        rounds=1, iterations=1)
+    rows = [[attack, outcome["detected"], outcome["by"]]
+            for attack, outcome in result.outcomes.items()]
+    print()
+    print(format_simple_table("Table I: attack detection",
+                              ["attack", "detected", "detected by"], rows))
+    assert result.all_detected()
+    assert result.control_clean()
+    assert result.outcomes["roll_forward"]["by"] == "leaf_hmac"
+    assert result.outcomes["replay_roll_back"]["by"] == "root"
+    assert result.outcomes["forward_plus_back"]["by"] == "leaf_hmac"

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Compare every update scheme on one workload — a miniature Fig 9/10.
+
+Runs the same persistent key-value (hash table) trace through all six
+controllers and prints write latency, execution time, metadata traffic,
+and — after an injected crash — whether each scheme's recovery survives.
+This is the paper's whole argument in one table: only SCUE combines
+near-baseline performance, crash-consistent recovery, and byte-sized
+on-chip state.
+
+Run:  python examples/compare_schemes.py
+"""
+
+from repro import System, SystemConfig, make_workload
+from repro.bench.reporting import format_simple_table, human_bytes
+from repro.crash import CrashPlan, run_with_crash
+
+CAPACITY = 16 * 1024 * 1024
+OPERATIONS = 600
+
+
+def main() -> None:
+    workload = make_workload("hash", CAPACITY, OPERATIONS, seed=11)
+    trace = list(workload.trace())
+    crash_point = len(trace) * 2 // 3
+
+    rows = []
+    baseline_latency = baseline_cycles = None
+    for scheme in ("baseline", "lazy", "eager", "plp", "bmf-ideal", "scue"):
+        config = SystemConfig(scheme=scheme, data_capacity=CAPACITY,
+                              metadata_cache_size=16 * 1024, tree_levels=9)
+        # Measured run (no crash) for the performance columns.
+        system = System(config)
+        system.run(trace)
+        result = system.result(workload.name)
+        if scheme == "baseline":
+            baseline_latency = result.avg_write_latency
+            baseline_cycles = result.cycles
+
+        # Crash run for the recovery column.
+        crashed = System(config)
+        run_with_crash(crashed, iter(trace), CrashPlan(crash_point))
+        report = crashed.recover()
+
+        rows.append([
+            scheme,
+            f"{result.avg_write_latency / baseline_latency:.2f}x",
+            f"{result.cycles / baseline_cycles:.2f}x",
+            f"{result.metadata_accesses:,}",
+            human_bytes(system.controller.onchip_overhead_bytes()),
+            "recovers" if report.success else "FAILS (false attack)",
+        ])
+
+    print(format_simple_table(
+        f"All schemes on '{workload.name}' "
+        f"({OPERATIONS} ops, {len(trace)} accesses)",
+        ["scheme", "write lat", "exec time", "meta accesses",
+         "on-chip NV", "after crash"],
+        rows))
+    print("\nThe paper's pitch, condensed: PLP pays ~3x writes for its "
+          "consistency,\nBMF-ideal pays megabytes of on-chip nvMC, "
+          "lazy/eager pay with failed\nrecoveries — SCUE pays two 64-byte "
+          "registers and one hash per persist.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Recovery modes: full, targeted (STAR/AGIT/ASIT), and Osiris.
+
+SCUE's counter-summing gives the SIT one *capability* — rebuild from the
+leaves — and three ways to spend it.  Starting from one warmed, crashed
+system state (branched with :func:`repro.sim.fork` so every mode sees an
+identical crash), this example recovers it five ways and tabulates what
+each costs at runtime and at recovery.
+
+Run:  python examples/recovery_modes.py
+"""
+
+from repro.bench.reporting import format_simple_table
+from repro.sim import System, SystemConfig, fork
+from repro.workloads import make_workload
+
+CAPACITY = 16 * 1024 * 1024
+OPERATIONS = 500
+
+
+def build_crashed(tracker: str = "none", osiris: int = 0) -> System:
+    config = SystemConfig(
+        scheme="scue", data_capacity=CAPACITY, tree_levels=9,
+        metadata_cache_size=16 * 1024,
+        recovery_tracker=tracker,
+        leaf_write_through=osiris == 0,
+        osiris_limit=osiris)
+    system = System(config)
+    system.run(make_workload("array", CAPACITY, OPERATIONS,
+                             seed=19).trace())
+    return system
+
+
+def main() -> None:
+    rows = []
+
+    # Full counter-summing (no tracker): read every leaf.
+    system = build_crashed()
+    baseline_runtime_writes = \
+        system.controller.stats.counter("meta_writes").value
+    crashed = fork(system)
+    crashed.crash()
+    report = crashed.recover()
+    rows.append(["full counter-summing", baseline_runtime_writes, 0,
+                 f"{report.metadata_reads:,}",
+                 "yes" if report.success else "NO"])
+
+    # Targeted recovery under each tracker.
+    for tracker in ("star", "agit", "asit"):
+        system = build_crashed(tracker=tracker)
+        st_writes = system.controller.tracker.runtime_write_overhead
+        crashed = fork(system)
+        crashed.crash()
+        report = crashed.recover()
+        rows.append([f"targeted ({tracker})",
+                     system.controller.stats.counter("meta_writes").value,
+                     st_writes,
+                     f"{report.metadata_reads:,}",
+                     "yes" if report.success else "NO"])
+
+    # Osiris: relax leaf persistence entirely, recover counters from
+    # data MACs.
+    system = build_crashed(osiris=8)
+    crashed = fork(system)
+    crashed.crash()
+    report = crashed.recover()
+    rows.append(["osiris (limit 8)",
+                 system.controller.stats.counter("meta_writes").value,
+                 0,
+                 f"{report.metadata_reads:,}",
+                 "yes" if report.success else "NO"])
+
+    print(format_simple_table(
+        f"SCUE recovery modes (array, {OPERATIONS} persists, "
+        "identical crash via fork)",
+        ["mode", "runtime meta writes", "tracker ST writes",
+         "recovery reads", "recovers"], rows))
+    print(
+        "\nThe spectrum: write-through + full rebuild is the simplest;"
+        "\ntrackers shrink recovery reads (ASIT cheapest to recover,"
+        "\ndearest at runtime); Osiris removes the runtime writes almost"
+        "\nentirely and pays with a data-MAC counter search at recovery.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""SCUE reproduction: root crash consistency for SGX-style integrity
+trees in secure non-volatile memory (Huang & Hua, HPCA 2023).
+
+Top-level convenience exports; see README.md for the tour.
+
+>>> from repro import SystemConfig, System, make_workload
+>>> config = SystemConfig(scheme="scue", data_capacity=16 * 1024 * 1024)
+>>> system = System(config)
+>>> system.run(make_workload("array", config.data_capacity, 100).trace())
+>>> system.crash()
+>>> system.recover().success
+True
+"""
+
+from repro.errors import (
+    ConfigError,
+    IntegrityError,
+    RecoveryError,
+    ReproError,
+    RootMismatchError,
+)
+from repro.secure import SCHEMES, make_controller
+from repro.secure.base import RecoveryReport
+from repro.sim import RunResult, System, SystemConfig, run_workload
+from repro.workloads import ALL_WORKLOADS, make_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConfigError",
+    "IntegrityError",
+    "RecoveryError",
+    "ReproError",
+    "RootMismatchError",
+    "SCHEMES",
+    "make_controller",
+    "RecoveryReport",
+    "RunResult",
+    "System",
+    "SystemConfig",
+    "run_workload",
+    "ALL_WORKLOADS",
+    "make_workload",
+    "__version__",
+]

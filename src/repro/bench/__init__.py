@@ -1,0 +1,44 @@
+"""Benchmark harness: the per-figure experiment drivers that regenerate
+the paper's evaluation (Figs 9-13, Table I, §V-E, §V-F).
+
+Each ``figN`` function returns a structured result object that both the
+``benchmarks/`` pytest-benchmark suite and the runnable examples consume;
+:mod:`repro.bench.reporting` renders them as the paper-style tables.
+"""
+
+from repro.bench.harness import (
+    BenchScale,
+    MatrixResult,
+    geomean,
+    run_matrix,
+)
+from repro.bench.figures import (
+    fig5_crash_window,
+    fig9_write_latency,
+    fig10_execution_time,
+    fig11_hash_sweep_write_latency,
+    fig12_hash_sweep_execution_time,
+    fig13_recovery_time,
+    sec5e_memory_accesses,
+    table1_attack_detection,
+)
+from repro.bench.overheads import sec5f_space_overheads
+from repro.bench.reporting import format_ratio_table, format_simple_table
+
+__all__ = [
+    "BenchScale",
+    "MatrixResult",
+    "geomean",
+    "run_matrix",
+    "fig5_crash_window",
+    "fig9_write_latency",
+    "fig10_execution_time",
+    "fig11_hash_sweep_write_latency",
+    "fig12_hash_sweep_execution_time",
+    "fig13_recovery_time",
+    "sec5e_memory_accesses",
+    "table1_attack_detection",
+    "sec5f_space_overheads",
+    "format_ratio_table",
+    "format_simple_table",
+]

@@ -1,0 +1,59 @@
+"""Export figure results as JSON/CSV for external plotting.
+
+The figure drivers return dataclasses; :func:`to_jsonable` flattens them
+(dropping heavyweight embedded objects like the raw run matrix) so
+``repro-sim figures fig9 --json out.json`` produces plot-ready data, and
+:func:`ratio_table_to_csv` renders the workload x scheme tables the
+paper's bar charts are drawn from.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import json
+from pathlib import Path
+from typing import Any
+
+#: Embedded fields that are execution artifacts, not figure data.
+_SKIP_FIELDS = {"matrix"}
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert figure dataclasses to JSON-compatible data."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: to_jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+            if field.name not in _SKIP_FIELDS
+        }
+    if isinstance(value, dict):
+        return {str(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [to_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def save_json(value: Any, path: str | Path) -> None:
+    """Write a figure result to ``path`` as pretty-printed JSON."""
+    Path(path).write_text(json.dumps(to_jsonable(value), indent=2,
+                                     sort_keys=True) + "\n")
+
+
+def ratio_table_to_csv(table: dict[str, dict[str, float]]) -> str:
+    """Render a ``{workload: {scheme: ratio}}`` table as CSV text."""
+    if not table:
+        return ""
+    schemes = list(next(iter(table.values())))
+    out = io.StringIO()
+    out.write("workload," + ",".join(schemes) + "\n")
+    for workload, row in table.items():
+        out.write(workload + ","
+                  + ",".join(f"{row[s]:.4f}" for s in schemes) + "\n")
+    return out.getvalue()
+
+
+def save_csv(table: dict[str, dict[str, float]], path: str | Path) -> None:
+    Path(path).write_text(ratio_table_to_csv(table))

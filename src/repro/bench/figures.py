@@ -1,0 +1,368 @@
+"""Per-figure experiment drivers (paper §V).
+
+Every public function regenerates one table/figure of the paper's
+evaluation and returns a plain data structure; the ``PAPER_*`` constants
+carry the published numbers so reports can print paper-vs-measured side by
+side (EXPERIMENTS.md is generated from exactly these runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.bench.harness import (
+    BenchScale,
+    EVAL_SCHEMES,
+    MatrixResult,
+    geomean,
+    run_matrix,
+)
+from repro.crash.attacks import (
+    combined_attack,
+    replay_leaf,
+    roll_forward_leaf,
+    snapshot_leaf,
+)
+from repro.crash.injection import CrashPlan, run_with_crash
+from repro.sim.config import SystemConfig
+from repro.sim.driver import run_workload
+from repro.sim.system import System
+from repro.workloads import ALL_WORKLOADS, make_workload
+
+#: Published averages, Fig 9 (write latency over Baseline).
+PAPER_FIG9 = {"plp": 2.74, "lazy": 1.29, "bmf-ideal": 1.21, "scue": 1.12}
+#: Published averages, Fig 10 (execution time over Baseline).
+PAPER_FIG10 = {"plp": 1.96, "lazy": 1.17, "bmf-ideal": 1.11, "scue": 1.07}
+#: Published Fig 11/12 endpoints (SCUE at 160-cycle hash vs 20-cycle).
+PAPER_FIG11_AVG_160 = 1.20
+PAPER_FIG12_AVG_160 = 1.14
+#: Published §V-E ratios over Lazy.
+PAPER_SEC5E = {"plp": 7.04, "bmf-ideal": 1.0 - 0.087, "scue": 1.0}
+#: Published Fig 13 recovery times at a 4 MB metadata cache.
+PAPER_FIG13 = {"star": 0.05, "agit": 0.17}
+
+HASH_SWEEP = (20, 40, 80, 160)
+
+
+# ======================================================================
+# Figures 9 & 10 — scheme comparison
+# ======================================================================
+@dataclass
+class ComparisonFigure:
+    """A normalised workload x scheme table plus the paper's averages."""
+
+    metric: str
+    table: dict[str, dict[str, float]]
+    paper_average: dict[str, float]
+    matrix: MatrixResult = field(repr=False, default=None)
+
+    @property
+    def measured_average(self) -> dict[str, float]:
+        return dict(self.table["geomean"])
+
+
+def fig9_write_latency(scale: BenchScale | None = None,
+                       workloads: Sequence[str] = ALL_WORKLOADS,
+                       seed: int = 42) -> ComparisonFigure:
+    """Fig 9: write latencies normalised to Baseline."""
+    scale = scale or BenchScale.default()
+    matrix = run_matrix(scale, workloads, seed=seed)
+    return ComparisonFigure(
+        "write_latency",
+        matrix.ratio_table("write_latency", EVAL_SCHEMES),
+        PAPER_FIG9, matrix)
+
+
+def fig10_execution_time(scale: BenchScale | None = None,
+                         workloads: Sequence[str] = ALL_WORKLOADS,
+                         seed: int = 42,
+                         matrix: MatrixResult | None = None) -> ComparisonFigure:
+    """Fig 10: execution time normalised to Baseline.  Pass the matrix
+    from :func:`fig9_write_latency` to reuse the same runs."""
+    if matrix is None:
+        scale = scale or BenchScale.default()
+        matrix = run_matrix(scale, workloads, seed=seed)
+    return ComparisonFigure(
+        "execution_time",
+        matrix.ratio_table("execution_time", EVAL_SCHEMES),
+        PAPER_FIG10, matrix)
+
+
+# ======================================================================
+# Figures 11 & 12 — hash-latency sensitivity (SCUE only)
+# ======================================================================
+@dataclass
+class HashSweepFigure:
+    """Per-workload ratios vs the 20-cycle configuration."""
+
+    metric: str
+    #: ``{hash_latency: {workload: ratio_vs_20}}``
+    table: dict[int, dict[str, float]]
+    paper_average_160: float
+
+    def average(self, latency: int) -> float:
+        return geomean(self.table[latency].values())
+
+
+def _hash_sweep(scale: BenchScale, workloads: Sequence[str], metric: str,
+                seed: int) -> dict[int, dict[str, float]]:
+    runs: dict[int, dict[str, float]] = {lat: {} for lat in HASH_SWEEP}
+    for name in workloads:
+        workload = make_workload(name, scale.data_capacity,
+                                 scale.operations_for(name), seed=seed)
+        trace = list(workload.trace())
+        measured: dict[int, float] = {}
+        for latency in HASH_SWEEP:
+            config = scale.config("scue", hash_latency=latency)
+            result = run_workload(config, trace, workload_name=name,
+                                  warmup_accesses=scale.warmup_accesses)
+            measured[latency] = (result.avg_write_latency
+                                 if metric == "write_latency"
+                                 else result.cycles)
+        base = measured[HASH_SWEEP[0]] or 1.0
+        for latency in HASH_SWEEP:
+            runs[latency][name] = measured[latency] / base
+    return runs
+
+
+def fig11_hash_sweep_write_latency(scale: BenchScale | None = None,
+                                   workloads: Sequence[str] = ALL_WORKLOADS,
+                                   seed: int = 42) -> HashSweepFigure:
+    """Fig 11: SCUE write latency at 20/40/80/160-cycle hashes."""
+    scale = scale or BenchScale.default()
+    return HashSweepFigure(
+        "write_latency",
+        _hash_sweep(scale, workloads, "write_latency", seed),
+        PAPER_FIG11_AVG_160)
+
+
+def fig12_hash_sweep_execution_time(scale: BenchScale | None = None,
+                                    workloads: Sequence[str] = ALL_WORKLOADS,
+                                    seed: int = 42) -> HashSweepFigure:
+    """Fig 12: SCUE execution time at 20/40/80/160-cycle hashes."""
+    scale = scale or BenchScale.default()
+    return HashSweepFigure(
+        "execution_time",
+        _hash_sweep(scale, workloads, "execution_time", seed),
+        PAPER_FIG12_AVG_160)
+
+
+# ======================================================================
+# Figure 13 — recovery time with STAR/AGIT trackers
+# ======================================================================
+@dataclass
+class RecoveryFigure:
+    """Recovery seconds per (tracker, metadata cache size)."""
+
+    #: ``{tracker: {cache_bytes: seconds}}`` — the paper's cost model
+    #: (tracker read-count formulas at 100 ns/fetch).
+    table: dict[str, dict[int, float]]
+    stale_nodes: dict[str, dict[int, int]]
+    paper_4mb: dict[str, float]
+    #: Functional cross-check: reads performed by an *actual* targeted
+    #: rebuild on an honest (write-through) configuration, per tracker.
+    functional_reads: dict[str, int] = field(default_factory=dict)
+
+
+def fig13_recovery_time(cache_sizes: Sequence[int] = (
+        256 * 1024, 512 * 1024, 1024 * 1024, 2 * 1024 * 1024,
+        4 * 1024 * 1024),
+        seed: int = 42) -> RecoveryFigure:
+    """Fig 13: SCUE-STAR vs SCUE-AGIT recovery time as the metadata cache
+    (hence the worst-case stale set) grows.
+
+    The workload disables leaf write-through so intermediate *and* leaf
+    metadata genuinely sit dirty in the cache at crash time, giving the
+    cache-proportional stale sets the paper sweeps.
+    """
+    table: dict[str, dict[int, float]] = {"star": {}, "agit": {}}
+    stale: dict[str, dict[int, int]] = {"star": {}, "agit": {}}
+    for tracker in ("star", "agit"):
+        for cache_bytes in cache_sizes:
+            # Touch enough distinct lines that dirty metadata fills the
+            # cache: one leaf covers 4 KB of data, one cache line each.
+            lines_needed = cache_bytes // 64
+            data_capacity = max(16 * 1024 * 1024,
+                                lines_needed * 64 * 64 * 2)
+            workload = make_workload(
+                "array", data_capacity, operations=lines_needed * 2,
+                seed=seed)
+            cfg = SystemConfig(scheme="scue", data_capacity=data_capacity,
+                               metadata_cache_size=cache_bytes,
+                               recovery_tracker=tracker,
+                               leaf_write_through=False)
+            system = System(cfg)
+            run_with_crash(system, workload.trace(),
+                           CrashPlan(after_accesses=lines_needed * 3))
+            controller = system.controller
+            stale[tracker][cache_bytes] = controller.tracker.stale_nodes
+            table[tracker][cache_bytes] = \
+                controller.tracker.recovery_seconds()
+    # Functional cross-check: on an honest write-through configuration
+    # the targeted rebuild genuinely recovers, touching only the stale
+    # closure (the sweep above prices the paper's worst case; this runs
+    # the mechanism).
+    functional: dict[str, int] = {}
+    for tracker in ("star", "agit"):
+        cfg = SystemConfig(scheme="scue", data_capacity=16 * 1024 * 1024,
+                           metadata_cache_size=8 * 1024,
+                           recovery_tracker=tracker)
+        system = System(cfg)
+        workload = make_workload("array", cfg.data_capacity,
+                                 operations=400, seed=seed)
+        run_with_crash(system, workload.trace(), CrashPlan(600))
+        report = system.recover()
+        assert report.success, report.detail
+        functional[tracker] = report.metadata_reads
+    return RecoveryFigure(table, stale, PAPER_FIG13, functional)
+
+
+# ======================================================================
+# Figure 5 / §III-B — the crash window, qualitatively
+# ======================================================================
+@dataclass
+class CrashWindowResult:
+    """Recovery success rates per scheme under mid-burst crashes."""
+
+    #: ``{scheme: fraction of crashes recovered successfully}``
+    success_rate: dict[str, float]
+    trials: int
+
+
+def fig5_crash_window(schemes: Sequence[str] = (
+        "scue", "plp", "bmf-ideal", "eager", "lazy"),
+        trials: int = 10, operations: int = 400,
+        data_capacity: int = 8 * 1024 * 1024,
+        seed: int = 42) -> CrashWindowResult:
+    """Crash mid-workload (always immediately after a persist — inside
+    eager's crash window) and attempt recovery: SCUE/PLP/BMF always
+    recover, lazy and eager report false attacks (§III-B)."""
+    rates: dict[str, float] = {}
+    for scheme in schemes:
+        successes = 0
+        for trial in range(trials):
+            workload = make_workload("array", data_capacity, operations,
+                                     seed=seed + trial)
+            cfg = SystemConfig(scheme=scheme, data_capacity=data_capacity)
+            system = System(cfg)
+            crash_at = 50 + (trial * 97) % (operations // 2)
+            run_with_crash(system, workload.trace(),
+                           CrashPlan(after_accesses=crash_at))
+            report = system.recover()
+            successes += 1 if report.success else 0
+        rates[scheme] = successes / trials
+    return CrashWindowResult(rates, trials)
+
+
+# ======================================================================
+# Table I — attack detection
+# ======================================================================
+@dataclass
+class AttackDetectionResult:
+    """Which detector fired for each attack class (Table I)."""
+
+    #: ``{attack: {"detected": bool, "by": "leaf_hmac"|"root"|"none"}}``
+    outcomes: dict[str, dict[str, object]]
+
+    def all_detected(self) -> bool:
+        """Every genuine attack was detected (the clean-crash control is
+        excluded — it must *not* report anything)."""
+        return all(o["detected"] for name, o in self.outcomes.items()
+                   if name != "no_attack_control")
+
+    def control_clean(self) -> bool:
+        """The no-attack control recovered without a false positive."""
+        control = self.outcomes.get("no_attack_control")
+        return control is not None and not control["detected"]
+
+
+def table1_attack_detection(data_capacity: int = 8 * 1024 * 1024,
+                            operations: int = 300,
+                            seed: int = 42) -> AttackDetectionResult:
+    """Reproduce Table I on SCUE: roll-forward dies on leaf HMACs,
+    replay/roll-back dies on the Recovery_root, the combined attack dies
+    on leaf HMACs."""
+
+    def fresh_system() -> System:
+        cfg = SystemConfig(scheme="scue", data_capacity=data_capacity)
+        return System(cfg)
+
+    def classify(report) -> dict[str, object]:
+        if report.leaf_hmac_failures:
+            return {"detected": True, "by": "leaf_hmac"}
+        if not report.root_matched:
+            return {"detected": True, "by": "root"}
+        return {"detected": not report.success, "by": "none"}
+
+    outcomes: dict[str, dict[str, object]] = {}
+    workload = make_workload("array", data_capacity, operations, seed=seed)
+    trace = list(workload.trace())
+
+    # Roll-forward -----------------------------------------------------
+    system = fresh_system()
+    system.run(trace)
+    system.crash()
+    roll_forward_leaf(system.controller.store, 0, slot=3, amount=2)
+    outcomes["roll_forward"] = classify(system.recover())
+
+    # Replay (the dangerous roll-back) ----------------------------------
+    system = fresh_system()
+    system.run(trace)
+    controller = system.controller
+    # Write a known line, snapshot its (freshly persisted) leaf, then
+    # advance it once more so the snapshot is provably stale.
+    controller.write_data(0, None, cycle=10**9)
+    snap = snapshot_leaf(controller.store, 0)
+    controller.write_data(0, None, cycle=10**9 + 100)
+    system.crash()
+    replay_leaf(controller.store, snap)
+    outcomes["replay_roll_back"] = classify(system.recover())
+
+    # Combined roll-forward + roll-back (sum-preserving) ----------------
+    system = fresh_system()
+    system.run(trace)
+    system.crash()
+    combined_attack(system.controller.store, forward_index=0,
+                    back_index=1, slot=2, amount=1)
+    outcomes["forward_plus_back"] = classify(system.recover())
+
+    # Control: clean crash, no attack -----------------------------------
+    system = fresh_system()
+    system.run(trace)
+    system.crash()
+    report = system.recover()
+    outcomes["no_attack_control"] = {
+        "detected": not report.success, "by": "none"}
+    return AttackDetectionResult(outcomes)
+
+
+# ======================================================================
+# §V-E — memory-access counts
+# ======================================================================
+@dataclass
+class AccessCountResult:
+    """Metadata NVM accesses per scheme, normalised to Lazy."""
+
+    table: dict[str, dict[str, float]]
+    paper_average: dict[str, float]
+
+    @property
+    def measured_average(self) -> dict[str, float]:
+        return dict(self.table["geomean"])
+
+
+def sec5e_memory_accesses(scale: BenchScale | None = None,
+                          workloads: Sequence[str] = ALL_WORKLOADS,
+                          seed: int = 42,
+                          matrix: MatrixResult | None = None
+                          ) -> AccessCountResult:
+    """§V-E: PLP ~7x Lazy metadata traffic; BMF-ideal ~8.7% below Lazy;
+    SCUE ~= Lazy."""
+    if matrix is None:
+        scale = scale or BenchScale.default()
+        matrix = run_matrix(scale, workloads, seed=seed)
+    schemes = [s for s in EVAL_SCHEMES if s != "lazy"]
+    table = matrix.ratio_table("metadata_accesses", schemes + ["lazy"],
+                               baseline="lazy")
+    return AccessCountResult(table, PAPER_SEC5E)

@@ -1,0 +1,49 @@
+"""§V-F: space and hardware overheads.
+
+Static accounting — no simulation needed: instantiate each controller at
+the paper's 16 GB geometry (construction is cheap; the NVM store is
+sparse) and ask it for its scheme-specific on-chip non-volatile state.
+The paper's published figures ride along for the side-by-side table; note
+the BMF-ideal discrepancy discussed in EXPERIMENTS.md (the paper quotes
+256 MB for 16 GB NVM — one 64 B root per *counter block*; our forest
+roots cover eight blocks each, giving 32 MB — both scale linearly with
+capacity and dwarf SCUE's 128 B either way).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.secure import SCHEMES
+from repro.sim.config import SystemConfig
+
+#: Published §V-F numbers, in bytes, for a 16 GB NVM.
+PAPER_OVERHEADS = {
+    "scue": 128,
+    "plp": 616 + 48 // 8,
+    "bmf-ideal": 256 * 1024 * 1024,
+    "lazy": 64,
+    "eager": 64,
+    "baseline": 0,
+}
+
+PAPER_NVM_BYTES = 16 * 1024**3
+
+
+@dataclass(frozen=True)
+class OverheadRow:
+    scheme: str
+    measured_bytes: int
+    paper_bytes: int | None
+
+
+def sec5f_space_overheads(
+        data_capacity: int = PAPER_NVM_BYTES) -> list[OverheadRow]:
+    """On-chip non-volatile overhead per scheme at ``data_capacity``."""
+    rows: list[OverheadRow] = []
+    for name, cls in sorted(SCHEMES.items()):
+        controller = cls(SystemConfig(scheme=name,
+                                      data_capacity=data_capacity))
+        rows.append(OverheadRow(name, controller.onchip_overhead_bytes(),
+                                PAPER_OVERHEADS.get(name)))
+    return rows

@@ -1,0 +1,65 @@
+"""Plain-text rendering of benchmark results — the rows/series the paper
+reports, printed so a terminal diff against the published figures is a
+one-glance job."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def format_ratio_table(title: str,
+                       table: Mapping[str, Mapping[str, float]],
+                       paper_average: Mapping[str, float] | None = None,
+                       baseline_note: str = "normalized to Baseline"
+                       ) -> str:
+    """Render ``{workload: {scheme: ratio}}`` (as produced by
+    :meth:`MatrixResult.ratio_table`) with an optional paper-reference
+    footer."""
+    schemes = list(next(iter(table.values())).keys())
+    width = max(10, *(len(s) for s in schemes))
+    name_width = max(10, *(len(w) for w in table))
+    lines = [f"{title} ({baseline_note})",
+             f"{'workload':<{name_width}} "
+             + " ".join(f"{s:>{width}}" for s in schemes)]
+    for workload, row in table.items():
+        if workload == "geomean":
+            continue
+        lines.append(f"{workload:<{name_width}} "
+                     + " ".join(f"{row[s]:>{width}.2f}" for s in schemes))
+    geo = table.get("geomean")
+    if geo:
+        lines.append("-" * len(lines[1]))
+        lines.append(f"{'geomean':<{name_width}} "
+                     + " ".join(f"{geo[s]:>{width}.2f}" for s in schemes))
+    if paper_average:
+        lines.append(f"{'paper avg':<{name_width}} "
+                     + " ".join(
+                         f"{paper_average.get(s, float('nan')):>{width}.2f}"
+                         for s in schemes))
+    return "\n".join(lines)
+
+
+def format_simple_table(title: str, headers: Sequence[str],
+                        rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned table from header + row sequences."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+              for i, h in enumerate(headers)]
+    lines = [title,
+             " ".join(f"{h:>{w}}" for h, w in zip(headers, widths)),
+             " ".join("-" * w for w in widths)]
+    for row in cells:
+        lines.append(" ".join(f"{c:>{w}}" for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def human_bytes(n: int | None) -> str:
+    if n is None:
+        return "-"
+    value = float(n)
+    for unit in ("B", "KB", "MB", "GB"):
+        if value < 1024 or unit == "GB":
+            return f"{value:.0f}{unit}" if unit == "B" \
+                else f"{value:.2f}{unit}"
+        value /= 1024
+    return f"{value:.2f}GB"

@@ -1,0 +1,300 @@
+"""Command-line interface: drive the simulator without writing Python.
+
+::
+
+    repro-sim info                                    # schemes & workloads
+    repro-sim run --scheme scue --workload btree      # one simulation
+    repro-sim compare --workload hash                 # all schemes, one table
+    repro-sim crash --scheme lazy --workload array    # crash + recovery
+    repro-sim record --workload rbtree -o rbtree.trc  # trace to file
+    repro-sim replay rbtree.trc --scheme scue         # file-driven run
+
+Installed as ``repro-sim`` via the package's console script; also
+runnable as ``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.bench.reporting import format_simple_table, human_bytes
+from repro.crash.injection import CrashPlan, run_with_crash
+from repro.secure import SCHEMES
+from repro.sim.config import SystemConfig
+from repro.sim.system import System
+from repro.workloads import ALL_WORKLOADS, make_workload
+from repro.workloads.traceio import load_trace, save_trace
+
+DEFAULT_CAPACITY = 16 * 1024 * 1024
+DEFAULT_OPERATIONS = 500
+
+
+def _add_system_args(parser: argparse.ArgumentParser,
+                     with_scheme: bool = True) -> None:
+    if with_scheme:
+        parser.add_argument("--scheme", default="scue",
+                            choices=sorted(SCHEMES))
+    parser.add_argument("--capacity", type=int, default=DEFAULT_CAPACITY,
+                        help="simulated data bytes "
+                             f"(default {DEFAULT_CAPACITY})")
+    parser.add_argument("--tree-levels", type=int, default=None)
+    parser.add_argument("--tree-arity", type=int, default=8,
+                        choices=(8, 16, 32))
+    parser.add_argument("--hash-latency", type=int, default=40)
+    parser.add_argument("--metadata-cache", type=int, default=256 * 1024)
+    parser.add_argument("--eadr", action="store_true")
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workload", default="array",
+                        choices=sorted(ALL_WORKLOADS))
+    parser.add_argument("--operations", type=int,
+                        default=DEFAULT_OPERATIONS)
+    parser.add_argument("--seed", type=int, default=42)
+
+
+def _config(args: argparse.Namespace, scheme: str | None = None
+            ) -> SystemConfig:
+    return SystemConfig(
+        scheme=scheme or args.scheme,
+        data_capacity=args.capacity,
+        tree_levels=args.tree_levels,
+        tree_arity=args.tree_arity,
+        hash_latency=args.hash_latency,
+        metadata_cache_size=args.metadata_cache,
+        eadr=args.eadr)
+
+
+def _print_result(result) -> None:
+    print(f"workload          : {result.workload}")
+    print(f"scheme            : {result.scheme}")
+    print(f"cycles            : {result.cycles:,}")
+    print(f"instructions      : {result.instructions:,}  "
+          f"(IPC {result.ipc:.2f})")
+    print(f"loads/stores/psts : {result.loads}/{result.stores}/"
+          f"{result.persists}")
+    print(f"avg write latency : {result.avg_write_latency:.0f} cycles")
+    print(f"avg read latency  : {result.avg_read_latency:.0f} cycles")
+    print(f"NVM accesses      : data {result.nvm_data_reads}r/"
+          f"{result.nvm_data_writes}w, metadata {result.nvm_meta_reads}r/"
+          f"{result.nvm_meta_writes}w")
+    print(f"hashes computed   : {result.hashes:,}")
+
+
+# ======================================================================
+# Subcommands
+# ======================================================================
+def cmd_info(args: argparse.Namespace) -> int:
+    rows = []
+    for name in sorted(SCHEMES):
+        cls = SCHEMES[name]
+        rows.append([name, "yes" if cls.crash_consistent_root else "no",
+                     (cls.__doc__ or "").strip().splitlines()[0]])
+    print(format_simple_table("schemes",
+                              ["name", "root consistent", "summary"], rows))
+    print()
+    print("workloads:", ", ".join(sorted(ALL_WORKLOADS)))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    system = System(_config(args))
+    workload = make_workload(args.workload, args.capacity,
+                             args.operations, seed=args.seed)
+    system.run(workload.trace())
+    _print_result(system.result(args.workload))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    workload = make_workload(args.workload, args.capacity,
+                             args.operations, seed=args.seed)
+    trace = list(workload.trace())
+    rows = []
+    baseline = None
+    for scheme in sorted(SCHEMES):
+        system = System(_config(args, scheme))
+        system.run(iter(trace))
+        result = system.result(args.workload)
+        if scheme == "baseline":
+            baseline = result
+        rows.append((scheme, result, system))
+    table = []
+    for scheme, result, system in rows:
+        table.append([
+            scheme,
+            f"{result.write_latency_vs(baseline):.2f}x" if baseline else "-",
+            f"{result.execution_time_vs(baseline):.2f}x" if baseline else "-",
+            f"{result.metadata_accesses:,}",
+            human_bytes(system.controller.onchip_overhead_bytes()),
+        ])
+    print(format_simple_table(
+        f"all schemes on '{args.workload}' ({len(trace)} accesses)",
+        ["scheme", "write lat", "exec time", "meta accesses", "on-chip"],
+        table))
+    return 0
+
+
+def cmd_crash(args: argparse.Namespace) -> int:
+    system = System(_config(args))
+    workload = make_workload(args.workload, args.capacity,
+                             args.operations, seed=args.seed)
+    executed = run_with_crash(system, workload.trace(),
+                              CrashPlan(args.crash_after))
+    print(f"crashed after {executed} accesses; recovering...")
+    report = system.recover()
+    print(f"recovery : {'SUCCESS' if report.success else 'FAILED'}")
+    print(f"detail   : {report.detail}")
+    print(f"reads    : {report.metadata_reads:,} "
+          f"(~{report.recovery_seconds * 1000:.2f} ms at 100ns/fetch)")
+    return 0 if report.success else 1
+
+
+def cmd_record(args: argparse.Namespace) -> int:
+    workload = make_workload(args.workload, args.capacity,
+                             args.operations, seed=args.seed)
+    count = save_trace(args.output, workload.trace(),
+                       compress=args.compress)
+    print(f"wrote {count} records to {args.output}")
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    system = System(_config(args))
+    system.run(load_trace(args.trace))
+    _print_result(system.result(f"replay:{args.trace}"))
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        BenchScale,
+        fig5_crash_window,
+        fig9_write_latency,
+        fig10_execution_time,
+        fig11_hash_sweep_write_latency,
+        fig12_hash_sweep_execution_time,
+        fig13_recovery_time,
+        format_ratio_table,
+        format_simple_table,
+        sec5e_memory_accesses,
+        sec5f_space_overheads,
+        table1_attack_detection,
+    )
+    from repro.bench.export import save_json
+    from repro.bench.reporting import human_bytes
+
+    scale = {"quick": BenchScale.quick, "default": BenchScale.default,
+             "paper": BenchScale.paper}[args.scale]()
+    name = args.figure
+    if name in ("fig9", "fig10", "sec5e"):
+        matrix_fig = fig9_write_latency(scale)
+        if name == "fig9":
+            result = matrix_fig
+            print(format_ratio_table("Fig 9: write latency", result.table,
+                                     result.paper_average))
+        elif name == "fig10":
+            result = fig10_execution_time(matrix=matrix_fig.matrix)
+            print(format_ratio_table("Fig 10: execution time",
+                                     result.table, result.paper_average))
+        else:
+            result = sec5e_memory_accesses(matrix=matrix_fig.matrix)
+            print(format_ratio_table("Sec V-E: metadata accesses",
+                                     result.table, result.paper_average,
+                                     baseline_note="normalized to Lazy"))
+    elif name in ("fig11", "fig12"):
+        fn = fig11_hash_sweep_write_latency if name == "fig11" \
+            else fig12_hash_sweep_execution_time
+        result = fn(scale)
+        for latency, row in result.table.items():
+            print(f"{latency:>4} cycles: geomean "
+                  f"{result.average(latency):.3f}")
+    elif name == "fig13":
+        result = fig13_recovery_time()
+        for tracker, row in result.table.items():
+            for size, seconds in row.items():
+                print(f"{tracker:5s} {size >> 10:5d}KB "
+                      f"{seconds * 1000:8.2f} ms")
+    elif name == "fig5":
+        result = fig5_crash_window()
+        for scheme, rate in result.success_rate.items():
+            print(f"{scheme:10s} {rate:.0%}")
+    elif name == "table1":
+        result = table1_attack_detection()
+        for attack, outcome in result.outcomes.items():
+            print(f"{attack:20s} detected={outcome['detected']} "
+                  f"by={outcome['by']}")
+    elif name == "sec5f":
+        result = sec5f_space_overheads()
+        print(format_simple_table(
+            "Sec V-F", ["scheme", "measured", "paper"],
+            [[r.scheme, human_bytes(r.measured_bytes),
+              human_bytes(r.paper_bytes)] for r in result]))
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown figure {name}")
+    if args.json:
+        save_json(result, args.json)
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+# ======================================================================
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="SCUE secure-NVM simulator (HPCA'23 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="list schemes and workloads") \
+        .set_defaults(func=cmd_info)
+
+    p = sub.add_parser("run", help="run one workload on one scheme")
+    _add_system_args(p)
+    _add_workload_args(p)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("compare", help="run every scheme on one workload")
+    _add_system_args(p, with_scheme=False)
+    _add_workload_args(p)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("crash", help="crash mid-run and attempt recovery")
+    _add_system_args(p)
+    _add_workload_args(p)
+    p.add_argument("--crash-after", type=int, default=200,
+                   help="accesses before the power failure")
+    p.set_defaults(func=cmd_crash)
+
+    p = sub.add_parser("record", help="record a workload trace to a file")
+    _add_workload_args(p)
+    p.add_argument("--capacity", type=int, default=DEFAULT_CAPACITY)
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--compress", action="store_true")
+    p.set_defaults(func=cmd_record)
+
+    p = sub.add_parser("replay", help="run a recorded trace file")
+    p.add_argument("trace")
+    _add_system_args(p)
+    p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser("figures",
+                       help="regenerate one of the paper's figures")
+    p.add_argument("figure", choices=("fig5", "fig9", "fig10", "fig11",
+                                      "fig12", "fig13", "table1",
+                                      "sec5e", "sec5f"))
+    p.add_argument("--scale", default="quick",
+                   choices=("quick", "default", "paper"))
+    p.add_argument("--json", help="also write the result as JSON")
+    p.set_defaults(func=cmd_figures)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

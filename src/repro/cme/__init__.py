@@ -1,0 +1,18 @@
+"""Counter-mode encryption (CME): split-counter blocks and the encryption
+engine that turns them into one-time pads (paper §II-B, Fig 1)."""
+
+from repro.cme.counters import (
+    CounterBlock,
+    MINOR_BITS,
+    MINORS_PER_BLOCK,
+    OverflowEvent,
+)
+from repro.cme.encryption import CMEEngine
+
+__all__ = [
+    "CounterBlock",
+    "MINOR_BITS",
+    "MINORS_PER_BLOCK",
+    "OverflowEvent",
+    "CMEEngine",
+]

@@ -1,0 +1,176 @@
+"""Split-counter blocks for counter-mode encryption.
+
+A counter block covers 64 user-data lines with one shared *major* counter
+plus one narrow per-line *minor* counter (paper §II-B).  Counter blocks
+double as the **leaf nodes of the SGX-style integrity tree** (§II-D3), so
+each block also carries a 64-bit HMAC.
+
+Layout substitution (documented in DESIGN.md §2): the paper quotes 7-bit
+minors, but a 64-bit major + 64x7-bit minors already fills the whole 64 B
+line, leaving no room for the leaf HMAC the recovery scheme verifies.  We
+shrink minors to 6 bits so the leaf node packs exactly into one line::
+
+    64 (major) + 64 x 6 (minors) + 64 (HMAC) = 512 bits = 64 B
+
+Overflow behaviour is identical, just more frequent (every 64 writes to a
+line instead of 128), which if anything *stresses* the overflow path the
+paper glosses over.
+
+The **dummy counter** of a leaf (paper Fig 7, generalised to split
+counters) is defined as ``major * 64 + sum(minors) (mod 2^56)``.  It grows
+by exactly 1 per ordinary write; on an overflow it jumps by
+``64 - sum(minors_before_reset)`` (possibly "backwards" modularly), and
+SCUE propagates that *delta* to the Recovery_root so the
+root-equals-sum-of-leaf-dummies invariant stays exact (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AddressError, ConfigError
+from repro.mem.address import CACHE_LINE_SIZE
+from repro.util.bitfield import BitPacker, BitUnpacker, checked_sum
+from repro.util.crypto import KeyedMac
+
+MINOR_BITS = 6
+MINORS_PER_BLOCK = 64
+MAJOR_BITS = 64
+#: Counter width used for dummy-counter arithmetic (matches SIT node
+#: counters so parent counters can hold any child sum).
+COUNTER_SUM_BITS = 56
+MINOR_LIMIT = 1 << MINOR_BITS
+
+
+@dataclass(frozen=True)
+class OverflowEvent:
+    """Raised data for a minor-counter overflow: the caller (the secure
+    memory controller) must re-encrypt all 64 covered data lines with the
+    new major counter."""
+
+    block_index: int
+    old_major: int
+    new_major: int
+    #: dummy-counter change caused by the overflowing write, to be
+    #: propagated to ancestors / the Recovery_root instead of +1.
+    dummy_delta: int
+
+
+@dataclass
+class CounterBlock:
+    """One CME counter block == one SIT leaf node.
+
+    ``index`` is the block's position in the counter region (its media
+    address is ``AddressMap.counter_block_addr(index)``).  ``hmac`` is the
+    node's integrity MAC; it is marked stale by counter mutations and
+    recomputed by the owning scheme before the block is persisted.
+    """
+
+    index: int
+    major: int = 0
+    minors: list[int] = field(default_factory=lambda: [0] * MINORS_PER_BLOCK)
+    hmac: int = 0
+    hmac_stale: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.minors) != MINORS_PER_BLOCK:
+            raise ConfigError(
+                f"counter block needs {MINORS_PER_BLOCK} minors")
+
+    # ------------------------------------------------------------------
+    # Counter arithmetic
+    # ------------------------------------------------------------------
+    def minor_of(self, slot: int) -> int:
+        if not 0 <= slot < MINORS_PER_BLOCK:
+            raise AddressError(f"minor slot {slot} out of range")
+        return self.minors[slot]
+
+    def dummy_counter(self, bits: int = COUNTER_SUM_BITS) -> int:
+        """The leaf's dummy counter: its total write count,
+        ``major * 64 + sum(minors)`` modulo the tree's counter width
+        (56-bit for the paper's 8-ary layout; see module docstring)."""
+        return checked_sum(
+            [self.major * MINORS_PER_BLOCK] + self.minors, bits)
+
+    def bump(self, slot: int) -> OverflowEvent | None:
+        """Record one write to the data line in ``slot``.
+
+        Increments the minor counter; on overflow performs the major bump +
+        minor reset and returns the :class:`OverflowEvent` (otherwise
+        ``None``).  Always leaves :attr:`hmac_stale` set.
+        """
+        if not 0 <= slot < MINORS_PER_BLOCK:
+            raise AddressError(f"minor slot {slot} out of range")
+        self.hmac_stale = True
+        before = self.dummy_counter()
+        self.minors[slot] += 1
+        if self.minors[slot] < MINOR_LIMIT:
+            return None
+        old_major = self.major
+        self.major += 1
+        self.minors = [0] * MINORS_PER_BLOCK
+        delta = checked_sum([self.dummy_counter(), -before],
+                            COUNTER_SUM_BITS)
+        return OverflowEvent(self.index, old_major, self.major, delta)
+
+    # ------------------------------------------------------------------
+    # Integrity
+    # ------------------------------------------------------------------
+    def _counter_image(self) -> bytes:
+        packer = BitPacker()
+        packer.add(self.major & ((1 << MAJOR_BITS) - 1), MAJOR_BITS)
+        for minor in self.minors:
+            packer.add(minor, MINOR_BITS)
+        return packer.to_bytes()
+
+    def compute_hmac(self, mac: KeyedMac, node_addr: int,
+                     parent_counter: int) -> int:
+        """HMAC over (address, all counters, parent counter) — the SIT node
+        MAC recipe of Fig 4 applied to the leaf layout."""
+        return mac.mac(node_addr, self._counter_image(), parent_counter)
+
+    def seal(self, mac: KeyedMac, node_addr: int, parent_counter: int) -> None:
+        """Recompute and store the HMAC (done when the block is about to be
+        persisted)."""
+        self.hmac = self.compute_hmac(mac, node_addr, parent_counter)
+        self.hmac_stale = False
+
+    @property
+    def is_blank(self) -> bool:
+        """True for a never-written block (all-zero media image); blank
+        blocks verify against a zero parent counter without an HMAC."""
+        return self.hmac == 0 and self.major == 0 and not any(self.minors)
+
+    def verify(self, mac: KeyedMac, node_addr: int,
+               parent_counter: int) -> bool:
+        """Check the stored HMAC against a recomputation (blank blocks are
+        trusted-fresh iff the parent counter is also zero)."""
+        if self.is_blank:
+            return parent_counter == 0
+        return self.hmac == self.compute_hmac(mac, node_addr, parent_counter)
+
+    # ------------------------------------------------------------------
+    # Serialisation (the on-media 64 B image)
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        packer = BitPacker()
+        packer.add(self.major & ((1 << MAJOR_BITS) - 1), MAJOR_BITS)
+        for minor in self.minors:
+            packer.add(minor, MINOR_BITS)
+        packer.add(self.hmac, 64)
+        return packer.to_bytes(CACHE_LINE_SIZE)
+
+    @classmethod
+    def from_bytes(cls, index: int, data: bytes) -> "CounterBlock":
+        if len(data) != CACHE_LINE_SIZE:
+            raise ConfigError("counter block image must be 64 bytes")
+        unpacker = BitUnpacker(data)
+        major = unpacker.take(MAJOR_BITS)
+        minors = unpacker.take_many(MINOR_BITS, MINORS_PER_BLOCK)
+        hmac = unpacker.take(64)
+        return cls(index=index, major=major, minors=minors, hmac=hmac)
+
+    def clone(self) -> "CounterBlock":
+        """Deep copy (attack injection keeps pristine snapshots)."""
+        return CounterBlock(self.index, self.major, list(self.minors),
+                            self.hmac, self.hmac_stale)

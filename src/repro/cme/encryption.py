@@ -1,0 +1,91 @@
+"""The counter-mode encryption engine (paper §II-B, Fig 1).
+
+Encrypts/decrypts 64 B user-data lines with one-time pads derived from
+(line address, major counter, minor counter).  The OTP for a *read* can be
+generated while the line is in flight from NVM, so decryption adds no
+latency; for a *write* the pad must reflect the freshly bumped minor
+counter.  Minor-counter overflow forces re-encryption of all 64 lines the
+block covers — the engine exposes :meth:`reencrypt_block` for the
+controller to apply when :meth:`repro.cme.counters.CounterBlock.bump`
+reports an overflow.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.cme.counters import CounterBlock, MINORS_PER_BLOCK
+from repro.errors import ConfigError
+from repro.mem.address import AddressMap, CACHE_LINE_SIZE
+from repro.mem.nvm import NVMDevice
+from repro.util.crypto import make_otp, xor_bytes
+from repro.util.stats import StatGroup
+
+
+class CMEEngine:
+    """Counter-mode encryption over an :class:`AddressMap`-shaped NVM."""
+
+    def __init__(self, amap: AddressMap, key: bytes = b"repro-cme-key",
+                 stats: StatGroup | None = None) -> None:
+        self.amap = amap
+        self._key = key
+        group = stats or StatGroup("cme")
+        self.stats = group
+        self._encrypts = group.counter("encrypts")
+        self._decrypts = group.counter("decrypts")
+        self._reencrypted_lines = group.counter("reencrypted_lines")
+
+    # ------------------------------------------------------------------
+    def _otp(self, data_line_addr: int, major: int, minor: int) -> bytes:
+        return make_otp(self._key, data_line_addr, major, minor)
+
+    def encrypt(self, data_line_addr: int, plaintext: bytes,
+                block: CounterBlock) -> bytes:
+        """Encrypt ``plaintext`` for ``data_line_addr`` under the block's
+        *current* counters (bump the counter first: pads must be fresh)."""
+        slot = self.amap.minor_slot_of_data(data_line_addr)
+        self._encrypts.add()
+        pad = self._otp(data_line_addr, block.major, block.minor_of(slot))
+        return xor_bytes(plaintext, pad)
+
+    def decrypt(self, data_line_addr: int, ciphertext: bytes,
+                block: CounterBlock) -> bytes:
+        """Decrypt a line previously produced by :meth:`encrypt` under the
+        same counter values."""
+        slot = self.amap.minor_slot_of_data(data_line_addr)
+        self._decrypts.add()
+        pad = self._otp(data_line_addr, block.major, block.minor_of(slot))
+        return xor_bytes(ciphertext, pad)
+
+    # ------------------------------------------------------------------
+    def reencrypt_block(self, nvm: NVMDevice, block: CounterBlock,
+                        old_major: int, old_minors: Sequence[int]) -> int:
+        """Re-encrypt the 64 data lines covered by ``block`` after a minor
+        overflow (§II-B): each covered ciphertext in NVM is decrypted under
+        the pre-overflow counters and re-encrypted under the new major with
+        reset minors.
+
+        The controller snapshots ``old_minors`` *before* calling
+        :meth:`CounterBlock.bump`, because the reset destroys them.  Note
+        the overflowing slot's snapshot still holds the pad actually used
+        for its last encryption (the bump that overflowed never produced a
+        pad — the line is re-encrypted fresh here).
+
+        Returns the number of lines rewritten (for traffic accounting).
+        """
+        if len(old_minors) != MINORS_PER_BLOCK:
+            raise ConfigError("old_minors must cover the whole block")
+        base_line = block.index * MINORS_PER_BLOCK * CACHE_LINE_SIZE
+        rewritten = 0
+        for slot in range(MINORS_PER_BLOCK):
+            addr = base_line + slot * CACHE_LINE_SIZE
+            ciphertext = nvm.peek_line(addr)
+            plaintext = xor_bytes(
+                ciphertext, self._otp(addr, old_major, old_minors[slot]))
+            fresh = xor_bytes(
+                plaintext,
+                self._otp(addr, block.major, block.minor_of(slot)))
+            nvm.poke_line(addr, fresh)
+            rewritten += 1
+        self._reencrypted_lines.add(rewritten)
+        return rewritten

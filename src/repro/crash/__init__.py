@@ -1,0 +1,37 @@
+"""Crash consistency machinery: counter-summing recovery (§IV-B), crash
+injection, integrity-attack injection (Table I), and the STAR/AGIT
+fast-recovery trackers (§V-D, Fig 13)."""
+
+from repro.crash.attacks import (
+    replay_leaf,
+    roll_back_leaf,
+    roll_forward_leaf,
+    snapshot_leaf,
+    tamper_data_line,
+)
+from repro.crash.injection import CrashPlan, run_with_crash
+from repro.crash.recovery import (
+    ReconstructionResult,
+    counter_summing_reconstruction,
+)
+from repro.crash.star import StarTracker
+from repro.crash.anubis import AgitTracker, AsitTracker
+from repro.crash.fast_recovery import targeted_reconstruction
+from repro.crash.osiris import osiris_counter_recovery
+
+__all__ = [
+    "replay_leaf",
+    "roll_back_leaf",
+    "roll_forward_leaf",
+    "snapshot_leaf",
+    "tamper_data_line",
+    "CrashPlan",
+    "run_with_crash",
+    "ReconstructionResult",
+    "counter_summing_reconstruction",
+    "StarTracker",
+    "AgitTracker",
+    "AsitTracker",
+    "targeted_reconstruction",
+    "osiris_counter_recovery",
+]

@@ -1,0 +1,102 @@
+"""Integrity-attack injection (paper §II-A, §IV-B2, Table I).
+
+Attackers control the NVM (stolen DIMM, bus snooping, tampering) but not
+the chip: these helpers therefore mutate the *media image* directly,
+bypassing access counting — exactly the power of the paper's threat model.
+They never see MAC keys, so they can replay old images byte-for-byte but
+cannot forge MACs over modified ones.
+
+Attack taxonomy mapped to Table I:
+
+* :func:`roll_forward_leaf` — bump a leaf counter to a larger value
+  (detected by the leaf HMAC: the stored MAC no longer matches).
+* :func:`roll_back_leaf` — lower a leaf counter in place, keeping the
+  stored HMAC (detected by the leaf HMAC for the same reason).
+* :func:`replay_leaf` — the special roll-back: restore a complete old
+  (counters, HMAC) snapshot.  Internally consistent, so the leaf HMAC
+  passes — only the Recovery_root sum catches it.
+* :func:`tamper_data_line` — flip user-data bits (detected by the
+  ECC-resident data MAC on the next read).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cme.counters import CounterBlock, MINORS_PER_BLOCK
+from repro.errors import AddressError
+from repro.mem.address import AddressMap
+from repro.mem.nvm import NVMDevice
+from repro.tree.store import SITStore
+
+
+@dataclass(frozen=True)
+class LeafSnapshot:
+    """A byte-exact copy of a leaf's media image — the loot a replay
+    attacker records before the victim overwrites it."""
+
+    index: int
+    image: bytes
+
+
+def snapshot_leaf(store: SITStore, index: int) -> LeafSnapshot:
+    """Record the current media image of counter block ``index``."""
+    addr = store.amap.counter_block_addr(index)
+    return LeafSnapshot(index, store.nvm.peek_line(addr))
+
+
+def replay_leaf(store: SITStore, snapshot: LeafSnapshot) -> None:
+    """Replay attack: put an old, internally consistent leaf image back on
+    media (Table I: passes HMAC, caught by the Recovery_root)."""
+    addr = store.amap.counter_block_addr(snapshot.index)
+    store.nvm.poke_line(addr, snapshot.image)
+
+
+def roll_forward_leaf(store: SITStore, index: int, slot: int = 0,
+                      amount: int = 1) -> None:
+    """Roll-forward attack: enlarge one minor counter without (being able
+    to) fix the HMAC (Table I: caught by the leaf HMAC)."""
+    _shift_leaf_counter(store, index, slot, amount)
+
+
+def roll_back_leaf(store: SITStore, index: int, slot: int = 0,
+                   amount: int = 1) -> None:
+    """Non-replay roll-back: shrink one minor counter in place, keeping
+    the now-mismatched HMAC (Table I: caught by the leaf HMAC)."""
+    _shift_leaf_counter(store, index, slot, -amount)
+
+
+def _shift_leaf_counter(store: SITStore, index: int, slot: int,
+                        delta: int) -> None:
+    if not 0 <= slot < MINORS_PER_BLOCK:
+        raise AddressError(f"minor slot {slot} out of range")
+    leaf = store.load(0, index, counted=False)
+    assert isinstance(leaf, CounterBlock)
+    shifted = leaf.minors[slot] + delta
+    if shifted < 0:
+        # An attacker can only write representable values; fold into the
+        # major counter like a genuine roll-back of an earlier epoch.
+        leaf.major = max(0, leaf.major - 1)
+        shifted = 0
+    limit = (1 << 6) - 1
+    leaf.minors[slot] = min(shifted, limit)
+    store.save(leaf, counted=False)
+
+
+def combined_attack(store: SITStore, forward_index: int, back_index: int,
+                    slot: int = 0, amount: int = 1) -> None:
+    """Roll one leaf forward and another back by the same amount so the
+    Recovery_root sum is preserved — the Table I column 3 attack.  The
+    forward half still fails its HMAC, so detection holds."""
+    roll_forward_leaf(store, forward_index, slot, amount)
+    roll_back_leaf(store, back_index, slot, amount)
+
+
+def tamper_data_line(nvm: NVMDevice, amap: AddressMap, addr: int,
+                     flip_mask: int = 1) -> None:
+    """Flip bits in a user-data line (classic tampering; detected by the
+    data MAC on the next read)."""
+    line = amap.line_of(addr)
+    image = bytearray(nvm.peek_line(line))
+    image[0] ^= flip_mask & 0xFF
+    nvm.poke_line(line, bytes(image))

@@ -1,0 +1,71 @@
+"""Crash injection (paper §III-B, Fig 5).
+
+A crash plan stops a running system after a chosen number of trace
+accesses and power-fails it.  Because the interesting failures live inside
+the *crash window* — the interval between a leaf persist and the root
+update completing — the plan can also ask for the crash to land
+"mid-burst", right after a persist, where eager-style schemes still have
+in-flight root updates.
+
+This module is duck-typed against :class:`repro.sim.system.System`
+(anything with ``run(trace)`` and ``crash()``) to keep the crash package
+import-light.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import islice
+from typing import Any, Iterable, Iterator
+
+from repro.errors import ConfigError
+from repro.mem.trace import AccessType, MemoryAccess
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """When to pull the plug.
+
+    ``after_accesses``: power-fail once this many trace records have been
+    executed.  ``align_to_persist``: keep executing past the mark until a
+    PERSIST record completes, so the crash lands immediately after a leaf
+    persist — the worst case for the crash window (§III-B).
+    """
+
+    after_accesses: int
+    align_to_persist: bool = True
+
+    def __post_init__(self) -> None:
+        if self.after_accesses < 0:
+            raise ConfigError("after_accesses must be non-negative")
+
+
+def split_at_crash(trace: Iterable[MemoryAccess],
+                   plan: CrashPlan) -> tuple[list[MemoryAccess],
+                                             Iterator[MemoryAccess]]:
+    """Split a trace into the part executed before the crash and the
+    remainder (which a post-recovery run may continue with)."""
+    iterator = iter(trace)
+    executed = list(islice(iterator, plan.after_accesses))
+    if plan.align_to_persist:
+        for access in iterator:
+            executed.append(access)
+            if access.kind is AccessType.PERSIST:
+                break
+    return executed, iterator
+
+
+def run_with_crash(system: Any, trace: Iterable[MemoryAccess],
+                   plan: CrashPlan) -> int:
+    """Run ``system`` over ``trace`` until the plan fires, then crash it.
+
+    Returns the number of accesses executed before the power failure.
+    The caller recovers via ``system.controller.recover()`` and inspects
+    the report — succeeding for SCUE/PLP/BMF, failing with a root
+    mismatch for Lazy (always) and Eager (when the crash landed in the
+    window), per §III-B.
+    """
+    executed, _ = split_at_crash(trace, plan)
+    system.run(executed)
+    system.crash()
+    return len(executed)

@@ -1,0 +1,111 @@
+"""Osiris-style counter recovery (Ye et al., MICRO'18), composed with
+SCUE per the paper's §VII orthogonality claim.
+
+The write-through persistence of counter blocks (SuperMem-style) that the
+main configuration uses costs one metadata write per data persist.  Osiris
+relaxes it: counter blocks stay dirty in the metadata cache and are forced
+to media only every ``limit``-th update, so after a crash the persisted
+block may be up to ``limit`` bumps stale.  The lost bumps are recoverable
+because every data line's ECC-resident MAC is keyed by the exact counter
+that encrypted it: recovery replays candidate counters
+``stored .. stored + limit`` against the stored data MAC and adopts the
+unique match.
+
+Composed with SCUE, the ``Recovery_root`` is still updated *per bump* (a
+register write — the shortcut never needed the leaf to be durable), so the
+counter-summing comparison still anchors the recovered leaves: a replayed
+(data, MAC, counter) tuple passes the per-line search but fails the root
+sum, exactly like Table I's replay row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cme.counters import CounterBlock, MINOR_LIMIT, MINORS_PER_BLOCK
+from repro.errors import RecoveryError
+from repro.mem.address import CACHE_LINE_SIZE
+
+#: Default forced-writeback distance (the Osiris paper's sweet spot).
+DEFAULT_OSIRIS_LIMIT = 4
+
+
+@dataclass
+class OsirisReport:
+    """Outcome of the counter-recovery phase."""
+
+    leaves_scanned: int = 0
+    slots_recovered: int = 0
+    candidates_tried: int = 0
+    metadata_reads: int = 0
+    unrecoverable: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def success(self) -> bool:
+        return not self.unrecoverable
+
+
+def _candidates(major: int, minor: int, limit: int):
+    """Yield (major, minor) candidates at distance 0..limit bumps from the
+    stale stored value.
+
+    Minor overflow never straddles a stale window: the overflow path
+    re-encrypts the whole block and the controller force-persists it, so
+    a stored image is always from the current major epoch."""
+    for distance in range(limit + 1):
+        value = minor + distance
+        if value < MINOR_LIMIT:
+            yield major, value
+
+
+def recover_leaf_counters(controller, leaf_index: int, limit: int,
+                          report: OsirisReport) -> CounterBlock:
+    """Recover one counter block's true counters from its stale media
+    image plus the covered lines' data MACs."""
+    leaf = controller.store.load(0, leaf_index, counted=False)
+    assert isinstance(leaf, CounterBlock)
+    report.metadata_reads += 1
+    base = leaf_index * MINORS_PER_BLOCK * CACHE_LINE_SIZE
+    for slot in range(MINORS_PER_BLOCK):
+        line = base + slot * CACHE_LINE_SIZE
+        stored_mac = controller.data_macs.get(line)
+        if stored_mac is None:
+            continue  # never-written line: stale counter is fine
+        ciphertext = controller.nvm.peek_line(line)
+        for major, minor in _candidates(leaf.major, leaf.minors[slot],
+                                        limit):
+            report.candidates_tried += 1
+            if controller.mac.mac(line, ciphertext, major, minor) \
+                    == stored_mac:
+                if minor != leaf.minors[slot]:
+                    report.slots_recovered += 1
+                leaf.minors[slot] = minor
+                break
+        else:
+            report.unrecoverable.append((leaf_index, slot))
+    report.leaves_scanned += 1
+    return leaf
+
+
+def osiris_counter_recovery(controller, limit: int) -> OsirisReport:
+    """Phase one of crash recovery under relaxed counter persistence:
+    rebuild every counter block's true counters and re-seal it (with its
+    dummy counter, the SCUE convention) back to media, ready for the
+    counter-summing reconstruction of §IV-B.
+
+    Raises :class:`RecoveryError` if any slot has no matching candidate —
+    the forced-writeback discipline was violated (or the media was
+    tampered beyond what counter search can express)."""
+    report = OsirisReport()
+    amap = controller.amap
+    for index in range(amap.num_counter_blocks):
+        leaf = recover_leaf_counters(controller, index, limit, report)
+        addr = amap.counter_block_addr(index)
+        leaf.seal(controller.mac, addr, leaf.dummy_counter())
+        controller.store.save(leaf, counted=False)
+    if not report.success:
+        raise RecoveryError(
+            f"Osiris counter recovery failed for {len(report.unrecoverable)}"
+            f" slots (first: {report.unrecoverable[0]}) — stale distance "
+            f"exceeded the limit of {limit}")
+    return report

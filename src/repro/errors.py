@@ -1,0 +1,51 @@
+"""Exception hierarchy for the secure-NVM simulator.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+Integrity-related failures are deliberately separated from configuration and
+simulation errors: an :class:`IntegrityError` models a *detected attack*
+(the system working as designed), while the others model misuse or internal
+inconsistency.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is invalid or inconsistent (e.g. a capacity
+    that is not a multiple of the cache-line size)."""
+
+
+class AddressError(ReproError):
+    """An address is out of range or misaligned for the targeted region."""
+
+
+class IntegrityError(ReproError):
+    """Integrity verification failed: a stored MAC or root did not match the
+    recomputed value.  This is the simulator's representation of a *detected
+    integrity attack* (or, after a crash, of an inconsistent recovery)."""
+
+
+class RootMismatchError(IntegrityError):
+    """The reconstructed integrity-tree root does not match the root stored
+    in the on-chip non-volatile register."""
+
+
+class RecoveryError(ReproError):
+    """Recovery could not proceed (distinct from a *detected attack*): for
+    example the persisted metadata region is structurally corrupt."""
+
+
+class CrashError(ReproError):
+    """Raised internally to unwind the simulator when an injected crash
+    point fires.  Crash injection machinery catches this; user code should
+    normally never see it escape :func:`repro.crash.injection.run_until_crash`."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an internal state that should be impossible
+    (a bug in the model, not in the modelled system)."""

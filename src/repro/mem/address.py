@@ -1,0 +1,256 @@
+"""Physical address map of the simulated secure NVM.
+
+The NVM is carved into three regions, mirroring how secure-memory papers
+(including SCUE) lay out media:
+
+* ``DATA``     — user data lines (what the CPU reads/writes),
+* ``COUNTER``  — CME counter blocks, one 64 B block per 64 data lines;
+  these double as the *leaf nodes* of the SGX-style integrity tree,
+* ``TREE``     — intermediate SIT/BMT nodes, level by level bottom-up.
+
+All traffic is in 64-byte lines.  The :class:`AddressMap` owns the geometry
+and every translation used elsewhere: data line -> covering counter block,
+counter index within the block, tree (level, index) -> line address, and
+back.  Centralising this removes a whole class of off-by-one bugs between
+the schemes, recovery code and attack injection, all of which address the
+same media image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import AddressError, ConfigError
+
+CACHE_LINE_SIZE = 64
+#: Data lines covered by one CME counter block (64 minor counters).
+LINES_PER_COUNTER_BLOCK = 64
+#: Default fan-out of the SGX-style integrity tree (8 counters per node).
+TREE_ARITY = 8
+#: Tree-node counter widths that pack exactly into a 64 B line alongside
+#: the 64-bit HMAC, per arity (VAULT-style wider nodes trade counter
+#: width for fan-out: arity x bits + 64 == 512).
+COUNTER_BITS_FOR_ARITY = {8: 56, 16: 28, 32: 14}
+
+
+class Region(Enum):
+    """Which media region a line address belongs to."""
+
+    DATA = "data"
+    COUNTER = "counter"
+    TREE = "tree"
+
+
+@dataclass(frozen=True)
+class AddressMap:
+    """Geometry of the simulated NVM and all address translations.
+
+    Parameters
+    ----------
+    data_capacity:
+        Bytes of user-data space.  Must be a multiple of
+        ``CACHE_LINE_SIZE * LINES_PER_COUNTER_BLOCK`` so that every counter
+        block is fully populated.
+    tree_levels:
+        Optional override of the integrity-tree height (number of levels
+        *excluding* the on-chip root, counting the counter-block leaf level
+        as level 0).  By default the minimum height that lets a single
+        on-chip root node (``arity`` counters) cover all leaves is used.
+        The paper's Table II uses a 9-level tree; pass ``tree_levels=9``
+        with a matching capacity to replicate it.
+    arity:
+        Tree fan-out (counters per node).  8 is the paper's SIT; 16/32
+        model VAULT/MorphCtr-style wide nodes (narrower counters, shorter
+        trees — §VII).
+    """
+
+    data_capacity: int
+    tree_levels: int | None = None
+    arity: int = TREE_ARITY
+
+    def __post_init__(self) -> None:
+        if self.arity not in COUNTER_BITS_FOR_ARITY:
+            raise ConfigError(
+                f"unsupported tree arity {self.arity}; choose from "
+                f"{sorted(COUNTER_BITS_FOR_ARITY)}")
+        block_bytes = CACHE_LINE_SIZE * LINES_PER_COUNTER_BLOCK
+        if self.data_capacity <= 0 or self.data_capacity % block_bytes:
+            raise ConfigError(
+                "data_capacity must be a positive multiple of "
+                f"{block_bytes} bytes, got {self.data_capacity}")
+        needed = self._min_levels(self.num_counter_blocks)
+        if self.tree_levels is None:
+            object.__setattr__(self, "tree_levels", needed)
+        elif self.tree_levels < needed:
+            raise ConfigError(
+                f"tree_levels={self.tree_levels} too small: "
+                f"{self.num_counter_blocks} leaves need >= {needed} levels")
+
+    @property
+    def counter_bits(self) -> int:
+        """Width of a tree-node counter for this arity (64 B layout)."""
+        return COUNTER_BITS_FOR_ARITY[self.arity]
+
+    def _min_levels(self, leaves: int) -> int:
+        """Minimum levels (leaf level included) so the root's counters
+        cover all leaves, i.e. arity**levels >= leaves."""
+        levels = 1
+        cover = self.arity
+        while cover < leaves:
+            cover *= self.arity
+            levels += 1
+        return levels
+
+    # ------------------------------------------------------------------
+    # Basic geometry
+    # ------------------------------------------------------------------
+    @property
+    def num_data_lines(self) -> int:
+        return self.data_capacity // CACHE_LINE_SIZE
+
+    @property
+    def num_counter_blocks(self) -> int:
+        return self.num_data_lines // LINES_PER_COUNTER_BLOCK
+
+    def level_width(self, level: int) -> int:
+        """Number of nodes at tree ``level`` (level 0 = counter blocks).
+
+        The root (level ``tree_levels``) is on-chip and has width 1; it is
+        still addressable through this method for recovery arithmetic.
+        """
+        if level < 0 or level > self.tree_levels:
+            raise AddressError(f"level {level} out of range "
+                               f"[0, {self.tree_levels}]")
+        if level == self.tree_levels:
+            return 1
+        width = self.num_counter_blocks
+        for _ in range(level):
+            width = -(-width // self.arity)  # ceil division
+        return width
+
+    @property
+    def num_tree_nodes(self) -> int:
+        """Total *in-memory* tree nodes: levels 1 .. tree_levels-1 (level 0
+        is the counter region; the root never touches media)."""
+        return sum(self.level_width(lv) for lv in range(1, self.tree_levels))
+
+    # ------------------------------------------------------------------
+    # Region base addresses (line-granularity, bytes)
+    # ------------------------------------------------------------------
+    @property
+    def counter_base(self) -> int:
+        return self.data_capacity
+
+    @property
+    def tree_base(self) -> int:
+        return self.counter_base + self.num_counter_blocks * CACHE_LINE_SIZE
+
+    @property
+    def total_capacity(self) -> int:
+        return self.tree_base + self.num_tree_nodes * CACHE_LINE_SIZE
+
+    # ------------------------------------------------------------------
+    # Classification and translation
+    # ------------------------------------------------------------------
+    def line_of(self, addr: int) -> int:
+        """Line-align a byte address."""
+        return addr & ~(CACHE_LINE_SIZE - 1)
+
+    def region_of(self, addr: int) -> Region:
+        """Classify a byte address into its media region."""
+        if 0 <= addr < self.counter_base:
+            return Region.DATA
+        if addr < self.tree_base:
+            return Region.COUNTER
+        if addr < self.total_capacity:
+            return Region.TREE
+        raise AddressError(f"address {addr:#x} beyond media "
+                           f"({self.total_capacity:#x})")
+
+    def data_line_index(self, addr: int) -> int:
+        """Index of the data line containing byte address ``addr``."""
+        if self.region_of(addr) is not Region.DATA:
+            raise AddressError(f"{addr:#x} is not a data address")
+        return addr // CACHE_LINE_SIZE
+
+    def counter_block_of_data(self, addr: int) -> int:
+        """Index of the counter block covering data byte address ``addr``."""
+        return self.data_line_index(addr) // LINES_PER_COUNTER_BLOCK
+
+    def minor_slot_of_data(self, addr: int) -> int:
+        """Minor-counter slot (0..63) for data byte address ``addr``."""
+        return self.data_line_index(addr) % LINES_PER_COUNTER_BLOCK
+
+    def counter_block_addr(self, block_index: int) -> int:
+        """Media line address of counter block ``block_index``."""
+        if not 0 <= block_index < self.num_counter_blocks:
+            raise AddressError(f"counter block {block_index} out of range")
+        return self.counter_base + block_index * CACHE_LINE_SIZE
+
+    def counter_block_index(self, addr: int) -> int:
+        """Inverse of :func:`counter_block_addr`."""
+        if self.region_of(addr) is not Region.COUNTER:
+            raise AddressError(f"{addr:#x} is not a counter-block address")
+        return (addr - self.counter_base) // CACHE_LINE_SIZE
+
+    def tree_node_addr(self, level: int, index: int) -> int:
+        """Media line address of tree node ``(level, index)``.
+
+        Level 0 maps into the counter region (leaves *are* counter blocks);
+        the root has no media address and raises."""
+        if level == 0:
+            return self.counter_block_addr(index)
+        if level >= self.tree_levels:
+            raise AddressError("the root is on-chip and has no media address")
+        if not 0 <= index < self.level_width(level):
+            raise AddressError(
+                f"node index {index} out of range at level {level}")
+        offset = sum(self.level_width(lv) for lv in range(1, level))
+        return self.tree_base + (offset + index) * CACHE_LINE_SIZE
+
+    def tree_node_coords(self, addr: int) -> tuple[int, int]:
+        """Inverse of :func:`tree_node_addr` for counter/tree addresses."""
+        region = self.region_of(addr)
+        if region is Region.COUNTER:
+            return 0, self.counter_block_index(addr)
+        if region is not Region.TREE:
+            raise AddressError(f"{addr:#x} is not a metadata address")
+        slot = (addr - self.tree_base) // CACHE_LINE_SIZE
+        for level in range(1, self.tree_levels):
+            width = self.level_width(level)
+            if slot < width:
+                return level, slot
+            slot -= width
+        raise AddressError(f"{addr:#x} beyond tree region")
+
+    def parent_coords(self, level: int, index: int) -> tuple[int, int]:
+        """Coordinates of the parent of node ``(level, index)``; the parent
+        of a level ``tree_levels - 1`` node is the on-chip root."""
+        if level >= self.tree_levels:
+            raise AddressError("the root has no parent")
+        return level + 1, index // self.arity
+
+    def parent_slot(self, index: int) -> int:
+        """Which of the parent's ``arity`` counters covers child
+        ``index``."""
+        return index % self.arity
+
+    def child_coords(self, level: int, index: int) -> list[tuple[int, int]]:
+        """Coordinates of the (up to 8) children of node ``(level, index)``
+        that actually exist given the leaf count."""
+        if level <= 0:
+            raise AddressError("counter blocks have no metadata children")
+        lo = index * self.arity
+        hi = min(lo + self.arity, self.level_width(level - 1))
+        return [(level - 1, i) for i in range(lo, hi)]
+
+    def branch_coords(self, block_index: int) -> list[tuple[int, int]]:
+        """Coordinates of every in-memory node on the branch from counter
+        block ``block_index`` up to (excluding) the root, leaf first."""
+        coords: list[tuple[int, int]] = [(0, block_index)]
+        level, index = 0, block_index
+        while level + 1 < self.tree_levels:
+            level, index = self.parent_coords(level, index)
+            coords.append((level, index))
+        return coords

@@ -1,0 +1,98 @@
+"""PCM timing model (Table II of the paper).
+
+The paper models a DDR-based PCM main memory with
+``tRCD/tCL/tCWD/tFAW/tWTR/tWR = 48/15/13/50/7.5/300 ns`` on a 2 GHz CPU.
+We translate those DDR-protocol parameters into the two quantities the
+trace-driven simulator needs:
+
+* **read latency** — time from issuing a read to data back at the
+  controller: a row activate (tRCD) plus CAS (tCL), i.e. 63 ns (126 cycles
+  at 2 GHz).  Row-buffer hits skip the activate.
+* **write service time** — time one write occupies the bank when drained
+  from the write pending queue: write CAS delay (tCWD) plus the PCM write
+  recovery time (tWR), i.e. 313 ns — writes are what make PCM slow, which is
+  why every extra metadata persist hurts.
+
+tFAW and tWTR shape bank-level parallelism in a full DDR model; our
+single-queue drain model folds them into an effective drain bandwidth via
+``banks`` (writes drain ``banks``-wide).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class PCMTiming:
+    """Raw DDR-protocol parameters, in nanoseconds (Table II defaults)."""
+
+    t_rcd: float = 48.0
+    t_cl: float = 15.0
+    t_cwd: float = 13.0
+    t_faw: float = 50.0
+    t_wtr: float = 7.5
+    t_wr: float = 300.0
+
+    def __post_init__(self) -> None:
+        for name in ("t_rcd", "t_cl", "t_cwd", "t_faw", "t_wtr", "t_wr"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be non-negative")
+
+    @property
+    def read_ns(self) -> float:
+        """Array read latency: row activate + CAS."""
+        return self.t_rcd + self.t_cl
+
+    @property
+    def row_hit_read_ns(self) -> float:
+        """Read latency on a row-buffer hit: CAS only."""
+        return self.t_cl
+
+    @property
+    def write_ns(self) -> float:
+        """Bank occupancy of one drained write: CAS write delay + write
+        recovery (the dominant PCM cost)."""
+        return self.t_cwd + self.t_wr
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Converts PCM nanosecond parameters to CPU cycles and exposes the
+    per-event costs used throughout the simulator."""
+
+    pcm: PCMTiming = PCMTiming()
+    cpu_ghz: float = 2.0
+    banks: int = 8
+
+    def __post_init__(self) -> None:
+        if self.cpu_ghz <= 0:
+            raise ConfigError("cpu_ghz must be positive")
+        if self.banks <= 0:
+            raise ConfigError("banks must be positive")
+
+    def ns_to_cycles(self, ns: float) -> int:
+        """Convert nanoseconds to (rounded-up) CPU cycles."""
+        return int(-(-ns * self.cpu_ghz // 1))
+
+    @property
+    def read_cycles(self) -> int:
+        """CPU cycles for an NVM array read (row miss)."""
+        return self.ns_to_cycles(self.pcm.read_ns)
+
+    @property
+    def row_hit_read_cycles(self) -> int:
+        return self.ns_to_cycles(self.pcm.row_hit_read_ns)
+
+    @property
+    def write_service_cycles(self) -> int:
+        """CPU cycles one write occupies a bank."""
+        return self.ns_to_cycles(self.pcm.write_ns)
+
+    @property
+    def write_drain_cycles(self) -> int:
+        """Effective cycles between WPQ drains with ``banks``-way
+        parallelism (the steady-state write bandwidth of the device)."""
+        return max(1, self.write_service_cycles // self.banks)

@@ -1,0 +1,98 @@
+"""Memory-access trace records.
+
+Workloads (persistent data structures, SPEC-like generators) produce a
+stream of :class:`MemoryAccess` records; the system simulator consumes
+them.  A record models one memory *instruction*: loads, stores, and
+persistent stores (a store followed by a cacheline flush + fence, the
+``clwb``/``sfence`` idiom of persistent-memory code).  ``gap`` carries the
+number of non-memory instructions executed since the previous record, so a
+trace fully determines the instruction stream without storing every ALU op.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class AccessType(Enum):
+    """Kind of memory instruction."""
+
+    READ = "read"
+    WRITE = "write"          # plain store (persists on cache eviction)
+    PERSIST = "persist"      # store + clwb + sfence (forced to NVM now)
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """One memory instruction in a workload trace.
+
+    Attributes
+    ----------
+    kind:      load / store / persistent store.
+    addr:      byte address in the user-data region.
+    gap:       non-memory instructions since the previous access (CPI-1
+               work the core does between memory ops).
+    data:      optional payload for functional simulation; ``None`` means
+               "don't care", and the system synthesises a deterministic
+               pattern so integrity checks still exercise real bytes.
+    """
+
+    kind: AccessType
+    addr: int
+    gap: int = 1
+    data: bytes | None = None
+
+
+@dataclass
+class TraceStats:
+    """Aggregate shape of a trace — used by tests and by benchmark
+    reporting to sanity-check generated workloads (e.g. the paper's ~50%
+    memory-instruction share)."""
+
+    reads: int = 0
+    writes: int = 0
+    persists: int = 0
+    gap_instructions: int = 0
+    footprint: set[int] = field(default_factory=set)
+
+    @property
+    def memory_instructions(self) -> int:
+        return self.reads + self.writes + self.persists
+
+    @property
+    def total_instructions(self) -> int:
+        return self.memory_instructions + self.gap_instructions
+
+    @property
+    def memory_share(self) -> float:
+        total = self.total_instructions
+        return self.memory_instructions / total if total else 0.0
+
+    def observe(self, access: MemoryAccess) -> None:
+        if access.kind is AccessType.READ:
+            self.reads += 1
+        elif access.kind is AccessType.WRITE:
+            self.writes += 1
+        else:
+            self.persists += 1
+        self.gap_instructions += access.gap
+        self.footprint.add(access.addr & ~63)
+
+
+def collect_stats(trace: Iterable[MemoryAccess]) -> TraceStats:
+    """Run through a trace accumulating :class:`TraceStats`."""
+    stats = TraceStats()
+    for access in trace:
+        stats.observe(access)
+    return stats
+
+
+def tee_stats(trace: Iterable[MemoryAccess],
+              stats: TraceStats) -> Iterator[MemoryAccess]:
+    """Yield the trace unchanged while accumulating ``stats`` — lets the
+    driver both run and characterise a single-pass generator."""
+    for access in trace:
+        stats.observe(access)
+        yield access

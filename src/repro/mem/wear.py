@@ -1,0 +1,147 @@
+"""NVM wear tracking and Start-Gap wear levelling.
+
+The paper motivates SIT partly through endurance: PCM cells survive only
+10^7-10^12 writes (§II-D3), which is why 56-bit counters "never overflow
+within the lifetime of an NVM".  Write *distribution* matters just as
+much: a scheme that hammers the same metadata lines (PLP persists the
+whole branch — including the tree's top — on every write) wears its
+hottest line orders of magnitude faster than one that touches high levels
+only on eviction (SCUE).
+
+:class:`WearTracker` records per-line write counts and produces the
+hotspot statistics the endurance ablation reports.  :class:`StartGap`
+implements Qureshi et al.'s Start-Gap wear levelling (MICRO'09, the
+paper's [40]): one gap line rotates through the region, shifting the
+logical-to-physical mapping by one line every ``gap_interval`` writes, so
+a write hotspot is smeared across physical lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class WearReport:
+    """Summary of a region's write distribution."""
+
+    region: str
+    total_writes: int
+    lines_touched: int
+    max_writes: int
+    hottest_line: int
+    mean_writes: float
+
+    @property
+    def imbalance(self) -> float:
+        """Hottest line vs the mean — 1.0 is perfectly level."""
+        return self.max_writes / self.mean_writes if self.mean_writes \
+            else 0.0
+
+    def lifetime_fraction(self, endurance: float = 1e8) -> float:
+        """Fraction of cell endurance the hottest line has consumed."""
+        return self.max_writes / endurance
+
+
+class WearTracker:
+    """Per-line write counters over an address range."""
+
+    def __init__(self, name: str = "nvm") -> None:
+        self.name = name
+        self._writes: dict[int, int] = {}
+
+    def record(self, line_addr: int) -> None:
+        self._writes[line_addr] = self._writes.get(line_addr, 0) + 1
+
+    def writes_to(self, line_addr: int) -> int:
+        return self._writes.get(line_addr, 0)
+
+    def report(self, lo: int = 0, hi: int | None = None,
+               region: str = "all") -> WearReport:
+        """Distribution over lines in ``[lo, hi)``."""
+        counts = {addr: n for addr, n in self._writes.items()
+                  if addr >= lo and (hi is None or addr < hi)}
+        if not counts:
+            return WearReport(region, 0, 0, 0, lo, 0.0)
+        hottest = max(counts, key=counts.get)
+        total = sum(counts.values())
+        return WearReport(
+            region=region,
+            total_writes=total,
+            lines_touched=len(counts),
+            max_writes=counts[hottest],
+            hottest_line=hottest,
+            mean_writes=total / len(counts))
+
+    def top_lines(self, n: int = 10,
+                  lo: int = 0, hi: int | None = None) -> list[tuple[int, int]]:
+        """The ``n`` most-written lines in the range, hottest first."""
+        counts = [(addr, c) for addr, c in self._writes.items()
+                  if addr >= lo and (hi is None or addr < hi)]
+        counts.sort(key=lambda item: item[1], reverse=True)
+        return counts[:n]
+
+
+class StartGap:
+    """Start-Gap wear levelling over a line region (Qureshi et al.).
+
+    The region holds ``lines`` logical lines in ``lines + 1`` physical
+    slots; one slot is the *gap*.  Every ``gap_interval`` writes the gap
+    swallows its neighbour (one line copy) and moves down one slot; when
+    it has traversed the whole region, ``start`` advances by one.  The
+    resulting mapping is ``physical = (logical + start) % (lines + 1)``,
+    adjusted around the gap — so a fixed logical hotspot drifts across all
+    physical slots over time.
+    """
+
+    def __init__(self, lines: int, gap_interval: int = 100) -> None:
+        if lines <= 0:
+            raise ConfigError("Start-Gap needs a positive region size")
+        if gap_interval <= 0:
+            raise ConfigError("gap_interval must be positive")
+        self.lines = lines
+        self.gap_interval = gap_interval
+        self.start = 0
+        self.gap = lines           # gap begins in the spare slot
+        self._writes_since_move = 0
+        self.gap_moves = 0
+        self.extra_writes = 0      # line copies performed by gap moves
+
+    def translate(self, logical: int) -> int:
+        """Logical line index -> physical slot index (the original
+        paper's mapping: rotate by ``start`` over N slots, then skip the
+        gap).  Always lands in ``[0, lines]`` and never on the gap."""
+        if not 0 <= logical < self.lines:
+            raise ConfigError(f"logical line {logical} out of range")
+        physical = (logical + self.start) % self.lines
+        if physical >= self.gap:
+            physical += 1
+        return physical
+
+    def on_write(self) -> bool:
+        """Account one write to the region; returns True when the gap
+        moved (costing one extra line copy)."""
+        self._writes_since_move += 1
+        if self._writes_since_move < self.gap_interval:
+            return False
+        self._writes_since_move = 0
+        self.gap_moves += 1
+        self.extra_writes += 1
+        if self.gap == 0:
+            self.gap = self.lines
+            self.start = (self.start + 1) % self.lines
+        else:
+            self.gap -= 1
+        return True
+
+    def physical_spread(self, logical: int, writes: int) -> set[int]:
+        """Simulate ``writes`` consecutive writes to one logical line and
+        return the distinct physical slots they land in (analysis helper
+        for the endurance ablation)."""
+        touched: set[int] = set()
+        for _ in range(writes):
+            touched.add(self.translate(logical))
+            self.on_write()
+        return touched

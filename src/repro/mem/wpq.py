@@ -1,0 +1,138 @@
+"""The memory controller's write pending queue (WPQ).
+
+Table II: 64 entries with tags for user data, 10 entries without tags for
+security metadata.  The WPQ sits inside the ADR persistence domain — on a
+crash, entries already accepted into the WPQ are flushed to media (Intel
+ADR semantics, §I) — so "accepted into the WPQ" is the simulator's
+definition of *persisted* for user data and metadata alike.
+
+Timing-wise the WPQ decouples CPU-visible write latency from the slow PCM
+write: a write completes when it gets a free entry.  Back-pressure (a full
+queue) is the mechanism by which schemes that generate extra metadata
+traffic slow execution down, so drain modelling matters: the queue drains
+one entry per ``drain_cycles`` of simulated time, driven by
+:meth:`advance_to`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.util.stats import StatGroup
+
+
+@dataclass
+class WPQEntry:
+    """One queued write: target line and the cycle it entered the queue."""
+
+    line_addr: int
+    enqueued_at: int
+    is_metadata: bool = False
+
+
+class WritePendingQueue:
+    """Fixed-capacity write queue with time-driven drain.
+
+    The queue holds both user-data writes (``data_entries`` slots) and
+    security-metadata writes (``metadata_entries`` slots), matching the
+    split in Table II.  :meth:`enqueue` returns the number of *stall
+    cycles* the producer must wait for a slot — zero when the queue has
+    room.
+    """
+
+    def __init__(self, data_entries: int = 64, metadata_entries: int = 10,
+                 drain_cycles: int = 39,
+                 stats: StatGroup | None = None) -> None:
+        if data_entries <= 0 or metadata_entries <= 0:
+            raise ConfigError("WPQ sizes must be positive")
+        if drain_cycles <= 0:
+            raise ConfigError("drain_cycles must be positive")
+        self.data_capacity = data_entries
+        self.metadata_capacity = metadata_entries
+        self.drain_cycles = drain_cycles
+        self._data: deque[WPQEntry] = deque()
+        self._metadata: deque[WPQEntry] = deque()
+        self._next_drain_at = 0
+        self._now = 0
+        group = stats or StatGroup("wpq")
+        self.stats = group
+        self._enqueued = group.counter("enqueued")
+        self._meta_enqueued = group.counter("metadata_enqueued")
+        self._drained = group.counter("drained")
+        self._stall = group.counter("stall_cycles")
+        self._full_events = group.counter("full_events")
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        return self._now
+
+    def occupancy(self, metadata: bool = False) -> int:
+        return len(self._metadata) if metadata else len(self._data)
+
+    def advance_to(self, cycle: int) -> None:
+        """Move simulated time forward, draining entries the device had
+        bandwidth for.  Metadata and data share the drain port; metadata is
+        drained preferentially (it is a small queue that must not clog)."""
+        if cycle < self._now:
+            return
+        self._now = cycle
+        while (self._data or self._metadata) \
+                and self._next_drain_at <= self._now:
+            self._pop_one()
+            self._next_drain_at += self.drain_cycles
+        if not self._data and not self._metadata:
+            # Idle queue: next drain can start as soon as work arrives.
+            self._next_drain_at = max(self._next_drain_at, self._now)
+
+    def _pop_one(self) -> WPQEntry:
+        entry = (self._metadata.popleft() if self._metadata
+                 else self._data.popleft())
+        self._drained.add()
+        return entry
+
+    def enqueue(self, line_addr: int, cycle: int,
+                metadata: bool = False) -> int:
+        """Accept a write at ``cycle``; returns producer stall cycles.
+
+        If the relevant partition is full, time advances (draining) until a
+        slot frees up, and the wait is returned as the stall.
+        """
+        self.advance_to(cycle)
+        queue = self._metadata if metadata else self._data
+        capacity = self.metadata_capacity if metadata else self.data_capacity
+        stall = 0
+        if len(queue) >= capacity:
+            self._full_events.add()
+            # Wait for enough drains to free a slot in this partition.
+            while len(queue) >= capacity:
+                wait_until = max(self._next_drain_at, self._now + 1)
+                stall += wait_until - self._now
+                self.advance_to(wait_until)
+        if not self._data and not self._metadata:
+            # Queue going busy: the first drain completes one service
+            # time from now, not instantaneously.
+            self._next_drain_at = self._now + self.drain_cycles
+        queue.append(WPQEntry(line_addr, self._now, metadata))
+        if metadata:
+            self._meta_enqueued.add()
+        else:
+            self._enqueued.add()
+        if stall:
+            self._stall.add(stall)
+        return stall
+
+    def flush(self) -> list[WPQEntry]:
+        """Drain everything immediately (ADR flush-on-crash; also used at
+        clean shutdown).  Returns the flushed entries in drain order."""
+        flushed: list[WPQEntry] = []
+        while self._metadata:
+            flushed.append(self._metadata.popleft())
+        while self._data:
+            flushed.append(self._data.popleft())
+        return flushed
+
+    def __len__(self) -> int:
+        return len(self._data) + len(self._metadata)

@@ -1,0 +1,74 @@
+"""Secure memory controllers — one per evaluated update scheme (§V-A).
+
+Use :func:`make_controller` (or :data:`SCHEMES`) to instantiate by name:
+
+========== ============================================== ===============
+name       scheme                                          root consistent
+========== ============================================== ===============
+baseline   CME only, no integrity                          n/a
+lazy       update parent on persist, root trails           no
+eager      propagate to root, 40-cycle crash window        no
+plp        atomic whole-branch persist (PLP-on-SIT)        yes
+bmf-ideal  persistent roots in unbounded nvMC              yes
+scue       shortcut root update + counter-summing (ours)   yes
+========== ============================================== ===============
+"""
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigError
+from repro.secure.base import (
+    ReadOutcome,
+    RecoveryReport,
+    SecureMemoryController,
+    WriteOutcome,
+)
+from repro.secure.baseline import BaselineController
+from repro.secure.bmf import BMFIdealController
+from repro.secure.bmt_eager import BMTEagerController
+from repro.secure.eager import EagerController
+from repro.secure.lazy import LazyController
+from repro.secure.plp import PLPController
+from repro.secure.roots import RootRegister
+from repro.secure.scue import SCUEController
+
+if TYPE_CHECKING:  # avoid the secure <-> sim layering cycle at runtime
+    from repro.sim.config import SystemConfig
+
+SCHEMES: dict[str, type[SecureMemoryController]] = {
+    BaselineController.name: BaselineController,
+    LazyController.name: LazyController,
+    EagerController.name: EagerController,
+    PLPController.name: PLPController,
+    BMFIdealController.name: BMFIdealController,
+    SCUEController.name: SCUEController,
+    BMTEagerController.name: BMTEagerController,
+}
+
+
+def make_controller(config: "SystemConfig") -> SecureMemoryController:
+    """Build the controller named by ``config.scheme``."""
+    try:
+        cls = SCHEMES[config.scheme]
+    except KeyError:
+        raise ConfigError(
+            f"unknown scheme {config.scheme!r}; "
+            f"choose from {sorted(SCHEMES)}") from None
+    return cls(config)
+
+
+__all__ = [
+    "SCHEMES",
+    "make_controller",
+    "SecureMemoryController",
+    "BaselineController",
+    "LazyController",
+    "EagerController",
+    "PLPController",
+    "BMFIdealController",
+    "SCUEController",
+    "RootRegister",
+    "ReadOutcome",
+    "WriteOutcome",
+    "RecoveryReport",
+]

@@ -1,0 +1,155 @@
+"""The eager update scheme (paper §II-D4, Fig 6b).
+
+Every leaf persist propagates counter bumps through the whole branch — in
+cache — and schedules the root-register update.  SIT lets all branch HMACs
+be recomputed in one parallel hash burst, so the propagation costs one
+hash latency plus whatever ancestor fetches miss the metadata cache.
+
+The catch (§III-B): the root update *completes* only after the branch has
+been fetched and hashed — the **crash window**.  In-flight updates are
+tracked in :attr:`_pending_root` with their completion cycles; a crash
+discards whatever has not completed, leaving the non-volatile register
+behind the persisted leaves.  Recovery then reconstructs a root the
+register has never held and fails, even though nobody attacked anything.
+Eager is *architecturally* consistent while running: verification reads
+the effective root (register + in-flight deltas).
+"""
+
+from __future__ import annotations
+
+from repro.cme.counters import CounterBlock
+from repro.crash.recovery import counter_summing_reconstruction
+from repro.secure.base import (
+    ReadOutcome,
+    RecoveryReport,
+    SecureMemoryController,
+    WriteOutcome,
+)
+from repro.tree.node import SITNode
+from repro.tree.store import TreeNode
+
+
+class EagerController(SecureMemoryController):
+    """Eager propagation with an explicit crash window."""
+
+    name = "eager"
+    crash_consistent_root = False
+
+    def __init__(self, config) -> None:
+        super().__init__(config)
+        #: In-flight root updates: [completion_cycle | None, slot, delta].
+        #: ``None`` marks an update whose window is scheduled when the
+        #: enclosing write completes (the pipeline starts at data
+        #: acceptance, so the window extends past the operation's end).
+        self._pending_root: list[list] = []
+        self._window_extra = 0
+        self._window_losses = self.stats.counter("window_lost_updates")
+
+    # ------------------------------------------------------------------
+    # Effective root: register + in-flight updates (runtime trust base)
+    # ------------------------------------------------------------------
+    def _root_counter(self, top_index: int) -> int:
+        slot = top_index % self.amap.arity
+        effective = self.running_root.counter(slot)
+        pending = sum(delta for _, s, delta in self._pending_root
+                      if s == slot)
+        return (effective + pending) \
+            & ((1 << self.amap.counter_bits) - 1)
+
+    def _apply_due(self, cycle: int) -> None:
+        """Land root updates whose crash window has closed."""
+        if self._crashing:
+            return
+        still_pending = []
+        for entry in self._pending_root:
+            complete_at, slot, delta = entry
+            if complete_at is not None and complete_at <= cycle:
+                self.running_root.add(slot, delta)
+            else:
+                still_pending.append(entry)
+        self._pending_root = still_pending
+
+    def write_data(self, addr: int, data: bytes | None, cycle: int,
+                   persist: bool = True) -> WriteOutcome:
+        self._apply_due(cycle)
+        outcome = super().write_data(addr, data, cycle, persist)
+        # Schedule the update(s) this write put in flight: the propagation
+        # pipeline runs after the data is accepted, so the window closes
+        # one branch-fetch + hash-burst past the operation's end.
+        for entry in self._pending_root:
+            if entry[0] is None:
+                entry[0] = cycle + outcome.cpu_stall + self._window_extra
+        return outcome
+
+    def read_data(self, addr: int, cycle: int) -> ReadOutcome:
+        self._apply_due(cycle)
+        return super().read_data(addr, cycle)
+
+    def tick(self, cycle: int) -> None:
+        self._apply_due(cycle)
+        super().tick(cycle)
+
+    # ------------------------------------------------------------------
+    def _on_leaf_persist(self, leaf: CounterBlock, leaf_index: int,
+                         dummy_delta: int, cycle: int) -> int:
+        fetch_latency = 0
+        current: TreeNode = leaf
+        level, index = 0, leaf_index
+        while level + 1 < self.amap.tree_levels:
+            plevel, pindex = self.amap.parent_coords(level, index)
+            parent, latency = self.fetch_node(plevel, pindex, charge=True)
+            fetch_latency += latency
+            assert isinstance(parent, SITNode)
+            slot = self.amap.parent_slot(index)
+            parent.bump_counter(slot, dummy_delta)
+            self._mark_dirty(parent)
+            current.seal(self.mac, self.store.node_addr(level, index),
+                         parent.counter(slot))
+            current, level, index = parent, plevel, pindex
+        # The root update trails the persist: its completion cycle is
+        # scheduled by :meth:`write_data` once the operation's end is
+        # known — the crash window of §III-B.  A crash right after the
+        # persist therefore always lands inside it.
+        slot = self.amap.parent_slot(index)
+        hash_latency = self.hash_engine.charge(
+            self.amap.tree_levels, parallel=self.parallel_hashing)
+        wpq_stall = self._persist_node(leaf, cycle) \
+            if self.config.leaf_write_through else 0
+        self._window_extra = fetch_latency + self.hash_engine.latency_cycles
+        self._pending_root.append([None, slot, dummy_delta])
+        current.seal(self.mac, self.store.node_addr(level, index),
+                     self._root_counter(index))
+        return fetch_latency + hash_latency + wpq_stall
+
+    def _flush_node(self, node: TreeNode, cycle: int) -> int:
+        # Eagerly maintained nodes always carry a current HMAC.
+        return self._persist_node(node, cycle)
+
+    # ------------------------------------------------------------------
+    def _on_crash(self) -> None:
+        self._window_losses.add(len(self._pending_root))
+        self._pending_root.clear()
+
+    @property
+    def in_window(self) -> bool:
+        """True while at least one root update is still in flight."""
+        return bool(self._pending_root)
+
+    def recover(self) -> RecoveryReport:
+        result = counter_summing_reconstruction(
+            self.store, self.amap, self.mac, self.running_root,
+            write_back=False)
+        success = result.clean
+        detail = ("eager root was consistent (crash landed outside the "
+                  "window)" if success else
+                  "crash landed inside the crash window: in-flight root "
+                  "updates were lost and the stored root does not match "
+                  "the reconstruction (Fig 5b)")
+        return RecoveryReport(
+            scheme=self.name, success=success,
+            root_matched=result.root_matched,
+            leaf_hmac_failures=result.leaf_hmac_failures,
+            metadata_reads=result.metadata_reads,
+            metadata_writes=result.metadata_writes,
+            recovery_seconds=result.recovery_seconds,
+            detail=detail)

@@ -1,0 +1,82 @@
+"""The lazy update scheme (paper §II-D4, Fig 6a).
+
+On a leaf persist, only the leaf's *parent* counter is bumped (for future
+verification of the persisted block); ancestors — including the root — are
+touched only when their own children are later flushed by the metadata
+cache.  The write critical path carries the parent fetch (with its
+verification chain) plus the two HMACs the paper charges there (the
+persisted block's and the parent's, §V-B).
+
+The root register therefore trails the leaves by however much dirty state
+sits in the metadata cache: after a crash, a counter-summing
+reconstruction produces a root the stored register has never seen, and
+recovery fails even without an attack — the root crash inconsistency
+problem this scheme exists to demonstrate (§III-B).
+"""
+
+from __future__ import annotations
+
+from repro.cme.counters import CounterBlock
+from repro.crash.recovery import counter_summing_reconstruction
+from repro.secure.base import RecoveryReport, SecureMemoryController
+from repro.tree.store import TreeNode
+
+
+class LazyController(SecureMemoryController):
+    """Lazy root updates: fast-ish writes, unrecoverable after crashes."""
+
+    name = "lazy"
+    crash_consistent_root = False
+
+    def _on_leaf_persist(self, leaf: CounterBlock, leaf_index: int,
+                         dummy_delta: int, cycle: int) -> int:
+        if not self.config.leaf_write_through:
+            return 0
+        parent_counter, fetch_latency = self._bump_parent(
+            0, leaf_index, 1, cycle, charge=True)
+        addr = self.amap.counter_block_addr(leaf_index)
+        leaf.seal(self.mac, addr, parent_counter)
+        # Leaf HMAC + parent HMAC on the critical path (§V-B).  The lazy
+        # scheme's BMT-heritage pipeline serialises them (verify parent,
+        # bump, then re-MAC) — streamlining this chain is precisely what
+        # PLP contributed and what SCUE's dummy counter sidesteps.
+        hash_latency = self.hash_engine.charge(2, parallel=False)
+        wpq_stall = self._persist_node(leaf, cycle)
+        return fetch_latency + hash_latency + wpq_stall
+
+    def _flush_node(self, node: TreeNode, cycle: int) -> int:
+        """Evicting a dirty node needs its parent *now* — read (and
+        verify) the ancestor chain, bump the parent, seal, persist.  The
+        *reads* are the flush cost SCUE's dummy counter eliminates
+        (§IV-A2); the sealing hashes pipeline with the writeback from the
+        eviction buffer."""
+        level, index = self.store.coords_of(node)
+        parent_counter, fetch_latency = self._bump_parent(
+            level, index, 1, cycle, charge=True)
+        addr = self.store.node_addr(level, index)
+        node.seal(self.mac, addr, parent_counter)
+        self.hash_engine.charge(2, parallel=False)
+        wpq_stall = self._persist_node(node, cycle)
+        return fetch_latency + wpq_stall
+
+    # ------------------------------------------------------------------
+    def recover(self) -> RecoveryReport:
+        """Attempt the reconstruct-and-compare recovery of Fig 5: the
+        stored root lags the persisted leaves, so the comparison fails —
+        a *false* attack report after an ordinary crash (§III-B)."""
+        result = counter_summing_reconstruction(
+            self.store, self.amap, self.mac, self.running_root,
+            write_back=False)
+        success = result.clean
+        detail = ("lazy root happened to be consistent (no dirty metadata "
+                  "at crash)" if success else
+                  "root crash inconsistency: stored root does not match "
+                  "the tree reconstructed from persisted leaf nodes")
+        return RecoveryReport(
+            scheme=self.name, success=success,
+            root_matched=result.root_matched,
+            leaf_hmac_failures=result.leaf_hmac_failures,
+            metadata_reads=result.metadata_reads,
+            metadata_writes=result.metadata_writes,
+            recovery_seconds=result.recovery_seconds,
+            detail=detail)

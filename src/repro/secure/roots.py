@@ -1,0 +1,86 @@
+"""On-chip non-volatile root registers.
+
+The root of the SIT is ``arity`` counters living in a non-volatile
+register inside the trusted chip (paper §III-A): it survives crashes and
+cannot be tampered with.  SCUE keeps **two** such registers (§IV-A2):
+
+* ``Running_root`` — updated lazily (when a top-level tree node is flushed)
+  and used to verify top-level node fetches during normal operation;
+* ``Recovery_root`` — updated *instantaneously* on every leaf persist by
+  the shortcut path, and compared against the counter-summing
+  reconstruction after a reboot.
+
+Other schemes use a single register.  Counter width follows the tree
+layout (56-bit for the paper's 8-ary SIT; narrower for VAULT-style wide
+nodes) so root arithmetic and counter-summing stay in the same modular
+ring.  Crash simulation never clears these objects — that is the whole
+point of them being non-volatile registers — but
+:meth:`snapshot`/:meth:`restore` let tests explore hypotheticals.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.mem.address import COUNTER_BITS_FOR_ARITY, TREE_ARITY
+
+ROOT_REGISTER_BYTES = 64
+
+
+class RootRegister:
+    """``slots`` counters in trusted non-volatile on-chip storage."""
+
+    def __init__(self, name: str, slots: int = TREE_ARITY,
+                 counter_bits: int = COUNTER_BITS_FOR_ARITY[TREE_ARITY]
+                 ) -> None:
+        if slots <= 0:
+            raise ConfigError("root register needs at least one slot")
+        if counter_bits <= 0:
+            raise ConfigError("counter width must be positive")
+        self.name = name
+        self.slots = slots
+        self.counter_bits = counter_bits
+        self._mask = (1 << counter_bits) - 1
+        self._counters = [0] * slots
+
+    @property
+    def counters(self) -> list[int]:
+        """A defensive copy of the counter values."""
+        return list(self._counters)
+
+    def counter(self, slot: int) -> int:
+        self._check(slot)
+        return self._counters[slot]
+
+    def add(self, slot: int, delta: int = 1) -> None:
+        """The shortcut update: bump one counter by ``delta`` (modular, so
+        overflow re-encryption deltas compose exactly)."""
+        self._check(slot)
+        self._counters[slot] = (self._counters[slot] + delta) & self._mask
+
+    def set(self, slot: int, value: int) -> None:
+        """Overwrite one counter (Running_root := top-node dummy)."""
+        self._check(slot)
+        self._counters[slot] = value & self._mask
+
+    def matches(self, counters: list[int]) -> bool:
+        """Compare against externally reconstructed root counters."""
+        if len(counters) != self.slots:
+            raise ConfigError(
+                f"root comparison needs {self.slots} counters")
+        return all((c & self._mask) == r
+                   for c, r in zip(counters, self._counters))
+
+    def snapshot(self) -> list[int]:
+        return list(self._counters)
+
+    def restore(self, values: list[int]) -> None:
+        if len(values) != self.slots:
+            raise ConfigError(f"root restore needs {self.slots} counters")
+        self._counters = [v & self._mask for v in values]
+
+    def _check(self, slot: int) -> None:
+        if not 0 <= slot < self.slots:
+            raise ConfigError(f"root slot {slot} out of range")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RootRegister({self.name}, {self._counters})"

@@ -1,0 +1,22 @@
+"""System-level simulation: configuration (Table II), the in-order CPU
+timing model, the full system (CPU + caches + secure memory controller +
+NVM), and the experiment driver."""
+
+from repro.sim.config import SystemConfig
+from repro.sim.results import RunResult
+from repro.sim.system import System
+from repro.sim.driver import run_workload
+from repro.sim.multicore import MultiProgramSystem, partitioned_workloads
+from repro.sim.checkpoint import fork, load_checkpoint, save_checkpoint
+
+__all__ = [
+    "SystemConfig",
+    "RunResult",
+    "System",
+    "run_workload",
+    "MultiProgramSystem",
+    "partitioned_workloads",
+    "fork",
+    "load_checkpoint",
+    "save_checkpoint",
+]

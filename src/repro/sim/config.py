@@ -1,0 +1,103 @@
+"""System configuration — the simulator's rendition of the paper's
+Table II.
+
+Defaults follow the paper wherever the trace-driven model has a matching
+knob: 2 GHz CPU, the L1/L2/L3 geometry, the PCM latency tuple, a 64+10
+entry WPQ, a 256 KB 8-way metadata cache, an 8-ary SIT, and a 40-cycle
+hash latency (sweepable to 20/80/160 for the sensitivity study).
+
+The paper simulates 16 GB of PCM, giving a 9-level SIT.  Simulating 16 GB
+of *traffic* is pointless at trace scale; instead ``data_capacity``
+defaults to 64 MB while ``tree_levels`` can force the paper's 9-level tree
+geometry so branch lengths (the quantity that separates the schemes)
+match the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.errors import ConfigError
+from repro.mem.address import AddressMap
+from repro.mem.hierarchy import HierarchyConfig
+from repro.mem.timing import PCMTiming, TimingModel
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Everything needed to build a :class:`repro.sim.system.System`."""
+
+    scheme: str = "scue"
+    data_capacity: int = 64 * 1024 * 1024
+    tree_levels: int | None = None
+    #: Integrity-tree fan-out: 8 (the paper's SIT), or 16/32 for
+    #: VAULT/MorphCtr-style wide nodes with narrower counters (§VII).
+    tree_arity: int = 8
+    metadata_cache_size: int = 256 * 1024
+    metadata_cache_ways: int = 8
+    wpq_data_entries: int = 64
+    wpq_metadata_entries: int = 10
+    hash_latency: int = 40
+    pcm: PCMTiming = field(default_factory=PCMTiming)
+    cpu_ghz: float = 2.0
+    nvm_banks: int = 8
+    hierarchy: HierarchyConfig = field(default_factory=HierarchyConfig)
+    #: Persist the counter block together with the data on every data
+    #: persist (SuperMem-style write-through; the consistency premise SCUE
+    #: builds on — see DESIGN.md §4).
+    leaf_write_through: bool = True
+    #: eADR: flush dirty *cached* metadata (with stale HMACs — eADR cannot
+    #: hash) to NVM on crash, in addition to the always-on ADR WPQ flush.
+    eadr: bool = False
+    #: Fast-recovery tracker for SCUE: "none", "star" (bitmap lines),
+    #: "agit" (address-only shadow table) or "asit" (Anubis's original
+    #: content-journalling shadow table, the expensive comparison point).
+    recovery_tracker: str = "none"
+    #: Osiris-style relaxed counter persistence (SCUE only, §VII): 0
+    #: disables it; N > 0 forces a counter-block write-back every N
+    #: bumps and recovers the lost tail from data MACs after a crash.
+    #: Requires ``leaf_write_through=False``.
+    osiris_limit: int = 0
+    #: Keep plaintext shadow copies and verify reads against them
+    #: (functional checking for tests; off for benchmarks).
+    check_data: bool = False
+    #: Record per-line NVM write counts (endurance analysis).
+    track_wear: bool = False
+    mac_key: bytes = b"repro-tree-key"
+    cme_key: bytes = b"repro-cme-key"
+
+    def __post_init__(self) -> None:
+        if self.hash_latency <= 0:
+            raise ConfigError("hash_latency must be positive")
+        if self.recovery_tracker not in ("none", "star", "agit", "asit"):
+            raise ConfigError(
+                f"unknown recovery tracker {self.recovery_tracker!r}")
+        if self.osiris_limit < 0:
+            raise ConfigError("osiris_limit must be non-negative")
+        if self.osiris_limit and self.leaf_write_through:
+            raise ConfigError(
+                "osiris_limit relaxes counter persistence; set "
+                "leaf_write_through=False to enable it")
+
+    # ------------------------------------------------------------------
+    def address_map(self) -> AddressMap:
+        return AddressMap(self.data_capacity, self.tree_levels,
+                          self.tree_arity)
+
+    def timing_model(self) -> TimingModel:
+        return TimingModel(self.pcm, self.cpu_ghz, self.nvm_banks)
+
+    def with_(self, **changes: Any) -> "SystemConfig":
+        """A copy with the given fields replaced (sweep helper)."""
+        return replace(self, **changes)
+
+    @classmethod
+    def paper_table2(cls, scheme: str = "scue",
+                     **overrides: Any) -> "SystemConfig":
+        """The closest trace-scale match to the paper's Table II: a
+        9-level 8-ary SIT (as for 16 GB PCM) over a 256 MB simulated data
+        region, 256 KB metadata cache, 40-cycle hashes."""
+        config = cls(scheme=scheme, data_capacity=256 * 1024 * 1024,
+                     tree_levels=9)
+        return replace(config, **overrides) if overrides else config

@@ -1,0 +1,204 @@
+"""Multi-programmed simulation (Table II: 8 cores, private L1/L2, shared
+memory controller).
+
+The single-core :class:`~repro.sim.system.System` measures per-scheme
+costs in isolation; the paper's testbed runs one application per core with
+all cores sharing the secure memory controller — its metadata cache, WPQ
+and NVM bandwidth.  :class:`MultiProgramSystem` reproduces that sharing:
+
+* each core owns a private cache hierarchy and executes its own trace;
+* accesses from all cores are merged in global cycle order (an
+  event-driven interleave: always advance the core that is earliest in
+  simulated time);
+* the shared controller serialises metadata state, so cores contend for
+  metadata cache capacity and WPQ slots exactly as the paper's co-running
+  applications do.
+
+The shared L3 of Table II is approximated by each core's private
+hierarchy carrying an L3 slice (capacity / cores), the standard
+equal-partition approximation for homogeneous co-runs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.errors import AddressError, ConfigError
+from repro.mem.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.mem.trace import AccessType, MemoryAccess
+from repro.secure import make_controller
+from repro.sim.config import SystemConfig
+from repro.util.stats import StatGroup
+
+
+@dataclass
+class CoreResult:
+    """Per-core measurements from a multi-programmed run."""
+
+    core: int
+    workload: str
+    cycles: int
+    instructions: int
+    accesses: int
+    load_stall_cycles: int
+    persist_stall_cycles: int
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+class _Core:
+    """One in-order core: private caches + its position in its trace."""
+
+    def __init__(self, core_id: int, workload: str,
+                 trace: Iterator[MemoryAccess],
+                 hierarchy: CacheHierarchy) -> None:
+        self.core_id = core_id
+        self.workload = workload
+        self.trace = trace
+        self.hierarchy = hierarchy
+        self.cycle = 0
+        self.instructions = 0
+        self.accesses = 0
+        self.load_stalls = 0
+        self.persist_stalls = 0
+        self.done = False
+
+    def result(self) -> CoreResult:
+        return CoreResult(self.core_id, self.workload, self.cycle,
+                          self.instructions, self.accesses,
+                          self.load_stalls, self.persist_stalls)
+
+
+class MultiProgramSystem:
+    """N cores, one secure memory controller."""
+
+    def __init__(self, config: SystemConfig, cores: int = 8) -> None:
+        if cores <= 0:
+            raise ConfigError("need at least one core")
+        self.config = config
+        self.num_cores = cores
+        self.controller = make_controller(config)
+        self.stats = StatGroup("multicore")
+        base = config.hierarchy
+        # Private hierarchies with an equal L3 slice per core.
+        set_bytes = base.l3_ways * 64
+        l3_slice = max((base.l3_size // cores) // set_bytes * set_bytes,
+                       set_bytes)
+        slice_cfg = HierarchyConfig(
+            l1_size=base.l1_size, l1_ways=base.l1_ways,
+            l2_size=base.l2_size, l2_ways=base.l2_ways,
+            l3_size=l3_slice, l3_ways=base.l3_ways)
+        self._hierarchy_config = slice_cfg
+        self._cores: list[_Core] = []
+
+    # ------------------------------------------------------------------
+    def run(self, traces: dict[str, Iterable[MemoryAccess]]) -> None:
+        """Run one trace per core (``{workload_name: trace}``); the dict
+        must have at most ``num_cores`` entries."""
+        if len(traces) > self.num_cores:
+            raise ConfigError(
+                f"{len(traces)} traces for {self.num_cores} cores")
+        self._cores = [
+            _Core(i, name, iter(trace),
+                  CacheHierarchy(self._hierarchy_config,
+                                 self.stats.child(f"core{i}_caches")))
+            for i, (name, trace) in enumerate(traces.items())
+        ]
+        # Event-driven interleave: always step the earliest core.
+        ready: list[tuple[int, int]] = [(0, c.core_id) for c in self._cores]
+        heapq.heapify(ready)
+        while ready:
+            _, core_id = heapq.heappop(ready)
+            core = self._cores[core_id]
+            access = next(core.trace, None)
+            if access is None:
+                core.done = True
+                continue
+            self._execute(core, access)
+            heapq.heappush(ready, (core.cycle, core_id))
+
+    def _execute(self, core: _Core, access: MemoryAccess) -> None:
+        core.cycle += access.gap + 1
+        core.instructions += access.gap + 1
+        core.accesses += 1
+        line = self.controller.amap.line_of(access.addr)
+        if line >= self.config.data_capacity:
+            raise AddressError(
+                f"trace address {access.addr:#x} beyond the data region")
+        if access.kind is AccessType.READ:
+            result = core.hierarchy.load(line)
+            if result.miss_to_memory:
+                outcome = self.controller.read_data(line, core.cycle)
+                core.cycle += outcome.latency
+                core.load_stalls += outcome.latency
+        elif access.kind is AccessType.WRITE:
+            result = core.hierarchy.store(line)
+        else:
+            result = core.hierarchy.persist(line)
+            outcome = self.controller.write_data(line, access.data,
+                                                 core.cycle, persist=True)
+            core.cycle += outcome.cpu_stall
+            core.persist_stalls += outcome.cpu_stall
+        for writeback in result.writebacks:
+            if writeback < self.config.data_capacity:
+                self.controller.write_data(writeback, None, core.cycle,
+                                           persist=False)
+        self.controller.tick(core.cycle)
+
+    # ------------------------------------------------------------------
+    def results(self) -> list[CoreResult]:
+        return [core.result() for core in self._cores]
+
+    @property
+    def makespan(self) -> int:
+        """Cycles until the slowest core finished."""
+        return max((core.cycle for core in self._cores), default=0)
+
+    def crash(self) -> None:
+        self.controller.prepare_crash()
+        dirty = [line for core in self._cores
+                 for line in core.hierarchy.drop_all()]
+        if self.config.eadr:
+            for line in sorted(set(dirty)):
+                if line < self.config.data_capacity:
+                    self.controller.write_data(line, None, self.makespan,
+                                               persist=False)
+        self.controller.crash()
+
+    def recover(self):
+        return self.controller.recover()
+
+
+def offset_trace(trace: Iterable[MemoryAccess],
+                 base: int) -> Iterator[MemoryAccess]:
+    """Shift a trace's addresses by ``base`` (give each co-running
+    program its own slice of the physical address space, as a
+    multi-programmed run would)."""
+    for access in trace:
+        yield MemoryAccess(access.kind, access.addr + base,
+                           gap=access.gap, data=access.data)
+
+
+def partitioned_workloads(config: SystemConfig, names: list[str],
+                          operations: int, seed: int = 42
+                          ) -> dict[str, Iterator[MemoryAccess]]:
+    """Build one workload per name, each confined to an equal slice of
+    the data region (disjoint address spaces, multi-programmed style)."""
+    from repro.workloads import make_workload
+    if not names:
+        raise ConfigError("need at least one workload")
+    block = 64 * 64  # counter-block granularity keeps slices aligned
+    slice_bytes = (config.data_capacity // len(names)) // block * block
+    if slice_bytes <= 0:
+        raise ConfigError("data region too small to partition")
+    traces: dict[str, Iterator[MemoryAccess]] = {}
+    for i, name in enumerate(names):
+        workload = make_workload(name, slice_bytes, operations,
+                                 seed=seed + i)
+        traces[f"{name}#{i}"] = offset_trace(workload.trace(),
+                                             i * slice_bytes)
+    return traces

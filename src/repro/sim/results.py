@@ -1,0 +1,61 @@
+"""Run results: the measurements every benchmark reports.
+
+A :class:`RunResult` is a frozen snapshot of one simulation run.  The
+quantities mirror the paper's evaluation section: execution time (Fig 10/
+12), average write latency (Fig 9/11), and memory-access breakdowns
+(§V-E).  ``normalized_to`` produces the paper's Baseline-relative ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Measurements from one workload x scheme simulation."""
+
+    workload: str
+    scheme: str
+    cycles: int
+    instructions: int
+    loads: int
+    stores: int
+    persists: int
+    load_stall_cycles: int
+    persist_stall_cycles: int
+    avg_write_latency: float
+    avg_read_latency: float
+    nvm_data_reads: int
+    nvm_data_writes: int
+    nvm_meta_reads: int
+    nvm_meta_writes: int
+    hashes: int
+    stats: dict[str, float] = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def memory_accesses(self) -> int:
+        return (self.nvm_data_reads + self.nvm_data_writes
+                + self.nvm_meta_reads + self.nvm_meta_writes)
+
+    @property
+    def metadata_accesses(self) -> int:
+        return self.nvm_meta_reads + self.nvm_meta_writes
+
+    def write_latency_vs(self, baseline: "RunResult") -> float:
+        """Fig 9-style ratio: this scheme's mean write latency over the
+        baseline's, same workload."""
+        if baseline.avg_write_latency == 0:
+            return 0.0
+        return self.avg_write_latency / baseline.avg_write_latency
+
+    def execution_time_vs(self, baseline: "RunResult") -> float:
+        """Fig 10-style ratio: cycles over the baseline's cycles."""
+        if baseline.cycles == 0:
+            return 0.0
+        return self.cycles / baseline.cycles

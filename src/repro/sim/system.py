@@ -1,0 +1,141 @@
+"""The full simulated system: in-order CPU + cache hierarchy + secure
+memory controller + NVM (paper Table II).
+
+The CPU model is deliberately simple — the schemes being compared differ
+only in memory-controller behaviour, so a one-instruction-per-cycle core
+with blocking loads and persist fences captures every first-order effect
+the paper measures:
+
+* non-memory instructions retire at 1 IPC (the ``gap`` field of each
+  trace record);
+* loads that miss L1/L2/L3 stall the core for the controller's read
+  latency (array read overlapped with the counter-fetch chain);
+* plain stores never stall (store buffer) — their cost surfaces later as
+  LLC writebacks processed off the critical path;
+* persists (store + clwb + sfence) stall for the write's critical path —
+  the quantity the schemes fight over — plus any WPQ back-pressure.
+
+A :meth:`crash` power-fails the machine: CPU caches vanish (their dirty
+lines flushed first under eADR), the controller handles the ADR/eADR
+metadata semantics, and :meth:`recover` asks the scheme to re-establish
+integrity.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import AddressError
+from repro.mem.hierarchy import CacheHierarchy
+from repro.mem.trace import AccessType, MemoryAccess
+from repro.secure import make_controller
+from repro.secure.base import RecoveryReport
+from repro.sim.config import SystemConfig
+from repro.sim.results import RunResult
+from repro.util.stats import StatGroup
+
+
+class System:
+    """One simulated machine running one workload."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.controller = make_controller(config)
+        self.stats = StatGroup("system")
+        self.hierarchy = CacheHierarchy(config.hierarchy,
+                                        self.stats.child("cpu_caches"))
+        self.cycle = 0
+        self._cycle_at_reset = 0
+        self._instructions = self.stats.counter("instructions")
+        self._loads = self.stats.counter("loads")
+        self._stores = self.stats.counter("stores")
+        self._persists = self.stats.counter("persists")
+        self._load_stalls = self.stats.counter("load_stall_cycles")
+        self._persist_stalls = self.stats.counter("persist_stall_cycles")
+
+    # ------------------------------------------------------------------
+    def execute(self, access: MemoryAccess) -> None:
+        """Retire one trace record (gap instructions + the memory op)."""
+        self.cycle += access.gap + 1
+        self._instructions.add(access.gap + 1)
+        line = self.controller.amap.line_of(access.addr)
+        if line >= self.config.data_capacity:
+            raise AddressError(
+                f"trace address {access.addr:#x} beyond the data region")
+        if access.kind is AccessType.READ:
+            self._loads.add()
+            result = self.hierarchy.load(line)
+            if result.miss_to_memory:
+                outcome = self.controller.read_data(line, self.cycle)
+                self.cycle += outcome.latency
+                self._load_stalls.add(outcome.latency)
+        elif access.kind is AccessType.WRITE:
+            self._stores.add()
+            result = self.hierarchy.store(line)
+            if access.data is not None:
+                # Remember the payload so the eventual writeback carries it.
+                self.controller._plaintexts[line] = \
+                    self.controller._payload_for(line, access.data)
+        else:
+            self._persists.add()
+            result = self.hierarchy.persist(line)
+            outcome = self.controller.write_data(
+                line, access.data, self.cycle, persist=True)
+            self.cycle += outcome.cpu_stall
+            self._persist_stalls.add(outcome.cpu_stall)
+        for writeback in result.writebacks:
+            if writeback < self.config.data_capacity:
+                self.controller.write_data(writeback, None, self.cycle,
+                                           persist=False)
+        self.controller.tick(self.cycle)
+
+    def run(self, trace: Iterable[MemoryAccess]) -> None:
+        for access in trace:
+            self.execute(access)
+
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Power failure.  Under eADR the CPU caches' dirty data lines are
+        flushed through the normal write path first (eADR moves bytes; the
+        encryption pads were already generated at store time); without it
+        they are simply lost.  Metadata semantics live in the controller."""
+        self.controller.prepare_crash()
+        dirty = self.hierarchy.drop_all()
+        if self.config.eadr:
+            for line in dirty:
+                if line < self.config.data_capacity:
+                    self.controller.write_data(line, None, self.cycle,
+                                               persist=False)
+        self.controller.crash()
+
+    def recover(self) -> RecoveryReport:
+        return self.controller.recover()
+
+    # ------------------------------------------------------------------
+    def reset_stats(self) -> None:
+        """Zero all statistics (warm-up boundary); state is untouched."""
+        self.stats.reset()
+        self.controller.stats.reset()
+        self._cycle_at_reset = self.cycle
+
+    def result(self, workload: str = "") -> RunResult:
+        ctl = self.controller
+        return RunResult(
+            workload=workload,
+            scheme=ctl.name,
+            cycles=self.cycle - self._cycle_at_reset,
+            instructions=self._instructions.value,
+            loads=self._loads.value,
+            stores=self._stores.value,
+            persists=self._persists.value,
+            load_stall_cycles=self._load_stalls.value,
+            persist_stall_cycles=self._persist_stalls.value,
+            avg_write_latency=ctl.stats.mean("write_latency").mean,
+            avg_read_latency=ctl.stats.mean("read_latency").mean,
+            nvm_data_reads=ctl.stats.counter("data_reads").value,
+            nvm_data_writes=ctl.stats.counter("data_writes").value,
+            nvm_meta_reads=ctl.stats.counter("meta_reads").value,
+            nvm_meta_writes=ctl.stats.counter("meta_writes").value,
+            hashes=ctl.hash_engine.stats.counter("hashes").value,
+            stats={**self.stats.as_dict(), **ctl.stats_dict()},
+        )

@@ -1,0 +1,51 @@
+"""The HMAC hardware unit: functional MAC plus a hash-latency cost model.
+
+Table II configures the hash latency at {20, 40, 80, 160} cycles (default
+40).  The key timing property the paper leans on (§II-D4) is that SIT can
+compute all HMACs of a branch **in parallel** once counters are bumped —
+one hash latency for the whole branch — while BMT must hash sequentially
+(each parent hashes its children's digests), costing ``levels x latency``.
+:meth:`branch_hash_cycles` encodes exactly that distinction; schemes ask it
+for critical-path costs instead of hard-coding latencies.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.util.crypto import KeyedMac
+from repro.util.stats import StatGroup
+
+DEFAULT_HASH_LATENCY = 40
+
+
+class HashEngine:
+    """Keyed-MAC unit with per-hash latency accounting."""
+
+    def __init__(self, latency_cycles: int = DEFAULT_HASH_LATENCY,
+                 key: bytes = b"repro-tree-key",
+                 stats: StatGroup | None = None) -> None:
+        if latency_cycles <= 0:
+            raise ConfigError("hash latency must be positive")
+        self.latency_cycles = latency_cycles
+        self.mac = KeyedMac(key)
+        group = stats or StatGroup("hash_engine")
+        self.stats = group
+        self._hashes = group.counter("hashes")
+        self._busy_cycles = group.counter("busy_cycles")
+
+    def charge(self, count: int = 1, parallel: bool = True) -> int:
+        """Account for ``count`` MAC computations and return the latency
+        they add to whoever is waiting: one latency if the unit can compute
+        them in parallel (SIT), ``count`` latencies if they are chained
+        (BMT-style, each hash consumes the previous digest)."""
+        if count <= 0:
+            return 0
+        self._hashes.add(count)
+        cycles = self.latency_cycles if parallel \
+            else self.latency_cycles * count
+        self._busy_cycles.add(cycles)
+        return cycles
+
+    def branch_hash_cycles(self, levels: int, parallel: bool = True) -> int:
+        """Critical-path cycles to re-MAC a ``levels``-node branch."""
+        return self.charge(levels, parallel=parallel)

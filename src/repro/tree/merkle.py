@@ -1,0 +1,120 @@
+"""Reference 8-ary Merkle Tree over user data (paper §II-D1, Fig 2).
+
+Self-contained (operates on a list of leaf byte strings rather than the
+simulated NVM): the evaluated schemes all run on the SIT, but the MT is the
+conceptual baseline the paper's recovery story is framed against — "rebuild
+from the leaves and compare roots" — so we keep a faithful implementation
+for tests, examples, and the tree-comparison example.
+
+Levels are stored bottom-up: ``levels[0]`` is the leaf digests, the last
+level is a single root digest.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import ConfigError, IntegrityError
+from repro.mem.address import TREE_ARITY
+from repro.util.crypto import KeyedMac
+
+
+class MerkleTree:
+    """An 8-ary hash tree over opaque leaf payloads."""
+
+    def __init__(self, leaves: Sequence[bytes], arity: int = TREE_ARITY,
+                 key: bytes = b"repro-mt-key") -> None:
+        if not leaves:
+            raise ConfigError("Merkle tree needs at least one leaf")
+        if arity < 2:
+            raise ConfigError("arity must be >= 2")
+        self.arity = arity
+        self._mac = KeyedMac(key)
+        self._leaves = [bytes(leaf) for leaf in leaves]
+        self.levels: list[list[bytes]] = []
+        self._build()
+
+    # ------------------------------------------------------------------
+    def _digest_leaf(self, index: int, payload: bytes) -> bytes:
+        return self._mac.mac_bytes(index, payload)
+
+    def _digest_group(self, level: int, index: int,
+                      children: Sequence[bytes]) -> bytes:
+        return self._mac.mac_bytes(level, index, b"".join(children))
+
+    def _build(self) -> None:
+        self.levels = [[self._digest_leaf(i, leaf)
+                        for i, leaf in enumerate(self._leaves)]]
+        while len(self.levels[-1]) > 1:
+            below = self.levels[-1]
+            level_no = len(self.levels)
+            parents = [
+                self._digest_group(level_no, i // self.arity,
+                                   below[i:i + self.arity])
+                for i in range(0, len(below), self.arity)
+            ]
+            self.levels.append(parents)
+
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> bytes:
+        return self.levels[-1][0]
+
+    @property
+    def height(self) -> int:
+        """Number of levels above the leaves."""
+        return len(self.levels) - 1
+
+    def update_leaf(self, index: int, payload: bytes) -> int:
+        """Modify one leaf and propagate digests to the root (the eager
+        update of §II-D4).  Returns the number of hash computations — the
+        cost that motivates lazy schemes and SCUE."""
+        if not 0 <= index < len(self._leaves):
+            raise ConfigError(f"leaf {index} out of range")
+        self._leaves[index] = bytes(payload)
+        hashes = 1
+        self.levels[0][index] = self._digest_leaf(index, payload)
+        child = index
+        for level_no in range(1, len(self.levels)):
+            parent = child // self.arity
+            lo = parent * self.arity
+            group = self.levels[level_no - 1][lo:lo + self.arity]
+            self.levels[level_no][parent] = \
+                self._digest_group(level_no, parent, group)
+            hashes += 1
+            child = parent
+        return hashes
+
+    def verify_leaf(self, index: int, payload: bytes) -> bool:
+        """Check a claimed leaf payload against the stored digest chain up
+        to the root (what a read does)."""
+        if self._digest_leaf(index, payload) != self.levels[0][index]:
+            return False
+        child = index
+        for level_no in range(1, len(self.levels)):
+            parent = child // self.arity
+            lo = parent * self.arity
+            group = self.levels[level_no - 1][lo:lo + self.arity]
+            if self.levels[level_no][parent] != \
+                    self._digest_group(level_no, parent, group):
+                return False
+            child = parent
+        return True
+
+    def reconstruct_root(self, leaves: Sequence[bytes]) -> bytes:
+        """Rebuild the root from scratch over ``leaves`` (the recovery flow
+        of Fig 5a) without disturbing this tree's state."""
+        rebuilt = MerkleTree(leaves, self.arity)
+        rebuilt._mac = self._mac
+        rebuilt._leaves = [bytes(leaf) for leaf in leaves]
+        rebuilt._build()
+        return rebuilt.root
+
+    def check_recovery(self, leaves: Sequence[bytes]) -> None:
+        """Raise :class:`IntegrityError` when the rebuilt root does not
+        match the stored root — a detected attack (or an inconsistent
+        crash)."""
+        if self.reconstruct_root(leaves) != self.root:
+            raise IntegrityError(
+                "Merkle recovery failed: reconstructed root does not match "
+                "the stored root")

@@ -1,0 +1,149 @@
+"""SGX-style integrity-tree node (paper §II-D3, Fig 4).
+
+One 64 B node packs ``arity`` counters plus one 64-bit HMAC.  The paper's
+SIT uses eight 56-bit counters (8 x 56 + 64 = 512 bits exactly); the
+VAULT/MorphCtr-style wide layouts of §VII trade counter width for fan-out
+(16 x 28 or 32 x 14 — see ``COUNTER_BITS_FOR_ARITY``), shortening the
+tree at the cost of earlier counter wrap-around.
+
+Counter ``j`` covers the node's ``j``-th child; the HMAC covers the
+node's address, all counters, and the corresponding counter in the
+*parent* node — the inverted dependency (low-level nodes depend on
+high-level nodes) that makes vanilla SIT impossible to reconstruct
+bottom-up (§III-D) and that SCUE's dummy counter breaks.
+
+The **dummy counter** (Fig 7) is the modular sum of the node's counters;
+under eager/SCUE updating it equals the node's parent counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.mem.address import COUNTER_BITS_FOR_ARITY, CACHE_LINE_SIZE, \
+    TREE_ARITY
+from repro.util.bitfield import BitPacker, BitUnpacker, checked_sum
+from repro.util.crypto import KeyedMac
+
+#: The paper's default layout: eight 56-bit counters.
+COUNTER_BITS = COUNTER_BITS_FOR_ARITY[TREE_ARITY]
+HMAC_BITS = 64
+COUNTER_MASK = (1 << COUNTER_BITS) - 1
+
+
+@dataclass
+class SITNode:
+    """An intermediate SIT node: ``arity`` counters + a 64-bit HMAC.
+
+    ``level``/``index`` position the node in the tree (level 1 = parents
+    of counter blocks); they are bookkeeping, not part of the media image
+    — the node's *address* enters the HMAC instead.
+    """
+
+    level: int
+    index: int
+    counters: list[int] | None = None
+    hmac: int = 0
+    hmac_stale: bool = False
+    arity: int = TREE_ARITY
+    #: Derived from arity when omitted; an explicit mismatch is an error.
+    counter_bits: int | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.arity not in COUNTER_BITS_FOR_ARITY:
+            raise ConfigError(f"unsupported node arity {self.arity}")
+        if self.counters is None:
+            self.counters = [0] * self.arity
+        if len(self.counters) != self.arity:
+            raise ConfigError(
+                f"SIT node needs {self.arity} counters, "
+                f"got {len(self.counters)}")
+        expected_bits = COUNTER_BITS_FOR_ARITY[self.arity]
+        if self.counter_bits is None:
+            self.counter_bits = expected_bits
+        if self.counter_bits != expected_bits:
+            raise ConfigError(
+                f"arity {self.arity} needs {expected_bits}-bit counters")
+
+    @property
+    def _mask(self) -> int:
+        return (1 << self.counter_bits) - 1
+
+    # ------------------------------------------------------------------
+    # Counters
+    # ------------------------------------------------------------------
+    def counter(self, slot: int) -> int:
+        return self.counters[slot]
+
+    def set_counter(self, slot: int, value: int) -> None:
+        """Overwrite a child counter (SCUE: parent counter := child dummy)."""
+        self.counters[slot] = value & self._mask
+        self.hmac_stale = True
+
+    def bump_counter(self, slot: int, delta: int = 1) -> None:
+        """Increment a child counter (lazy/eager: +1 per child event)."""
+        self.counters[slot] = (self.counters[slot] + delta) & self._mask
+        self.hmac_stale = True
+
+    def dummy_counter(self) -> int:
+        """Sum of the node's counters modulo the counter width (Fig 7) —
+        what the parent counter must equal under counter-summing."""
+        return checked_sum(self.counters, self.counter_bits)
+
+    @property
+    def is_blank(self) -> bool:
+        """True for a never-written node (all-zero media image); blank
+        nodes verify against a zero parent counter without an HMAC."""
+        return self.hmac == 0 and not any(self.counters)
+
+    # ------------------------------------------------------------------
+    # Integrity
+    # ------------------------------------------------------------------
+    def _counter_image(self) -> bytes:
+        packer = BitPacker()
+        for counter in self.counters:
+            packer.add(counter, self.counter_bits)
+        return packer.to_bytes()
+
+    def compute_hmac(self, mac: KeyedMac, node_addr: int,
+                     parent_counter: int) -> int:
+        """HMAC(address || counters || parent counter) per Fig 4."""
+        return mac.mac(node_addr, self._counter_image(), parent_counter)
+
+    def seal(self, mac: KeyedMac, node_addr: int, parent_counter: int) -> None:
+        self.hmac = self.compute_hmac(mac, node_addr, parent_counter)
+        self.hmac_stale = False
+
+    def verify(self, mac: KeyedMac, node_addr: int,
+               parent_counter: int) -> bool:
+        if self.is_blank:
+            return parent_counter == 0
+        return self.hmac == self.compute_hmac(mac, node_addr, parent_counter)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        packer = BitPacker()
+        for counter in self.counters:
+            packer.add(counter, self.counter_bits)
+        packer.add(self.hmac, HMAC_BITS)
+        return packer.to_bytes(CACHE_LINE_SIZE)
+
+    @classmethod
+    def from_bytes(cls, level: int, index: int, data: bytes,
+                   arity: int = TREE_ARITY) -> "SITNode":
+        if len(data) != CACHE_LINE_SIZE:
+            raise ConfigError("SIT node image must be 64 bytes")
+        bits = COUNTER_BITS_FOR_ARITY[arity]
+        unpacker = BitUnpacker(data)
+        counters = unpacker.take_many(bits, arity)
+        hmac = unpacker.take(HMAC_BITS)
+        return cls(level=level, index=index, counters=counters, hmac=hmac,
+                   arity=arity, counter_bits=bits)
+
+    def clone(self) -> "SITNode":
+        return SITNode(self.level, self.index, list(self.counters),
+                       self.hmac, self.hmac_stale, self.arity,
+                       self.counter_bits)

@@ -1,0 +1,18 @@
+"""Utility helpers shared across the simulator: bit-level packing for
+counter layouts, the keyed-MAC primitive used for HMAC fields, and
+statistics counters."""
+
+from repro.util.bitfield import BitPacker, pack_counters, unpack_counters
+from repro.util.crypto import KeyedMac, make_otp
+from repro.util.stats import StatCounter, StatGroup, WeightedMean
+
+__all__ = [
+    "BitPacker",
+    "pack_counters",
+    "unpack_counters",
+    "KeyedMac",
+    "make_otp",
+    "StatCounter",
+    "StatGroup",
+    "WeightedMean",
+]

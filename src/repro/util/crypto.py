@@ -1,0 +1,86 @@
+"""Cryptographic primitives for the simulated secure memory controller.
+
+The paper's hardware uses AES-CTR for counter-mode encryption and a
+SHA-class keyed HMAC for integrity.  Cryptographic *strength* is irrelevant
+to the mechanisms under evaluation (update schemes, crash consistency,
+recovery); what matters is that MACs are keyed, deterministic, and
+collision-resistant enough that a tampered input practically never matches a
+stored MAC.  We therefore use ``blake2b`` (keyed, fast, in the standard
+library) truncated to the field widths the paper models: 64-bit HMACs in
+tree nodes, and 64-byte one-time pads for CME.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+MAC_BITS = 64
+MAC_BYTES = MAC_BITS // 8
+OTP_BYTES = 64
+
+
+class KeyedMac:
+    """A keyed 64-bit MAC, the simulator's stand-in for the hardware HMAC
+    unit.
+
+    The secret key lives inside the trusted on-chip domain; attackers (and
+    attack-injection code) never see it, which is exactly why roll-forward
+    attacks are detected (§IV-B2): without the key an attacker cannot forge
+    a MAC over modified counters.
+    """
+
+    def __init__(self, key: bytes = b"repro-secret-key") -> None:
+        if not key:
+            raise ValueError("MAC key must be non-empty")
+        # blake2b keys are capped at 64 bytes.
+        self._key = hashlib.blake2b(key, digest_size=32).digest()
+
+    def mac(self, *parts: bytes | int) -> int:
+        """Compute the 64-bit MAC over the concatenation of ``parts``.
+
+        Integer parts are serialised as 8-byte little-endian words, which is
+        how node addresses and parent counters enter the hash in our node
+        layouts.  Returns the MAC as an unsigned 64-bit integer (the form
+        stored in node images).
+        """
+        h = hashlib.blake2b(key=self._key, digest_size=MAC_BYTES)
+        for part in parts:
+            if isinstance(part, int):
+                h.update(part.to_bytes(8, "little", signed=False))
+            else:
+                h.update(part)
+        return int.from_bytes(h.digest(), "little")
+
+    def mac_bytes(self, *parts: bytes | int) -> bytes:
+        """Like :meth:`mac` but returns the raw 8-byte digest."""
+        return self.mac(*parts).to_bytes(MAC_BYTES, "little")
+
+
+def make_otp(key: bytes, line_addr: int, major: int, minor: int) -> bytes:
+    """Generate the 64-byte one-time pad for counter-mode encryption.
+
+    Hardware computes AES_k(line_address || major || minor) blocks; we
+    derive an equivalent deterministic pad from the same inputs.  The CME
+    security argument only needs pads to be unique per (address, counter)
+    pair and unpredictable without the key — both hold here.
+    """
+    h = hashlib.blake2b(key=hashlib.blake2b(key, digest_size=32).digest(),
+                        digest_size=32)
+    h.update(line_addr.to_bytes(8, "little"))
+    h.update(major.to_bytes(8, "little"))
+    h.update(minor.to_bytes(2, "little"))
+    seed = h.digest()
+    # Expand 32 -> 64 bytes with two counter-indexed blocks.
+    out = b"".join(
+        hashlib.blake2b(seed + bytes([i]), digest_size=32).digest()
+        for i in range(2)
+    )
+    return out[:OTP_BYTES]
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """XOR two equal-length byte strings (the CME encrypt/decrypt step)."""
+    if len(a) != len(b):
+        raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
+    return (int.from_bytes(a, "little") ^ int.from_bytes(b, "little")) \
+        .to_bytes(len(a), "little")

@@ -1,0 +1,130 @@
+"""Lightweight statistics plumbing for the simulator.
+
+Every component (caches, WPQ, NVM, schemes, CPU) exposes a
+:class:`StatGroup` of named counters and means; the driver collects them
+into a flat report after a run.  Keeping statistics separate from model
+state makes it trivial to reset between measurement windows (warm-up vs.
+measured region, mirroring the paper's 10M-instruction warm-up).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+
+@dataclass
+class StatCounter:
+    """A monotonically increasing event counter."""
+
+    name: str
+    value: int = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+@dataclass
+class WeightedMean:
+    """Accumulates a mean of per-event values (e.g. per-write latency).
+
+    Tracks count, sum, min and max so reports can show distribution edges
+    without storing every sample.
+    """
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    minimum: float = field(default=float("inf"))
+    maximum: float = field(default=float("-inf"))
+
+    def add(self, value: float, weight: int = 1) -> None:
+        self.count += weight
+        self.total += value * weight
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+
+class StatGroup:
+    """A named bag of counters and means with hierarchical reporting.
+
+    Components create their counters once at construction::
+
+        self.stats = StatGroup("l2cache")
+        self.hits = self.stats.counter("hits")
+
+    and the driver flattens everything with :meth:`as_dict`.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._counters: dict[str, StatCounter] = {}
+        self._means: dict[str, WeightedMean] = {}
+        self._children: dict[str, StatGroup] = {}
+
+    def counter(self, name: str) -> StatCounter:
+        """Create (or fetch) a counter named ``name`` in this group."""
+        if name not in self._counters:
+            self._counters[name] = StatCounter(name)
+        return self._counters[name]
+
+    def mean(self, name: str) -> WeightedMean:
+        """Create (or fetch) a weighted mean named ``name``."""
+        if name not in self._means:
+            self._means[name] = WeightedMean(name)
+        return self._means[name]
+
+    def child(self, name: str) -> "StatGroup":
+        """Create (or fetch) a nested group, e.g. per-level cache stats."""
+        if name not in self._children:
+            self._children[name] = StatGroup(name)
+        return self._children[name]
+
+    def attach(self, group: "StatGroup") -> "StatGroup":
+        """Attach an externally created group as a child."""
+        self._children[group.name] = group
+        return group
+
+    def reset(self) -> None:
+        """Zero every statistic in this group and all children (used at the
+        warm-up/measurement boundary)."""
+        for counter in self._counters.values():
+            counter.reset()
+        for mean in self._means.values():
+            mean.reset()
+        for childgroup in self._children.values():
+            childgroup.reset()
+
+    def as_dict(self, prefix: str = "") -> dict[str, float]:
+        """Flatten to ``{"group.counter": value, ...}``."""
+        path = f"{prefix}{self.name}."
+        out: dict[str, float] = {}
+        for counter in self._counters.values():
+            out[path + counter.name] = counter.value
+        for mean in self._means.values():
+            out[path + mean.name + ".mean"] = mean.mean
+            out[path + mean.name + ".count"] = mean.count
+        for childgroup in self._children.values():
+            out.update(childgroup.as_dict(path))
+        return out
+
+    def __iter__(self) -> Iterator[StatCounter]:
+        return iter(self._counters.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"StatGroup({self.name!r}, {len(self._counters)} counters)"

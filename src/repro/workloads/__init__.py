@@ -1,0 +1,86 @@
+"""Workloads (paper §V-A): five persistent-memory microbenchmarks
+(array, btree, hash, queue, rbtree — real data-structure implementations
+emitting persist-ordered traces) and eight SPEC CPU2006-like synthetic
+trace generators.
+
+``PERSISTENT_WORKLOADS`` and ``SPEC_WORKLOADS`` list the canonical
+evaluation set; :func:`make_workload` builds any of them by name.
+"""
+
+from repro.workloads.base import PersistentHeap, TraceRecorder, Workload
+from repro.workloads.persistent import (
+    ArrayWorkload,
+    BTreeWorkload,
+    HashWorkload,
+    PLogWorkload,
+    QueueWorkload,
+    RBTreeWorkload,
+)
+from repro.workloads.spec import SPEC_PROFILES, SpecWorkload
+from repro.workloads.synthetic import (
+    StreamWorkload,
+    UniformRandomWorkload,
+    ZipfWorkload,
+)
+
+from repro.errors import ConfigError
+
+#: The paper's canonical evaluation set (Figs 9/10 run exactly these).
+PERSISTENT_WORKLOADS = ("array", "btree", "hash", "queue", "rbtree")
+SPEC_WORKLOADS = tuple(sorted(SPEC_PROFILES))
+ALL_WORKLOADS = PERSISTENT_WORKLOADS + SPEC_WORKLOADS
+#: Additional workloads available beyond the paper's set.
+EXTRA_WORKLOADS = ("plog",)
+
+_PERSISTENT_CLASSES = {
+    "array": ArrayWorkload,
+    "btree": BTreeWorkload,
+    "hash": HashWorkload,
+    "plog": PLogWorkload,
+    "queue": QueueWorkload,
+    "rbtree": RBTreeWorkload,
+}
+
+
+def make_workload(name: str, data_capacity: int, operations: int,
+                  seed: int = 42) -> Workload:
+    """Build a canonical workload by name, sized to ``data_capacity``.
+
+    Structure workloads (btree/hash/rbtree) are pre-populated with
+    ``4 x operations`` off-trace inserts so the measured region runs
+    against a representative structure rather than a cold one (the
+    paper's fast-forward methodology)."""
+    if name in _PERSISTENT_CLASSES:
+        kwargs = dict(data_capacity=data_capacity, operations=operations,
+                      seed=seed)
+        if name in ("btree", "hash", "rbtree"):
+            kwargs["prepopulate"] = operations * 4
+        return _PERSISTENT_CLASSES[name](**kwargs)
+    if name in SPEC_PROFILES:
+        return SpecWorkload(name, data_capacity=data_capacity,
+                            operations=operations, seed=seed)
+    raise ConfigError(
+        f"unknown workload {name!r}; choose from "
+        f"{sorted(ALL_WORKLOADS + EXTRA_WORKLOADS)}")
+
+
+__all__ = [
+    "PersistentHeap",
+    "TraceRecorder",
+    "Workload",
+    "ArrayWorkload",
+    "BTreeWorkload",
+    "HashWorkload",
+    "QueueWorkload",
+    "RBTreeWorkload",
+    "SpecWorkload",
+    "SPEC_PROFILES",
+    "StreamWorkload",
+    "UniformRandomWorkload",
+    "ZipfWorkload",
+    "PERSISTENT_WORKLOADS",
+    "SPEC_WORKLOADS",
+    "ALL_WORKLOADS",
+    "EXTRA_WORKLOADS",
+    "make_workload",
+]

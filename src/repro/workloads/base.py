@@ -1,0 +1,206 @@
+"""Workload infrastructure: the persistent heap and the trace recorder.
+
+Persistent-memory programs interleave loads, stores, and *persist
+barriers* (store + ``clwb`` + ``sfence``).  The data-structure workloads
+in :mod:`repro.workloads.persistent` are real implementations written
+against :class:`TraceRecorder`: they allocate from a :class:`PersistentHeap`,
+touch memory through ``read``/``write``/``persist``, and sprinkle
+``compute`` for the ALU work between accesses.  The recorder turns that
+into the :class:`~repro.mem.trace.MemoryAccess` stream the simulator
+consumes — so the traces have the genuine dependence structure (pointer
+chases, split cascades, probe sequences) of the paper's microbenchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator
+from typing import Protocol
+
+from repro.errors import ConfigError
+from repro.mem.address import CACHE_LINE_SIZE
+from repro.mem.trace import AccessType, MemoryAccess
+
+
+class Workload(Protocol):
+    """Anything the driver can run: a name plus a trace factory.
+
+    ``trace()`` must be *restartable*: each call returns a fresh,
+    identical iterator (the Fig 9/10 comparisons run the same trace
+    through every scheme)."""
+
+    name: str
+
+    def trace(self) -> Iterator[MemoryAccess]: ...
+
+
+class PersistentHeap:
+    """A free-list bump allocator over the simulated data region.
+
+    Allocations are size-class rounded (16 B granularity) and served from
+    per-class free lists before the bump frontier — enough realism that
+    delete-heavy workloads (queue, rbtree) reuse lines like a real
+    persistent allocator would, without modelling a full nvalloc.
+
+    ``scatter`` mode places line-aligned allocations at pseudo-random
+    slots across the arena instead of bumping densely: a mature persistent
+    heap is fragmented, and node-structure workloads (btree/rbtree) would
+    otherwise enjoy unrealistically perfect counter-block locality.
+    Scattering is deterministic per seed.
+    """
+
+    GRANULE = 16
+
+    def __init__(self, capacity: int, base: int = 0,
+                 scatter: bool = False, seed: int = 42) -> None:
+        if capacity <= base:
+            raise ConfigError("heap capacity must exceed its base")
+        self.base = base
+        self.capacity = capacity
+        self._frontier = base
+        self._free: dict[int, list[int]] = {}
+        self._scatter = scatter
+        self._rng = random.Random(seed)
+        self._scatter_used: set[int] = set()
+
+    def _round(self, nbytes: int) -> int:
+        if nbytes <= 0:
+            raise ConfigError("allocation size must be positive")
+        return -(-nbytes // self.GRANULE) * self.GRANULE
+
+    def alloc(self, nbytes: int, line_aligned: bool = False) -> int:
+        """Allocate ``nbytes``; ``line_aligned`` forces 64 B alignment
+        (node-per-line layouts)."""
+        size = self._round(nbytes)
+        if line_aligned:
+            size = max(size, CACHE_LINE_SIZE)
+        bucket = self._free.get(size)
+        if bucket:
+            return bucket.pop()
+        if self._scatter and line_aligned:
+            return self._scatter_alloc(size)
+        if line_aligned and self._frontier % CACHE_LINE_SIZE:
+            self._frontier += CACHE_LINE_SIZE \
+                - self._frontier % CACHE_LINE_SIZE
+        addr = self._frontier
+        self._frontier += size
+        if self._frontier > self.capacity:
+            raise ConfigError(
+                f"persistent heap exhausted at {self._frontier:#x} "
+                f"(capacity {self.capacity:#x})")
+        return addr
+
+    def _scatter_alloc(self, size: int) -> int:
+        """Pick a random free line-aligned placement across the arena
+        (tracks used lines, so mixed allocation sizes never overlap)."""
+        lines = -(-size // CACHE_LINE_SIZE)
+        total_lines = (self.capacity - self.base) // CACHE_LINE_SIZE
+        if total_lines < lines:
+            raise ConfigError("arena too small to scatter-allocate")
+        for _ in range(64):
+            start = self._rng.randrange(total_lines - lines + 1)
+            span = range(start, start + lines)
+            if all(line not in self._scatter_used for line in span):
+                self._scatter_used.update(span)
+                return self.base + start * CACHE_LINE_SIZE
+        raise ConfigError(
+            "persistent heap too fragmented to scatter-allocate "
+            f"({len(self._scatter_used)}/{total_lines} lines used)")
+
+    def free(self, addr: int, nbytes: int) -> None:
+        size = self._round(max(nbytes, CACHE_LINE_SIZE)
+                           if nbytes >= CACHE_LINE_SIZE else nbytes)
+        self._free.setdefault(size, []).append(addr)
+
+    @property
+    def used_bytes(self) -> int:
+        return self._frontier - self.base
+
+
+class TraceRecorder:
+    """Collects memory accesses as a workload executes.
+
+    ``compute(n)`` accumulates non-memory instructions; they attach as the
+    ``gap`` of the next emitted access.  Multi-line accesses emit one
+    record per touched cache line, like real hardware would see.
+    """
+
+    def __init__(self) -> None:
+        self.records: list[MemoryAccess] = []
+        self._gap = 0
+
+    # ------------------------------------------------------------------
+    def compute(self, instructions: int) -> None:
+        """ALU/branch work between memory accesses."""
+        if instructions < 0:
+            raise ConfigError("compute() takes a non-negative count")
+        self._gap += instructions
+
+    def _emit(self, kind: AccessType, addr: int, size: int) -> None:
+        first = addr & ~(CACHE_LINE_SIZE - 1)
+        last = (addr + max(size, 1) - 1) & ~(CACHE_LINE_SIZE - 1)
+        line = first
+        while line <= last:
+            self.records.append(MemoryAccess(kind, line, gap=self._gap))
+            self._gap = 0
+            line += CACHE_LINE_SIZE
+
+    def read(self, addr: int, size: int = 8) -> None:
+        self._emit(AccessType.READ, addr, size)
+
+    def write(self, addr: int, size: int = 8) -> None:
+        self._emit(AccessType.WRITE, addr, size)
+
+    def persist(self, addr: int, size: int = 8) -> None:
+        """Store + clwb + sfence: the line reaches the NVM controller
+        before the program continues."""
+        self._emit(AccessType.PERSIST, addr, size)
+
+    # ------------------------------------------------------------------
+    def take(self) -> list[MemoryAccess]:
+        """Return and clear the recorded trace."""
+        records, self.records = self.records, []
+        return records
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class NullRecorder(TraceRecorder):
+    """A recorder that discards everything — used to pre-populate
+    data-structure workloads (grow the structure to a realistic size)
+    without recording the setup phase, mirroring the paper's
+    fast-forward-to-representative-region methodology."""
+
+    def _emit(self, kind: AccessType, addr: int, size: int) -> None:
+        self._gap = 0
+
+    def compute(self, instructions: int) -> None:
+        pass
+
+
+class RecordedWorkload:
+    """Base class for data-structure workloads: subclasses implement
+    :meth:`_generate` against a fresh recorder; ``trace()`` replays the
+    (cached) recording, making runs identical across schemes."""
+
+    name = "recorded"
+
+    def __init__(self) -> None:
+        self._recorded: list[MemoryAccess] | None = None
+
+    def _generate(self, recorder: TraceRecorder) -> None:
+        raise NotImplementedError
+
+    def record(self) -> list[MemoryAccess]:
+        if self._recorded is None:
+            recorder = TraceRecorder()
+            self._generate(recorder)
+            self._recorded = recorder.take()
+        return self._recorded
+
+    def trace(self) -> Iterator[MemoryAccess]:
+        return iter(self.record())
+
+    def __len__(self) -> int:
+        return len(self.record())

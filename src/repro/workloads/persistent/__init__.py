@@ -1,0 +1,19 @@
+"""The five persistent-memory microbenchmarks of the paper's evaluation
+(§V-A): array, btree, hash, queue, rbtree — real data-structure
+implementations that emit persist-ordered memory traces."""
+
+from repro.workloads.persistent.array import ArrayWorkload
+from repro.workloads.persistent.btree import BTreeWorkload
+from repro.workloads.persistent.hashmap import HashWorkload
+from repro.workloads.persistent.plog import PLogWorkload
+from repro.workloads.persistent.queue import QueueWorkload
+from repro.workloads.persistent.rbtree import RBTreeWorkload
+
+__all__ = [
+    "ArrayWorkload",
+    "BTreeWorkload",
+    "HashWorkload",
+    "PLogWorkload",
+    "QueueWorkload",
+    "RBTreeWorkload",
+]

@@ -1,0 +1,63 @@
+"""Persistent array microbenchmark (paper §V-A).
+
+The classic persistent-memory "array" workload: a large array of 64 B
+records updated at random indices, each update persisted with a clwb +
+sfence pair (swizzle-style in-place update).  Write-dominated with a large
+uniform footprint — the worst case for metadata-cache locality and
+therefore the workload where update-scheme overheads show most.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ConfigError
+from repro.mem.address import CACHE_LINE_SIZE
+from repro.workloads.base import PersistentHeap, RecordedWorkload, TraceRecorder
+
+
+class ArrayWorkload(RecordedWorkload):
+    """Random read-modify-persist updates over a persistent array."""
+
+    name = "array"
+
+    def __init__(self, data_capacity: int, operations: int, seed: int = 42,
+                 entry_bytes: int = CACHE_LINE_SIZE,
+                 working_set_fraction: float = 0.5,
+                 read_fraction: float = 0.2,
+                 compute_per_op: int = 24) -> None:
+        super().__init__()
+        if not 0 < working_set_fraction <= 1:
+            raise ConfigError("working_set_fraction must be in (0, 1]")
+        if not 0 <= read_fraction < 1:
+            raise ConfigError("read_fraction must be in [0, 1)")
+        self.operations = operations
+        self.entry_bytes = entry_bytes
+        self.seed = seed
+        self.read_fraction = read_fraction
+        self.compute_per_op = compute_per_op
+        working_set = int(data_capacity * working_set_fraction)
+        self.entries = max(1, working_set // entry_bytes)
+        self._heap = PersistentHeap(data_capacity)
+        self._base = self._heap.alloc(self.entries * entry_bytes,
+                                      line_aligned=True)
+
+    def entry_addr(self, index: int) -> int:
+        if not 0 <= index < self.entries:
+            raise ConfigError(f"array index {index} out of range")
+        return self._base + index * self.entry_bytes
+
+    def _generate(self, recorder: TraceRecorder) -> None:
+        rng = random.Random(self.seed)
+        for _ in range(self.operations):
+            index = rng.randrange(self.entries)
+            addr = self.entry_addr(index)
+            recorder.compute(self.compute_per_op)
+            if rng.random() < self.read_fraction:
+                recorder.read(addr, self.entry_bytes)
+                continue
+            # Read-modify-persist: load the record, update it in place,
+            # force it to NVM before the next operation.
+            recorder.read(addr, self.entry_bytes)
+            recorder.compute(4)
+            recorder.persist(addr, self.entry_bytes)

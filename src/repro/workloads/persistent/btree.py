@@ -1,0 +1,173 @@
+"""Persistent B-tree microbenchmark (paper §V-A).
+
+A genuine B-tree (order 8: up to 7 keys per node, the node filling a
+256 B / four-cache-line record like typical persistent B-trees).  Inserts
+descend from the root (reads, one per node), insert into the leaf
+(persist), and split full nodes on the way up (multiple persists — the
+bursty write behaviour that distinguishes btree from the array workload).
+Lookups are pure read chains.
+
+The tree is functional: keys live in the nodes, splits really happen, and
+the traversal addresses come from the node layout, so trace dependence
+mirrors a real implementation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.workloads.base import PersistentHeap, RecordedWorkload, TraceRecorder
+
+ORDER = 8                      # children per node
+MAX_KEYS = ORDER - 1
+NODE_BYTES = 256               # 7 keys + 8 child pointers + header
+
+
+@dataclass
+class _Node:
+    addr: int
+    leaf: bool
+    keys: list[int] = field(default_factory=list)
+    children: list["_Node"] = field(default_factory=list)
+
+
+class BTreeWorkload(RecordedWorkload):
+    """Insert/lookup mix on a persistent B-tree."""
+
+    name = "btree"
+
+    def __init__(self, data_capacity: int, operations: int, seed: int = 42,
+                 insert_bias: float = 0.7,
+                 compute_per_op: int = 40,
+                 prepopulate: int = 0) -> None:
+        super().__init__()
+        self.operations = operations
+        self.seed = seed
+        self.insert_bias = insert_bias
+        self.compute_per_op = compute_per_op
+        self.prepopulate = prepopulate
+        # Scatter nodes across the arena: a mature persistent heap is
+        # fragmented, so node locality should not be artificially dense.
+        self._heap = PersistentHeap(data_capacity, scatter=True, seed=seed)
+        self._root = self._new_node(leaf=True)
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    def _new_node(self, leaf: bool) -> _Node:
+        return _Node(self._heap.alloc(NODE_BYTES, line_aligned=True), leaf)
+
+    @property
+    def size(self) -> int:
+        """Number of keys currently stored (functional checks)."""
+        return self._size
+
+    def contains(self, key: int) -> bool:
+        node = self._root
+        while True:
+            if key in node.keys:
+                return True
+            if node.leaf:
+                return False
+            node = node.children[self._child_slot(node, key)]
+
+    @staticmethod
+    def _child_slot(node: _Node, key: int) -> int:
+        slot = 0
+        while slot < len(node.keys) and key > node.keys[slot]:
+            slot += 1
+        return slot
+
+    # ------------------------------------------------------------------
+    def _split_child(self, recorder: TraceRecorder, parent: _Node,
+                     slot: int) -> None:
+        """Split parent.children[slot] (full) — three node persists, the
+        crash-consistent publication order of persistent B-trees."""
+        full = parent.children[slot]
+        sibling = self._new_node(full.leaf)
+        mid = MAX_KEYS // 2
+        median = full.keys[mid]
+        sibling.keys = full.keys[mid + 1:]
+        full.keys = full.keys[:mid]
+        if not full.leaf:
+            sibling.children = full.children[mid + 1:]
+            full.children = full.children[:mid + 1]
+        parent.keys.insert(slot, median)
+        parent.children.insert(slot + 1, sibling)
+        recorder.compute(30)
+        recorder.persist(sibling.addr, NODE_BYTES)   # new node first
+        recorder.persist(full.addr, NODE_BYTES)      # shrink the old one
+        recorder.persist(parent.addr, NODE_BYTES)    # publish in parent
+
+    def _insert(self, recorder: TraceRecorder, key: int) -> None:
+        root = self._root
+        recorder.read(root.addr, NODE_BYTES)
+        if key in root.keys:
+            # In-place value update: no structural change.
+            recorder.persist(root.addr, NODE_BYTES)
+            return
+        if len(root.keys) == MAX_KEYS:
+            new_root = self._new_node(leaf=False)
+            new_root.children.append(root)
+            self._root = new_root
+            self._split_child(recorder, new_root, 0)
+            root = new_root
+        node = root
+        while not node.leaf:
+            if key in node.keys:
+                # The key lives in an internal node: update in place
+                # rather than inserting a duplicate below it.
+                recorder.persist(node.addr, NODE_BYTES)
+                return
+            slot = self._child_slot(node, key)
+            child = node.children[slot]
+            recorder.read(child.addr, NODE_BYTES)
+            if len(child.keys) == MAX_KEYS:
+                self._split_child(recorder, node, slot)
+                if key == node.keys[slot]:
+                    # The median that just moved up is our key.
+                    recorder.persist(node.addr, NODE_BYTES)
+                    return
+                if key > node.keys[slot]:
+                    child = node.children[slot + 1]
+                    recorder.read(child.addr, NODE_BYTES)
+            node = child
+        if key not in node.keys:
+            node.keys.append(key)
+            node.keys.sort()
+            self._size += 1
+        recorder.compute(12)
+        recorder.persist(node.addr, NODE_BYTES)
+
+    def _lookup(self, recorder: TraceRecorder, key: int) -> bool:
+        node = self._root
+        while True:
+            recorder.read(node.addr, NODE_BYTES)
+            if key in node.keys:
+                return True
+            if node.leaf:
+                return False
+            node = node.children[self._child_slot(node, key)]
+
+    # ------------------------------------------------------------------
+    def _generate(self, recorder: TraceRecorder) -> None:
+        from repro.workloads.base import NullRecorder
+        rng = random.Random(self.seed)
+        inserted: list[int] = []
+        if self.prepopulate:
+            # Grow to a representative size off-trace (fast-forward).
+            setup = NullRecorder()
+            for _ in range(self.prepopulate):
+                key = rng.randrange(1, 1 << 48)
+                self._insert(setup, key)
+                inserted.append(key)
+        for _ in range(self.operations):
+            recorder.compute(self.compute_per_op)
+            if not inserted or rng.random() < self.insert_bias:
+                key = rng.randrange(1, 1 << 48)
+                self._insert(recorder, key)
+                inserted.append(key)
+            elif rng.random() < 0.5:
+                self._lookup(recorder, rng.choice(inserted))
+            else:
+                self._lookup(recorder, rng.randrange(1, 1 << 48))

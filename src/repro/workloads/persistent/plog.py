@@ -1,0 +1,79 @@
+"""Persistent append-log workload (beyond the paper's five).
+
+The most common persistent-memory idiom that the paper's microbenchmark
+set does not include: an append-only log with a persisted head pointer
+and periodic checkpoint + truncation.  Appends are perfectly sequential
+(best-case counter-block locality: 64 consecutive entries share one
+block), which makes the log the *opposite* pole from the random-update
+array — useful for bracketing scheme behaviour.  Not part of the Fig 9/10
+canonical set (which mirrors the paper); available through
+:func:`repro.workloads.make_workload` as ``"plog"``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ConfigError
+from repro.mem.address import CACHE_LINE_SIZE
+from repro.workloads.base import PersistentHeap, RecordedWorkload, TraceRecorder
+
+
+class PLogWorkload(RecordedWorkload):
+    """Append + periodic checkpoint on a persistent log."""
+
+    name = "plog"
+
+    def __init__(self, data_capacity: int, operations: int, seed: int = 42,
+                 entry_bytes: int = CACHE_LINE_SIZE,
+                 log_fraction: float = 0.6,
+                 checkpoint_every: int = 64,
+                 compute_per_op: int = 18) -> None:
+        super().__init__()
+        if checkpoint_every <= 0:
+            raise ConfigError("checkpoint_every must be positive")
+        self.operations = operations
+        self.entry_bytes = entry_bytes
+        self.seed = seed
+        self.checkpoint_every = checkpoint_every
+        self.compute_per_op = compute_per_op
+        heap = PersistentHeap(data_capacity)
+        self._head = heap.alloc(CACHE_LINE_SIZE, line_aligned=True)
+        log_bytes = int(data_capacity * log_fraction)
+        self.slots = max(8, log_bytes // entry_bytes)
+        self._log = heap.alloc(self.slots * entry_bytes, line_aligned=True)
+        # Checkpoint area: a compact snapshot region.
+        self._checkpoint = heap.alloc(
+            max(CACHE_LINE_SIZE, self.slots // 8 * 8), line_aligned=True)
+
+    def entry_addr(self, sequence: int) -> int:
+        return self._log + (sequence % self.slots) * self.entry_bytes
+
+    def _generate(self, recorder: TraceRecorder) -> None:
+        rng = random.Random(self.seed)
+        sequence = 0
+        since_checkpoint = 0
+        for _ in range(self.operations):
+            recorder.compute(self.compute_per_op)
+            # Append: entry first, then publish the head pointer.
+            recorder.persist(self.entry_addr(sequence), self.entry_bytes)
+            recorder.persist(self._head, 8)
+            sequence += 1
+            since_checkpoint += 1
+            if since_checkpoint >= self.checkpoint_every:
+                # Checkpoint: scan the unflushed tail, write the compact
+                # snapshot, then truncate by republishing the head.
+                recorder.compute(40)
+                start = sequence - since_checkpoint
+                for i in range(start, sequence, 4):
+                    recorder.read(self.entry_addr(i), self.entry_bytes)
+                span = min(since_checkpoint * 8,
+                           self.slots // 8 * 8) or 8
+                recorder.persist(self._checkpoint, span)
+                recorder.persist(self._head, 8)
+                since_checkpoint = 0
+            elif rng.random() < 0.1:
+                # Occasional reader catching up on the tail.
+                back = rng.randrange(1, min(sequence, 16) + 1)
+                recorder.read(self.entry_addr(sequence - back),
+                              self.entry_bytes)

@@ -1,0 +1,241 @@
+"""Persistent red-black tree microbenchmark (paper §V-A).
+
+A full red-black tree with the textbook insert fixup (recolouring and
+rotations).  Every node is one 64 B line (key, value, colour, three
+pointers — 40 B payload).  Descents emit a read per node; structural
+changes persist every touched node.  Compared with the B-tree this has
+deeper pointer chases and smaller, more scattered persists — the pattern
+that makes rbtree the classic adversarial persistent workload.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.mem.address import CACHE_LINE_SIZE
+from repro.workloads.base import PersistentHeap, RecordedWorkload, TraceRecorder
+
+RED = True
+BLACK = False
+
+
+@dataclass
+class _Node:
+    addr: int
+    key: int
+    color: bool = RED
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    parent: Optional["_Node"] = None
+
+
+class RBTreeWorkload(RecordedWorkload):
+    """Insert/lookup mix on a persistent red-black tree."""
+
+    name = "rbtree"
+
+    def __init__(self, data_capacity: int, operations: int, seed: int = 42,
+                 insert_bias: float = 0.7,
+                 compute_per_op: int = 36,
+                 prepopulate: int = 0) -> None:
+        super().__init__()
+        self.operations = operations
+        self.seed = seed
+        self.insert_bias = insert_bias
+        self.compute_per_op = compute_per_op
+        self.prepopulate = prepopulate
+        # Scattered node placement: see BTreeWorkload — fragmentation is
+        # the realistic steady state for a long-lived persistent heap.
+        self._heap = PersistentHeap(data_capacity, scatter=True, seed=seed)
+        self._root: _Node | None = None
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def contains(self, key: int) -> bool:
+        node = self._root
+        while node is not None:
+            if key == node.key:
+                return True
+            node = node.left if key < node.key else node.right
+        return False
+
+    def black_height_valid(self) -> bool:
+        """Red-black invariant check (used by property tests): every
+        root-to-leaf path has the same black count and no red node has a
+        red child."""
+        def walk(node: _Node | None) -> int:
+            if node is None:
+                return 1
+            if node.color is RED:
+                for child in (node.left, node.right):
+                    if child is not None and child.color is RED:
+                        raise ValueError("red-red violation")
+            left = walk(node.left)
+            right = walk(node.right)
+            if left != right:
+                raise ValueError("black-height mismatch")
+            return left + (0 if node.color is RED else 1)
+
+        try:
+            walk(self._root)
+        except ValueError:
+            return False
+        return self._root is None or self._root.color is BLACK
+
+    # ------------------------------------------------------------------
+    def _persist_node(self, recorder: TraceRecorder, node: _Node) -> None:
+        recorder.persist(node.addr, CACHE_LINE_SIZE)
+
+    def _rotate_left(self, recorder: TraceRecorder, x: _Node) -> None:
+        y = x.right
+        assert y is not None
+        recorder.read(y.addr, CACHE_LINE_SIZE)
+        x.right = y.left
+        if y.left is not None:
+            y.left.parent = x
+            self._persist_node(recorder, y.left)
+        y.parent = x.parent
+        if x.parent is None:
+            self._root = y
+        elif x is x.parent.left:
+            x.parent.left = y
+            self._persist_node(recorder, x.parent)
+        else:
+            x.parent.right = y
+            self._persist_node(recorder, x.parent)
+        y.left = x
+        x.parent = y
+        self._persist_node(recorder, x)
+        self._persist_node(recorder, y)
+
+    def _rotate_right(self, recorder: TraceRecorder, x: _Node) -> None:
+        y = x.left
+        assert y is not None
+        recorder.read(y.addr, CACHE_LINE_SIZE)
+        x.left = y.right
+        if y.right is not None:
+            y.right.parent = x
+            self._persist_node(recorder, y.right)
+        y.parent = x.parent
+        if x.parent is None:
+            self._root = y
+        elif x is x.parent.right:
+            x.parent.right = y
+            self._persist_node(recorder, x.parent)
+        else:
+            x.parent.left = y
+            self._persist_node(recorder, x.parent)
+        y.right = x
+        x.parent = y
+        self._persist_node(recorder, x)
+        self._persist_node(recorder, y)
+
+    def _fixup(self, recorder: TraceRecorder, z: _Node) -> None:
+        while z.parent is not None and z.parent.color is RED:
+            grand = z.parent.parent
+            assert grand is not None
+            recorder.read(grand.addr, CACHE_LINE_SIZE)
+            if z.parent is grand.left:
+                uncle = grand.right
+                if uncle is not None and uncle.color is RED:
+                    z.parent.color = BLACK
+                    uncle.color = BLACK
+                    grand.color = RED
+                    self._persist_node(recorder, z.parent)
+                    self._persist_node(recorder, uncle)
+                    self._persist_node(recorder, grand)
+                    z = grand
+                else:
+                    if z is z.parent.right:
+                        z = z.parent
+                        self._rotate_left(recorder, z)
+                    assert z.parent is not None and z.parent.parent is not None
+                    z.parent.color = BLACK
+                    z.parent.parent.color = RED
+                    self._persist_node(recorder, z.parent)
+                    self._rotate_right(recorder, z.parent.parent)
+            else:
+                uncle = grand.left
+                if uncle is not None and uncle.color is RED:
+                    z.parent.color = BLACK
+                    uncle.color = BLACK
+                    grand.color = RED
+                    self._persist_node(recorder, z.parent)
+                    self._persist_node(recorder, uncle)
+                    self._persist_node(recorder, grand)
+                    z = grand
+                else:
+                    if z is z.parent.left:
+                        z = z.parent
+                        self._rotate_right(recorder, z)
+                    assert z.parent is not None and z.parent.parent is not None
+                    z.parent.color = BLACK
+                    z.parent.parent.color = RED
+                    self._persist_node(recorder, z.parent)
+                    self._rotate_left(recorder, z.parent.parent)
+        assert self._root is not None
+        if self._root.color is RED:
+            self._root.color = BLACK
+            self._persist_node(recorder, self._root)
+
+    def _insert(self, recorder: TraceRecorder, key: int) -> None:
+        parent: _Node | None = None
+        node = self._root
+        while node is not None:
+            recorder.read(node.addr, CACHE_LINE_SIZE)
+            if key == node.key:
+                self._persist_node(recorder, node)  # value update in place
+                return
+            parent = node
+            node = node.left if key < node.key else node.right
+        fresh = _Node(self._heap.alloc(CACHE_LINE_SIZE, line_aligned=True),
+                      key, RED, parent=parent)
+        self._size += 1
+        if parent is None:
+            self._root = fresh
+        elif key < parent.key:
+            parent.left = fresh
+        else:
+            parent.right = fresh
+        recorder.compute(10)
+        self._persist_node(recorder, fresh)          # node before link
+        if parent is not None:
+            self._persist_node(recorder, parent)
+        self._fixup(recorder, fresh)
+
+    def _lookup(self, recorder: TraceRecorder, key: int) -> bool:
+        node = self._root
+        while node is not None:
+            recorder.read(node.addr, CACHE_LINE_SIZE)
+            if key == node.key:
+                return True
+            node = node.left if key < node.key else node.right
+        return False
+
+    # ------------------------------------------------------------------
+    def _generate(self, recorder: TraceRecorder) -> None:
+        from repro.workloads.base import NullRecorder
+        rng = random.Random(self.seed)
+        inserted: list[int] = []
+        if self.prepopulate:
+            setup = NullRecorder()
+            for _ in range(self.prepopulate):
+                key = rng.randrange(1, 1 << 48)
+                self._insert(setup, key)
+                inserted.append(key)
+        for _ in range(self.operations):
+            recorder.compute(self.compute_per_op)
+            if not inserted or rng.random() < self.insert_bias:
+                key = rng.randrange(1, 1 << 48)
+                self._insert(recorder, key)
+                inserted.append(key)
+            elif rng.random() < 0.5:
+                self._lookup(recorder, rng.choice(inserted))
+            else:
+                self._lookup(recorder, rng.randrange(1, 1 << 48))

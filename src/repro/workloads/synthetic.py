@@ -1,0 +1,136 @@
+"""Synthetic access-pattern primitives.
+
+Building blocks for the SPEC-like profiles (:mod:`repro.workloads.spec`)
+and directly usable in tests/benchmarks: sequential streams, uniform
+random traffic, and Zipf-skewed traffic.  All generators are seeded and
+restartable — every ``trace()`` call yields the identical sequence.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections.abc import Iterator
+
+from repro.errors import ConfigError
+from repro.mem.address import CACHE_LINE_SIZE
+from repro.mem.trace import AccessType, MemoryAccess
+
+
+class ZipfSampler:
+    """Zipf-distributed integers in ``[0, n)`` via the cumulative inverse
+    method with a precomputed table (fast, deterministic)."""
+
+    def __init__(self, n: int, alpha: float, rng: random.Random) -> None:
+        if n <= 0:
+            raise ConfigError("Zipf support must be positive")
+        if alpha <= 0:
+            raise ConfigError("Zipf alpha must be positive")
+        self._rng = rng
+        # Cap the explicit table; the tail beyond it is near-uniform cold.
+        self._table_n = min(n, 1 << 16)
+        self._n = n
+        weights = [1.0 / math.pow(i + 1, alpha) for i in range(self._table_n)]
+        total = sum(weights)
+        self._cdf: list[float] = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            self._cdf.append(acc)
+
+    def sample(self) -> int:
+        u = self._rng.random()
+        lo, hi = 0, self._table_n - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._cdf[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        if self._n > self._table_n:
+            # Spread table ranks across the full support deterministically.
+            return (lo * 2654435761) % self._n
+        return lo
+
+
+class StreamWorkload:
+    """Pure sequential streaming over a region (bwaves/lbm-style)."""
+
+    def __init__(self, name: str, footprint: int, accesses: int,
+                 write_fraction: float = 0.3, gap: int = 2,
+                 base: int = 0) -> None:
+        if footprint < CACHE_LINE_SIZE:
+            raise ConfigError("footprint must cover at least one line")
+        self.name = name
+        self.footprint = footprint
+        self.accesses = accesses
+        self.write_fraction = write_fraction
+        self.gap = gap
+        self.base = base
+
+    def trace(self) -> Iterator[MemoryAccess]:
+        lines = self.footprint // CACHE_LINE_SIZE
+        writes_every = max(1, round(1 / self.write_fraction)) \
+            if self.write_fraction else 0
+        for i in range(self.accesses):
+            addr = self.base + (i % lines) * CACHE_LINE_SIZE
+            write = writes_every and (i % writes_every == writes_every - 1)
+            kind = AccessType.WRITE if write else AccessType.READ
+            yield MemoryAccess(kind, addr, gap=self.gap)
+
+
+class UniformRandomWorkload:
+    """Uniform random traffic (mcf-style pointer chasing)."""
+
+    def __init__(self, name: str, footprint: int, accesses: int,
+                 write_fraction: float = 0.3, gap: int = 2,
+                 seed: int = 42, persist_fraction: float = 0.0,
+                 base: int = 0) -> None:
+        self.name = name
+        self.footprint = footprint
+        self.accesses = accesses
+        self.write_fraction = write_fraction
+        self.persist_fraction = persist_fraction
+        self.gap = gap
+        self.seed = seed
+        self.base = base
+
+    def trace(self) -> Iterator[MemoryAccess]:
+        rng = random.Random(self.seed)
+        lines = self.footprint // CACHE_LINE_SIZE
+        for _ in range(self.accesses):
+            addr = self.base + rng.randrange(lines) * CACHE_LINE_SIZE
+            roll = rng.random()
+            if roll < self.persist_fraction:
+                kind = AccessType.PERSIST
+            elif roll < self.persist_fraction + self.write_fraction:
+                kind = AccessType.WRITE
+            else:
+                kind = AccessType.READ
+            yield MemoryAccess(kind, addr, gap=self.gap)
+
+
+class ZipfWorkload:
+    """Zipf-skewed traffic: hot lines dominate (gcc/omnetpp-style)."""
+
+    def __init__(self, name: str, footprint: int, accesses: int,
+                 alpha: float = 0.9, write_fraction: float = 0.3,
+                 gap: int = 2, seed: int = 42, base: int = 0) -> None:
+        self.name = name
+        self.footprint = footprint
+        self.accesses = accesses
+        self.alpha = alpha
+        self.write_fraction = write_fraction
+        self.gap = gap
+        self.seed = seed
+        self.base = base
+
+    def trace(self) -> Iterator[MemoryAccess]:
+        rng = random.Random(self.seed)
+        lines = self.footprint // CACHE_LINE_SIZE
+        sampler = ZipfSampler(lines, self.alpha, rng)
+        for _ in range(self.accesses):
+            addr = self.base + sampler.sample() * CACHE_LINE_SIZE
+            kind = AccessType.WRITE if rng.random() < self.write_fraction \
+                else AccessType.READ
+            yield MemoryAccess(kind, addr, gap=self.gap)

@@ -1,0 +1,84 @@
+"""Binary trace files: record workloads once, replay them anywhere.
+
+Format (little-endian, per record)::
+
+    u8  kind     0=READ 1=WRITE 2=PERSIST, bit 7 set when data follows
+    u48 addr
+    u32 gap
+    [64 bytes data]          only when bit 7 of kind is set
+
+with an 8-byte magic header carrying a format version.  Files are
+optionally gzip-compressed (detected on load by the magic).  This lets
+expensive generated traces (big SPEC-like sweeps, pre-populated
+structures) be produced once and replayed across schemes/configs, and
+lets externally produced traces (e.g. converted PIN/valgrind logs) drive
+the simulator.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import struct
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.mem.trace import AccessType, MemoryAccess
+
+MAGIC = b"RPTRC\x01\x00\x00"
+_KINDS = {AccessType.READ: 0, AccessType.WRITE: 1, AccessType.PERSIST: 2}
+_KINDS_BACK = {v: k for k, v in _KINDS.items()}
+_DATA_FLAG = 0x80
+#: Fixed record header: kind u8, gap u32, addr u64.
+_HEADER = struct.Struct("<BIQ")
+
+
+def save_trace(path: str | Path, trace: Iterable[MemoryAccess],
+               compress: bool = False) -> int:
+    """Write a trace to ``path``; returns the record count."""
+    raw = io.BytesIO()
+    raw.write(MAGIC)
+    count = 0
+    for access in trace:
+        kind = _KINDS[access.kind]
+        if access.data is not None:
+            kind |= _DATA_FLAG
+        raw.write(_HEADER.pack(kind, access.gap, access.addr))
+        if access.data is not None:
+            payload = (access.data + bytes(64))[:64]
+            raw.write(payload)
+        count += 1
+    blob = raw.getvalue()
+    if compress:
+        blob = gzip.compress(blob)
+    Path(path).write_bytes(blob)
+    return count
+
+
+def load_trace(path: str | Path) -> Iterator[MemoryAccess]:
+    """Stream records back from a file written by :func:`save_trace`."""
+    blob = Path(path).read_bytes()
+    if blob[:2] == b"\x1f\x8b":      # gzip magic
+        blob = gzip.decompress(blob)
+    if blob[:len(MAGIC)] != MAGIC:
+        raise ConfigError(f"{path}: not a repro trace file")
+    offset = len(MAGIC)
+    size = len(blob)
+    while offset < size:
+        if offset + _HEADER.size > size:
+            raise ConfigError(f"{path}: truncated record header")
+        kind, gap, addr = _HEADER.unpack_from(blob, offset)
+        offset += _HEADER.size
+        data = None
+        if kind & _DATA_FLAG:
+            if offset + 64 > size:
+                raise ConfigError(f"{path}: truncated record payload")
+            data = blob[offset:offset + 64]
+            offset += 64
+        try:
+            access_kind = _KINDS_BACK[kind & ~_DATA_FLAG]
+        except KeyError:
+            raise ConfigError(
+                f"{path}: unknown record kind {kind:#x}") from None
+        yield MemoryAccess(access_kind, addr, gap=gap, data=data)

@@ -1,0 +1,87 @@
+"""JSON/CSV export of figure results."""
+
+import json
+from dataclasses import dataclass, field
+
+from repro.bench.export import (
+    ratio_table_to_csv,
+    save_csv,
+    save_json,
+    to_jsonable,
+)
+
+
+@dataclass
+class _Inner:
+    value: int
+
+
+@dataclass
+class _Outer:
+    name: str
+    table: dict[str, dict[str, float]]
+    inner: _Inner
+    items: list[int]
+    matrix: object = field(default=None)   # must be dropped
+
+
+class TestToJsonable:
+    def test_dataclass_flattening(self):
+        outer = _Outer("x", {"w": {"s": 1.5}}, _Inner(3), [1, 2],
+                       matrix=object())
+        data = to_jsonable(outer)
+        assert data == {"name": "x", "table": {"w": {"s": 1.5}},
+                        "inner": {"value": 3}, "items": [1, 2]}
+
+    def test_non_string_keys_coerced(self):
+        assert to_jsonable({40: {"a": 1}}) == {"40": {"a": 1}}
+
+    def test_opaque_objects_stringified(self):
+        assert isinstance(to_jsonable(object()), str)
+
+    def test_real_figure_roundtrips(self):
+        from repro.bench.figures import table1_attack_detection
+        result = table1_attack_detection(
+            data_capacity=1024 * 1024, operations=50)
+        blob = json.dumps(to_jsonable(result))
+        restored = json.loads(blob)
+        assert restored["outcomes"]["roll_forward"]["detected"] is True
+
+
+class TestSaveJson:
+    def test_writes_parseable_file(self, tmp_path):
+        path = tmp_path / "fig.json"
+        save_json({"a": [1, 2]}, path)
+        assert json.loads(path.read_text()) == {"a": [1, 2]}
+
+
+class TestCsv:
+    def test_table_renders(self):
+        csv = ratio_table_to_csv({"array": {"plp": 2.5, "scue": 1.1},
+                                  "geomean": {"plp": 2.5, "scue": 1.1}})
+        lines = csv.strip().splitlines()
+        assert lines[0] == "workload,plp,scue"
+        assert lines[1] == "array,2.5000,1.1000"
+        assert len(lines) == 3
+
+    def test_empty_table(self):
+        assert ratio_table_to_csv({}) == ""
+
+    def test_save_csv(self, tmp_path):
+        path = tmp_path / "t.csv"
+        save_csv({"w": {"s": 1.0}}, path)
+        assert path.read_text().startswith("workload,s")
+
+
+class TestCliFigures:
+    def test_figures_subcommand_with_json(self, tmp_path, capsys):
+        from repro.cli import main
+        out = tmp_path / "t1.json"
+        assert main(["figures", "table1", "--json", str(out)]) == 0
+        assert json.loads(out.read_text())["outcomes"]
+        assert "roll_forward" in capsys.readouterr().out
+
+    def test_figures_sec5f(self, capsys):
+        from repro.cli import main
+        assert main(["figures", "sec5f"]) == 0
+        assert "scue" in capsys.readouterr().out

@@ -1,0 +1,77 @@
+"""The figure-result dataclasses and their aggregation helpers (pure
+logic — the expensive drivers are covered by the benchmark suite)."""
+
+import pytest
+
+from repro.bench.figures import (
+    AttackDetectionResult,
+    ComparisonFigure,
+    CrashWindowResult,
+    HashSweepFigure,
+    PAPER_FIG9,
+    PAPER_FIG10,
+    RecoveryFigure,
+)
+
+
+class TestComparisonFigure:
+    def test_measured_average_reads_geomean_row(self):
+        fig = ComparisonFigure(
+            "write_latency",
+            {"array": {"scue": 1.1}, "geomean": {"scue": 1.05}},
+            PAPER_FIG9)
+        assert fig.measured_average == {"scue": 1.05}
+
+    def test_paper_constants_sane(self):
+        assert PAPER_FIG9["plp"] > PAPER_FIG9["lazy"] > PAPER_FIG9["scue"]
+        assert PAPER_FIG10["scue"] == 1.07
+
+
+class TestHashSweepFigure:
+    def test_average_is_geomean_over_workloads(self):
+        fig = HashSweepFigure(
+            "write_latency",
+            {20: {"a": 1.0, "b": 1.0}, 160: {"a": 1.0, "b": 4.0}},
+            paper_average_160=1.2)
+        assert fig.average(20) == pytest.approx(1.0)
+        assert fig.average(160) == pytest.approx(2.0)
+
+
+class TestAttackDetectionResult:
+    def _result(self, control_detected=False, replay_detected=True):
+        return AttackDetectionResult({
+            "roll_forward": {"detected": True, "by": "leaf_hmac"},
+            "replay_roll_back": {"detected": replay_detected,
+                                 "by": "root" if replay_detected
+                                 else "none"},
+            "no_attack_control": {"detected": control_detected,
+                                  "by": "none"},
+        })
+
+    def test_all_detected_excludes_control(self):
+        assert self._result().all_detected()
+
+    def test_missed_attack_fails(self):
+        assert not self._result(replay_detected=False).all_detected()
+
+    def test_control_clean(self):
+        assert self._result().control_clean()
+        assert not self._result(control_detected=True).control_clean()
+
+
+class TestCrashWindowResult:
+    def test_holds_rates(self):
+        result = CrashWindowResult({"scue": 1.0, "lazy": 0.0}, trials=4)
+        assert result.success_rate["scue"] == 1.0
+        assert result.trials == 4
+
+
+class TestRecoveryFigure:
+    def test_structure(self):
+        fig = RecoveryFigure(
+            table={"star": {1024: 0.01}},
+            stale_nodes={"star": {1024: 5}},
+            paper_4mb={"star": 0.05, "agit": 0.17},
+            functional_reads={"star": 42})
+        assert fig.table["star"][1024] == 0.01
+        assert fig.functional_reads["star"] == 42

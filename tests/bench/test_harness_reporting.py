@@ -1,0 +1,130 @@
+"""The benchmark plumbing itself: scales, matrices, ratio tables and the
+text renderers the figure benches print."""
+
+import pytest
+
+from repro.bench.harness import BenchScale, MatrixResult, geomean
+from repro.bench.overheads import sec5f_space_overheads
+from repro.bench.reporting import (
+    format_ratio_table,
+    format_simple_table,
+    human_bytes,
+)
+from repro.sim.results import RunResult
+
+
+def result(scheme: str, cycles: int, write_latency: float,
+           meta: int = 10) -> RunResult:
+    return RunResult(
+        workload="w", scheme=scheme, cycles=cycles, instructions=100,
+        loads=5, stores=3, persists=2, load_stall_cycles=0,
+        persist_stall_cycles=0, avg_write_latency=write_latency,
+        avg_read_latency=100.0, nvm_data_reads=5, nvm_data_writes=5,
+        nvm_meta_reads=meta // 2, nvm_meta_writes=meta - meta // 2,
+        hashes=7)
+
+
+@pytest.fixture
+def matrix() -> MatrixResult:
+    m = MatrixResult()
+    m.add("alpha", "baseline", result("baseline", 1000, 500.0, meta=10))
+    m.add("alpha", "scue", result("scue", 1100, 550.0, meta=10))
+    m.add("alpha", "plp", result("plp", 2000, 1500.0, meta=70))
+    m.add("beta", "baseline", result("baseline", 2000, 600.0, meta=20))
+    m.add("beta", "scue", result("scue", 2200, 660.0, meta=22))
+    m.add("beta", "plp", result("plp", 4400, 1800.0, meta=140))
+    return m
+
+
+class TestBenchScale:
+    def test_presets_ordered_by_size(self):
+        quick, default, paper = (BenchScale.quick(), BenchScale.default(),
+                                 BenchScale.paper())
+        assert quick.operations < default.operations < paper.operations
+        assert quick.data_capacity <= default.data_capacity \
+            <= paper.data_capacity
+
+    def test_config_carries_geometry(self):
+        config = BenchScale.default().config("plp", hash_latency=80)
+        assert config.scheme == "plp"
+        assert config.tree_levels == 9
+        assert config.hash_latency == 80
+
+    def test_operations_for_spec_vs_persistent(self):
+        scale = BenchScale.default()
+        assert scale.operations_for("mcf") == scale.spec_accesses
+        assert scale.operations_for("array") == scale.operations
+
+
+class TestMatrixResult:
+    def test_ratio_write_latency(self, matrix):
+        assert matrix.ratio("alpha", "scue", "write_latency") \
+            == pytest.approx(1.1)
+        assert matrix.ratio("alpha", "plp", "write_latency") \
+            == pytest.approx(3.0)
+
+    def test_ratio_execution_time(self, matrix):
+        assert matrix.ratio("beta", "plp", "execution_time") \
+            == pytest.approx(2.2)
+
+    def test_ratio_metadata_accesses_alt_baseline(self, matrix):
+        assert matrix.ratio("alpha", "plp", "metadata_accesses",
+                            baseline="scue") == pytest.approx(7.0)
+
+    def test_unknown_metric_rejected(self, matrix):
+        with pytest.raises(ValueError):
+            matrix.ratio("alpha", "scue", "bogus")
+
+    def test_ratio_table_has_geomean(self, matrix):
+        table = matrix.ratio_table("execution_time", ["scue", "plp"])
+        assert set(table) == {"alpha", "beta", "geomean"}
+        assert table["geomean"]["scue"] == pytest.approx(1.1)
+        assert table["geomean"]["plp"] == pytest.approx(
+            (2.0 * 2.2) ** 0.5)
+
+    def test_workloads_and_schemes(self, matrix):
+        assert matrix.workloads == ["alpha", "beta"]
+        assert set(matrix.schemes()) == {"baseline", "scue", "plp"}
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_skips_nonpositive(self):
+        assert geomean([0.0, -1.0, 3.0]) == pytest.approx(3.0)
+
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+
+class TestReporting:
+    def test_ratio_table_renders_all_rows(self, matrix):
+        table = matrix.ratio_table("write_latency", ["scue", "plp"])
+        text = format_ratio_table("T", table, {"scue": 1.12, "plp": 2.74})
+        assert "alpha" in text
+        assert "geomean" in text
+        assert "paper avg" in text
+        assert "1.12" in text
+
+    def test_simple_table_alignment(self):
+        text = format_simple_table("T", ["a", "bb"], [[1, 22], [333, 4]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines[1:]}) == 1  # aligned
+
+    def test_human_bytes(self):
+        assert human_bytes(None) == "-"
+        assert human_bytes(64) == "64B"
+        assert human_bytes(128 * 1024) == "128.00KB"
+        assert human_bytes(32 * 1024 * 1024) == "32.00MB"
+        assert human_bytes(16 * 1024**3) == "16.00GB"
+
+
+class TestOverheads:
+    def test_scales_with_capacity(self):
+        small = {r.scheme: r.measured_bytes
+                 for r in sec5f_space_overheads(64 * 1024 * 1024)}
+        big = {r.scheme: r.measured_bytes
+               for r in sec5f_space_overheads(128 * 1024 * 1024)}
+        assert big["bmf-ideal"] == 2 * small["bmf-ideal"]
+        assert big["scue"] == small["scue"] == 128

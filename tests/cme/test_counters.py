@@ -1,0 +1,170 @@
+"""Counter blocks: split-counter arithmetic, overflow, the dummy-counter
+invariant, HMAC sealing, and serialisation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cme.counters import (
+    CounterBlock,
+    MINOR_BITS,
+    MINORS_PER_BLOCK,
+)
+from repro.errors import AddressError
+from repro.util.bitfield import checked_sum
+from repro.util.crypto import KeyedMac
+
+MINOR_LIMIT = 1 << MINOR_BITS
+
+
+class TestBump:
+    def test_increments_minor(self):
+        block = CounterBlock(0)
+        assert block.bump(3) is None
+        assert block.minor_of(3) == 1
+
+    def test_marks_hmac_stale(self):
+        block = CounterBlock(0)
+        block.bump(0)
+        assert block.hmac_stale
+
+    def test_slot_out_of_range(self):
+        with pytest.raises(AddressError):
+            CounterBlock(0).bump(MINORS_PER_BLOCK)
+
+    def test_dummy_counter_increments_by_one(self):
+        block = CounterBlock(0)
+        before = block.dummy_counter()
+        block.bump(5)
+        assert block.dummy_counter() == before + 1
+
+    def test_overflow_resets_minors_and_bumps_major(self):
+        block = CounterBlock(0)
+        event = None
+        for _ in range(MINOR_LIMIT):
+            event = block.bump(0)
+        assert event is not None
+        assert block.major == 1
+        assert block.minors == [0] * MINORS_PER_BLOCK
+
+    def test_overflow_event_carries_majors(self):
+        block = CounterBlock(0)
+        for _ in range(MINOR_LIMIT - 1):
+            block.bump(0)
+        event = block.bump(0)
+        assert event.old_major == 0
+        assert event.new_major == 1
+
+    def test_overflow_delta_composes_modularly(self):
+        """before + delta == after (mod 2^56): the property SCUE's
+        Recovery_root shortcut relies on (DESIGN.md §2)."""
+        block = CounterBlock(0)
+        block.bump(1)
+        block.bump(2)
+        for _ in range(MINOR_LIMIT - 1):
+            block.bump(0)
+        before = block.dummy_counter()
+        event = block.bump(0)
+        assert event is not None
+        assert checked_sum([before, event.dummy_delta], 56) \
+            == block.dummy_counter()
+
+    @given(st.lists(st.integers(0, MINORS_PER_BLOCK - 1),
+                    min_size=1, max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_dummy_tracks_deltas_over_any_sequence(self, slots):
+        block = CounterBlock(0)
+        total = 0
+        for slot in slots:
+            before = block.dummy_counter()
+            event = block.bump(slot)
+            delta = event.dummy_delta if event else 1
+            total = checked_sum([total, delta], 56)
+            assert checked_sum([before, delta], 56) == block.dummy_counter()
+        assert total == block.dummy_counter()
+
+
+class TestDummyCounter:
+    def test_fresh_block_is_zero(self):
+        assert CounterBlock(0).dummy_counter() == 0
+
+    def test_combines_major_and_minors(self):
+        block = CounterBlock(0, major=2, minors=[1] * MINORS_PER_BLOCK)
+        assert block.dummy_counter() == 2 * MINORS_PER_BLOCK \
+            + MINORS_PER_BLOCK
+
+
+class TestIntegrity:
+    def test_seal_verify_roundtrip(self):
+        mac = KeyedMac(b"k")
+        block = CounterBlock(0)
+        block.bump(0)
+        block.seal(mac, 0x1000, parent_counter=1)
+        assert block.verify(mac, 0x1000, 1)
+        assert not block.hmac_stale
+
+    def test_wrong_parent_counter_fails(self):
+        mac = KeyedMac(b"k")
+        block = CounterBlock(0)
+        block.bump(0)
+        block.seal(mac, 0x1000, 1)
+        assert not block.verify(mac, 0x1000, 2)
+
+    def test_wrong_address_fails(self):
+        mac = KeyedMac(b"k")
+        block = CounterBlock(0)
+        block.bump(0)
+        block.seal(mac, 0x1000, 1)
+        assert not block.verify(mac, 0x1040, 1)
+
+    def test_tampered_counter_fails(self):
+        mac = KeyedMac(b"k")
+        block = CounterBlock(0)
+        block.bump(0)
+        block.seal(mac, 0x1000, 1)
+        block.minors[5] += 1
+        assert not block.verify(mac, 0x1000, 1)
+
+    def test_blank_block_verifies_iff_parent_zero(self):
+        mac = KeyedMac(b"k")
+        block = CounterBlock(0)
+        assert block.is_blank
+        assert block.verify(mac, 0x1000, 0)
+        assert not block.verify(mac, 0x1000, 1)
+
+    def test_bumped_block_not_blank(self):
+        block = CounterBlock(0)
+        block.bump(0)
+        assert not block.is_blank
+
+
+class TestSerialisation:
+    def test_roundtrip(self):
+        mac = KeyedMac(b"k")
+        block = CounterBlock(3)
+        for slot in (0, 5, 5, 63):
+            block.bump(slot)
+        block.seal(mac, 0x40, 4)
+        image = block.to_bytes()
+        assert len(image) == 64
+        restored = CounterBlock.from_bytes(3, image)
+        assert restored.major == block.major
+        assert restored.minors == block.minors
+        assert restored.hmac == block.hmac
+
+    @given(st.integers(0, 2**20),
+           st.lists(st.integers(0, MINOR_LIMIT - 1),
+                    min_size=MINORS_PER_BLOCK, max_size=MINORS_PER_BLOCK),
+           st.integers(0, 2**64 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_arbitrary_state(self, major, minors, hmac):
+        block = CounterBlock(0, major=major, minors=list(minors), hmac=hmac)
+        restored = CounterBlock.from_bytes(0, block.to_bytes())
+        assert restored.major == major
+        assert restored.minors == list(minors)
+        assert restored.hmac == hmac
+
+    def test_clone_is_independent(self):
+        block = CounterBlock(0)
+        clone = block.clone()
+        block.bump(0)
+        assert clone.minor_of(0) == 0

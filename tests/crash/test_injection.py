@@ -1,0 +1,60 @@
+"""Crash planning and the run-until-crash helper."""
+
+import pytest
+
+from repro.crash.injection import CrashPlan, run_with_crash, split_at_crash
+from repro.errors import ConfigError
+from repro.mem.trace import AccessType, MemoryAccess
+from repro.sim.system import System
+
+from tests.conftest import persist_trace, random_trace, small_config
+
+
+class TestCrashPlan:
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            CrashPlan(after_accesses=-1)
+
+
+class TestSplitAtCrash:
+    def test_plain_split(self):
+        trace = random_trace(20)
+        executed, rest = split_at_crash(
+            trace, CrashPlan(5, align_to_persist=False))
+        assert len(executed) == 5
+        assert executed + list(rest) == trace
+
+    def test_align_to_persist_extends_to_next_persist(self):
+        trace = [MemoryAccess(AccessType.READ, 0),
+                 MemoryAccess(AccessType.READ, 64),
+                 MemoryAccess(AccessType.PERSIST, 128),
+                 MemoryAccess(AccessType.READ, 192)]
+        executed, _ = split_at_crash(trace, CrashPlan(1))
+        assert executed[-1].kind is AccessType.PERSIST
+        assert len(executed) == 3
+
+    def test_align_with_no_following_persist_takes_all(self):
+        trace = [MemoryAccess(AccessType.READ, 0)] * 4
+        executed, rest = split_at_crash(trace, CrashPlan(2))
+        assert len(executed) == 4
+        assert list(rest) == []
+
+
+class TestRunWithCrash:
+    def test_executes_then_crashes(self):
+        system = System(small_config("scue"))
+        executed = run_with_crash(system, persist_trace(30),
+                                  CrashPlan(after_accesses=10))
+        assert executed >= 10
+        # CPU caches dropped: next load is a full miss.
+        assert system.hierarchy.load(0).miss_to_memory
+
+    def test_recovery_truth_after_injected_crash(self):
+        system = System(small_config("scue"))
+        run_with_crash(system, persist_trace(30), CrashPlan(10))
+        assert system.recover().success
+
+    def test_lazy_fails_after_injected_crash(self):
+        system = System(small_config("lazy"))
+        run_with_crash(system, persist_trace(30), CrashPlan(10))
+        assert not system.recover().success

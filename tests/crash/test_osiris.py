@@ -1,0 +1,118 @@
+"""Osiris-style relaxed counter persistence composed with SCUE (§VII)."""
+
+import random
+
+import pytest
+
+from repro.crash.attacks import replay_leaf, snapshot_leaf
+from repro.errors import ConfigError
+from repro.secure.scue import SCUEController
+from repro.sim.config import SystemConfig
+
+from tests.conftest import small_config
+
+
+def osiris_controller(limit=4, **overrides) -> SCUEController:
+    return SCUEController(small_config(
+        "scue", leaf_write_through=False, osiris_limit=limit, **overrides))
+
+
+def run_writes(controller, n=150, seed=3):
+    rng = random.Random(seed)
+    for i in range(n):
+        controller.write_data(
+            rng.randrange(0, controller.config.data_capacity, 64),
+            None, cycle=i * 100)
+    return controller
+
+
+class TestConfig:
+    def test_requires_relaxed_persistence(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(osiris_limit=4, leaf_write_through=True)
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(osiris_limit=-1, leaf_write_through=False)
+
+
+class TestRuntime:
+    def test_metadata_writes_reduced_vs_write_through(self):
+        # A roomier metadata cache isolates the persistence policy from
+        # eviction noise (dirty leaves thrashing out of a 4 KB cache).
+        cache = {"metadata_cache_size": 64 * 1024}
+        relaxed = run_writes(osiris_controller(limit=8, **cache))
+        through = run_writes(SCUEController(small_config("scue", **cache)))
+        assert relaxed.stats.counter("meta_writes").value \
+            < through.stats.counter("meta_writes").value / 2
+
+    def test_forced_writeback_every_limit_bumps(self):
+        controller = osiris_controller(limit=4)
+        for i in range(8):          # 8 bumps to the same leaf
+            controller.write_data(0, None, cycle=i * 100)
+        assert controller.stats.counter("osiris_writebacks").value == 2
+
+    def test_recovery_root_still_tracks_every_bump(self):
+        controller = run_writes(osiris_controller(limit=8), n=50)
+        assert sum(controller.recovery_root.counters) == 50
+
+
+class TestRecovery:
+    def test_lost_counter_tail_recovered(self):
+        controller = run_writes(osiris_controller(limit=8), n=120)
+        controller.crash()
+        report = controller.recover()
+        assert report.success
+        assert report.root_matched
+
+    def test_recovered_system_keeps_running(self):
+        controller = run_writes(osiris_controller(limit=4), n=80)
+        controller.crash()
+        assert controller.recover().success
+        run_writes(controller, n=40, seed=9)
+        controller.read_data(0, cycle=10**9)
+
+    def test_data_survives_osiris_recovery(self):
+        controller = osiris_controller(limit=4)
+        controller.write_data(0, b"\x91" * 64, cycle=0)
+        controller.write_data(0, b"\x92" * 64, cycle=100)  # stale window
+        controller.crash()
+        assert controller.recover().success
+        assert controller.read_data(0, cycle=10**6).plaintext == b"\x92" * 64
+
+    def test_overflow_inside_window_handled(self):
+        """Minor overflow forces an immediate write-back, so recovery
+        never has to search across a major epoch."""
+        controller = osiris_controller(limit=16)
+        for i in range(70):          # > 64: overflows the 6-bit minor
+            controller.write_data(0, None, cycle=i * 1000)
+        assert controller.stats.counter("counter_overflows").value >= 1
+        controller.crash()
+        assert controller.recover().success
+
+    def test_replay_still_detected_by_root(self):
+        """Osiris's per-line search accepts any internally consistent
+        (data, MAC, counter) tuple — the Recovery_root sum is what kills
+        the replay, exactly as in the write-through configuration."""
+        controller = osiris_controller(limit=2)
+        controller.write_data(0, b"v1" * 32, cycle=0)
+        controller.write_data(0, b"v1" * 32, cycle=100)  # forces writeback
+        snap = snapshot_leaf(controller.store, 0)
+        old_cipher = controller.nvm.peek_line(0)
+        old_mac = controller.data_macs[0]
+        controller.write_data(0, b"v2" * 32, cycle=200)
+        controller.write_data(0, b"v2" * 32, cycle=300)
+        controller.crash()
+        replay_leaf(controller.store, snap)
+        controller.nvm.poke_line(0, old_cipher)   # replay the data too
+        controller.data_macs[0] = old_mac         # ...and its ECC MAC
+        report = controller.recover()
+        assert not report.success
+        assert not report.root_matched
+
+    def test_recovery_counts_osiris_reads(self):
+        controller = run_writes(osiris_controller(limit=4), n=60)
+        controller.crash()
+        report = controller.recover()
+        assert report.metadata_reads >= \
+            2 * controller.amap.num_counter_blocks

@@ -1,0 +1,143 @@
+"""STAR and AGIT fast-recovery trackers (§V-D, Fig 13)."""
+
+import pytest
+
+from repro.crash.anubis import (
+    AgitTracker,
+    AsitTracker,
+    READS_PER_STALE_NODE as AGIT_READS,
+)
+from repro.crash.recovery import METADATA_FETCH_NS
+from repro.crash.star import (
+    READS_PER_STALE_NODE as STAR_READS,
+    StarTracker,
+)
+from repro.mem.address import AddressMap
+
+CAP = 1024 * 1024
+
+
+@pytest.fixture
+def amap():
+    return AddressMap(CAP)
+
+
+class TestStarTracker:
+    def test_dirty_clean_lifecycle(self, amap):
+        tracker = StarTracker(amap)
+        tracker.on_dirty(1, 3)
+        tracker.on_dirty(1, 3)      # idempotent
+        assert tracker.stale_nodes == 1
+        tracker.on_clean(1, 3)
+        assert tracker.stale_nodes == 0
+
+    def test_clean_unknown_is_noop(self, amap):
+        StarTracker(amap).on_clean(1, 99)
+
+    def test_recovery_reads_linear_in_stale(self, amap):
+        tracker = StarTracker(amap)
+        for i in range(10):
+            tracker.on_dirty(1, i)
+        base = tracker.bitmap_lines
+        assert tracker.recovery_reads() == base + STAR_READS * 10
+
+    def test_bitmap_covers_all_trackable_nodes(self, amap):
+        tracker = StarTracker(amap)
+        trackable = amap.num_counter_blocks + amap.num_tree_nodes
+        assert tracker.bitmap_lines * 512 >= trackable
+
+    def test_no_runtime_write_overhead(self, amap):
+        tracker = StarTracker(amap)
+        tracker.on_dirty(0, 0)
+        assert tracker.runtime_write_overhead == 0
+
+    def test_seconds_model(self, amap):
+        tracker = StarTracker(amap)
+        tracker.on_dirty(0, 0)
+        assert tracker.recovery_seconds() == pytest.approx(
+            tracker.recovery_reads() * METADATA_FETCH_NS * 1e-9)
+
+    def test_reset(self, amap):
+        tracker = StarTracker(amap)
+        tracker.on_dirty(0, 0)
+        tracker.reset()
+        assert tracker.stale_nodes == 0
+
+
+class TestAgitTracker:
+    def test_runtime_writes_accrue_per_new_dirty(self, amap):
+        tracker = AgitTracker(amap)
+        tracker.on_dirty(0, 0)
+        tracker.on_dirty(0, 0)      # already tracked: no extra ST write
+        tracker.on_dirty(1, 0)
+        assert tracker.runtime_write_overhead == 2
+
+    def test_redirty_after_clean_writes_again(self, amap):
+        tracker = AgitTracker(amap)
+        tracker.on_dirty(0, 0)
+        tracker.on_clean(0, 0)
+        tracker.on_dirty(0, 0)
+        assert tracker.runtime_write_overhead == 2
+
+    def test_recovery_reads_linear(self, amap):
+        tracker = AgitTracker(amap)
+        for i in range(7):
+            tracker.on_dirty(0, i)
+        assert tracker.recovery_reads() == AGIT_READS * 7
+
+    def test_agit_costs_more_per_node_than_star(self, amap):
+        """The paper's Fig 13 ordering: STAR recovers faster."""
+        assert AGIT_READS > STAR_READS
+
+    def test_stale_coords_snapshot(self, amap):
+        tracker = AgitTracker(amap)
+        tracker.on_dirty(2, 5)
+        coords = tracker.stale_coords()
+        coords.clear()
+        assert tracker.stale_nodes == 1
+
+    def test_repeat_updates_free_for_agit(self, amap):
+        tracker = AgitTracker(amap)
+        tracker.on_dirty(1, 0)
+        for _ in range(5):
+            tracker.on_update(1, 0)
+        assert tracker.runtime_write_overhead == 1
+
+
+class TestAsitTracker:
+    def test_pays_per_update(self, amap):
+        """The §V-D contrast: content journalling writes the ST on every
+        metadata update, not just the first-dirty transition."""
+        tracker = AsitTracker(amap)
+        for _ in range(5):
+            tracker.on_update(1, 0)
+        assert tracker.runtime_write_overhead == 5
+
+    def test_recovery_is_one_read_per_stale(self, amap):
+        tracker = AsitTracker(amap)
+        for i in range(7):
+            tracker.on_update(1, i)
+        assert tracker.recovery_reads() == 7
+
+    def test_cheaper_recovery_but_dearer_runtime_than_agit(self, amap):
+        """The trade SCUE dissolves: ASIT recovers fastest but pays the
+        2x-style runtime journalling AGIT avoids."""
+        asit, agit = AsitTracker(amap), AgitTracker(amap)
+        for tracker in (asit, agit):
+            for i in range(4):
+                tracker.on_dirty(1, i)
+                for _ in range(3):
+                    tracker.on_update(1, i)
+        assert asit.recovery_reads() < agit.recovery_reads()
+        assert asit.runtime_write_overhead > agit.runtime_write_overhead
+
+    def test_scue_controller_accepts_asit(self):
+        from repro.secure.scue import SCUEController
+        from tests.conftest import small_config
+        controller = SCUEController(small_config(
+            "scue", recovery_tracker="asit"))
+        for i in range(20):
+            controller.write_data(i * 4096, None, cycle=i * 100)
+        assert controller.tracker.runtime_write_overhead >= 20
+        controller.crash()
+        assert controller.recover().success

@@ -1,0 +1,110 @@
+"""The experiment drivers behind the paper's figures, run at a reduced
+scale: these assert the *shape* of each result (who wins, directions),
+leaving absolute numbers to the benchmarks."""
+
+import pytest
+
+from repro.bench import (
+    BenchScale,
+    fig5_crash_window,
+    fig9_write_latency,
+    fig10_execution_time,
+    fig13_recovery_time,
+    geomean,
+    sec5e_memory_accesses,
+    sec5f_space_overheads,
+    table1_attack_detection,
+)
+
+WORKLOADS = ("array", "hash", "mcf")  # a fast, representative subset
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    fig = fig9_write_latency(BenchScale.quick(), workloads=WORKLOADS)
+    return fig
+
+
+class TestFig9Shape:
+    def test_plp_is_most_expensive(self, matrix):
+        avg = matrix.measured_average
+        assert avg["plp"] > avg["lazy"]
+        assert avg["plp"] > avg["scue"]
+        assert avg["plp"] > 1.5
+
+    def test_scue_cheaper_than_lazy(self, matrix):
+        avg = matrix.measured_average
+        assert avg["scue"] <= avg["lazy"] + 1e-9
+
+    def test_all_secure_schemes_cost_something(self, matrix):
+        for workload, row in matrix.table.items():
+            if workload == "geomean":
+                continue
+            for scheme, ratio in row.items():
+                if ratio:  # SPEC rows can be 0 at quick scale
+                    assert ratio >= 0.9
+
+
+class TestFig10Shape:
+    def test_execution_order(self, matrix):
+        fig = fig10_execution_time(matrix=matrix.matrix)
+        avg = fig.measured_average
+        assert avg["plp"] > avg["lazy"] >= avg["scue"] * 0.95
+        assert avg["scue"] >= avg["bmf-ideal"] * 0.95
+        assert 1.0 <= avg["scue"] < 2.0
+
+
+class TestSec5EShape:
+    def test_plp_metadata_traffic_dominates(self, matrix):
+        acc = sec5e_memory_accesses(matrix=matrix.matrix)
+        avg = acc.measured_average
+        assert avg["plp"] > 2.0          # several x Lazy
+        assert avg["bmf-ideal"] < 1.0    # below Lazy
+        assert avg["scue"] == pytest.approx(1.0, rel=0.35)
+
+
+class TestFig5:
+    def test_crash_window_truth_table(self):
+        result = fig5_crash_window(trials=4, operations=200)
+        assert result.success_rate["scue"] == 1.0
+        assert result.success_rate["plp"] == 1.0
+        assert result.success_rate["bmf-ideal"] == 1.0
+        assert result.success_rate["lazy"] == 0.0
+        assert result.success_rate["eager"] == 0.0  # aligned-to-persist
+
+
+class TestTable1:
+    def test_attack_matrix(self):
+        result = table1_attack_detection(data_capacity=2 * 1024 * 1024,
+                                         operations=120)
+        assert result.all_detected()
+        assert result.control_clean()
+        assert result.outcomes["roll_forward"]["by"] == "leaf_hmac"
+        assert result.outcomes["replay_roll_back"]["by"] == "root"
+        assert result.outcomes["forward_plus_back"]["by"] == "leaf_hmac"
+
+
+class TestFig13:
+    def test_recovery_scales_linearly_and_star_wins(self):
+        sizes = (128 * 1024, 256 * 1024)
+        fig = fig13_recovery_time(cache_sizes=sizes)
+        for tracker in ("star", "agit"):
+            small, large = (fig.table[tracker][s] for s in sizes)
+            assert large > small * 1.5  # roughly linear growth
+        for size in sizes:
+            assert fig.table["agit"][size] > fig.table["star"][size]
+
+
+class TestSec5F:
+    def test_overhead_table(self):
+        rows = {row.scheme: row for row in sec5f_space_overheads()}
+        assert rows["scue"].measured_bytes == 128
+        assert rows["baseline"].measured_bytes == 0
+        assert rows["bmf-ideal"].measured_bytes > 10 * 1024 * 1024
+        assert rows["plp"].measured_bytes < 1024
+
+
+def test_geomean_helper():
+    assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+    assert geomean([]) == 0.0
+    assert geomean([0.0, 2.0]) == 2.0  # zeros skipped

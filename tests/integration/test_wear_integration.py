@@ -1,0 +1,51 @@
+"""Wear tracking through the full system: the endurance ablation's core
+claim at test scale."""
+
+from repro.mem.trace import AccessType, MemoryAccess
+from repro.sim.system import System
+
+from tests.conftest import small_config
+
+
+def run_tracked(scheme: str) -> System:
+    system = System(small_config(scheme, track_wear=True,
+                                 metadata_cache_size=1024))
+    trace = [MemoryAccess(AccessType.PERSIST, (i * 37 % 512) * 64)
+             for i in range(200)]
+    system.run(trace)
+    return system
+
+
+class TestWearIntegration:
+    def test_metadata_hotspot_ordering(self):
+        """PLP's per-persist branch writes concentrate on shared upper
+        nodes; SCUE's eviction-driven writes do not."""
+        reports = {}
+        for scheme in ("plp", "scue"):
+            system = run_tracked(scheme)
+            amap = system.controller.amap
+            reports[scheme] = system.controller.nvm.wear.report(
+                lo=amap.counter_base, region=scheme)
+        assert reports["plp"].max_writes > 3 * reports["scue"].max_writes
+
+    def test_plp_hottest_line_is_high_in_the_tree(self):
+        system = run_tracked("plp")
+        amap = system.controller.amap
+        report = system.controller.nvm.wear.report(lo=amap.tree_base,
+                                                   region="tree")
+        level, _ = amap.tree_node_coords(report.hottest_line)
+        assert level >= amap.tree_levels - 2, \
+            "the branch top absorbs every persist"
+
+    def test_wear_disabled_costs_nothing(self):
+        system = System(small_config("scue", track_wear=False))
+        system.run([MemoryAccess(AccessType.PERSIST, 0)])
+        assert system.controller.nvm.wear is None
+
+    def test_data_region_wear_matches_write_counts(self):
+        system = run_tracked("baseline")
+        wear = system.controller.nvm.wear
+        data_report = wear.report(hi=system.config.data_capacity,
+                                  region="data")
+        assert data_report.total_writes \
+            == system.controller.stats.counter("data_writes").value

@@ -1,0 +1,184 @@
+"""Address map: every translation the rest of the system relies on."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AddressError, ConfigError
+from repro.mem.address import (
+    AddressMap,
+    CACHE_LINE_SIZE,
+    LINES_PER_COUNTER_BLOCK,
+    Region,
+    TREE_ARITY,
+)
+
+CAP = 1024 * 1024  # 256 counter blocks -> 3 tree levels minimum
+
+
+@pytest.fixture
+def amap() -> AddressMap:
+    return AddressMap(CAP)
+
+
+class TestGeometry:
+    def test_basic_counts(self, amap):
+        assert amap.num_data_lines == CAP // 64
+        assert amap.num_counter_blocks == CAP // 64 // 64
+
+    def test_minimum_levels_cover_leaves(self, amap):
+        assert TREE_ARITY ** amap.tree_levels >= amap.num_counter_blocks
+
+    def test_levels_are_minimal_by_default(self, amap):
+        assert TREE_ARITY ** (amap.tree_levels - 1) < amap.num_counter_blocks
+
+    def test_forced_levels_accepted(self):
+        amap = AddressMap(CAP, tree_levels=9)
+        assert amap.tree_levels == 9
+        assert amap.level_width(8) == 1
+
+    def test_too_few_levels_rejected(self):
+        with pytest.raises(ConfigError):
+            AddressMap(CAP, tree_levels=1)
+
+    def test_capacity_must_align(self):
+        with pytest.raises(ConfigError):
+            AddressMap(CAP + 64)
+
+    def test_level_width_shrinks_by_arity(self, amap):
+        for level in range(1, amap.tree_levels):
+            below = amap.level_width(level - 1)
+            assert amap.level_width(level) == -(-below // TREE_ARITY)
+
+    def test_root_width_is_one(self, amap):
+        assert amap.level_width(amap.tree_levels) == 1
+
+    def test_level_out_of_range(self, amap):
+        with pytest.raises(AddressError):
+            amap.level_width(amap.tree_levels + 1)
+
+    def test_total_capacity_covers_all_regions(self, amap):
+        assert amap.total_capacity == (
+            amap.data_capacity
+            + amap.num_counter_blocks * CACHE_LINE_SIZE
+            + amap.num_tree_nodes * CACHE_LINE_SIZE)
+
+
+class TestRegions:
+    def test_data_region(self, amap):
+        assert amap.region_of(0) is Region.DATA
+        assert amap.region_of(CAP - 1) is Region.DATA
+
+    def test_counter_region(self, amap):
+        assert amap.region_of(amap.counter_base) is Region.COUNTER
+
+    def test_tree_region(self, amap):
+        assert amap.region_of(amap.tree_base) is Region.TREE
+
+    def test_beyond_media_rejected(self, amap):
+        with pytest.raises(AddressError):
+            amap.region_of(amap.total_capacity)
+
+    def test_line_of_aligns(self, amap):
+        assert amap.line_of(100) == 64
+        assert amap.line_of(64) == 64
+
+
+class TestDataTranslations:
+    def test_counter_block_of_data(self, amap):
+        assert amap.counter_block_of_data(0) == 0
+        boundary = LINES_PER_COUNTER_BLOCK * CACHE_LINE_SIZE
+        assert amap.counter_block_of_data(boundary) == 1
+
+    def test_minor_slot_of_data(self, amap):
+        assert amap.minor_slot_of_data(0) == 0
+        assert amap.minor_slot_of_data(64) == 1
+        assert amap.minor_slot_of_data(63 * 64) == 63
+        assert amap.minor_slot_of_data(64 * 64) == 0
+
+    def test_non_data_address_rejected(self, amap):
+        with pytest.raises(AddressError):
+            amap.counter_block_of_data(amap.counter_base)
+
+    @given(st.integers(min_value=0, max_value=CAP - 1))
+    def test_every_data_byte_maps_to_valid_block(self, addr):
+        amap = AddressMap(CAP)
+        block = amap.counter_block_of_data(addr)
+        assert 0 <= block < amap.num_counter_blocks
+        slot = amap.minor_slot_of_data(addr)
+        assert 0 <= slot < LINES_PER_COUNTER_BLOCK
+
+
+class TestTreeTranslations:
+    def test_leaf_node_addr_is_counter_addr(self, amap):
+        assert amap.tree_node_addr(0, 5) == amap.counter_block_addr(5)
+
+    def test_node_addr_roundtrip(self, amap):
+        for level in range(amap.tree_levels):
+            for index in (0, amap.level_width(level) - 1):
+                addr = amap.tree_node_addr(level, index)
+                assert amap.tree_node_coords(addr) == (level, index)
+
+    def test_root_has_no_media_address(self, amap):
+        with pytest.raises(AddressError):
+            amap.tree_node_addr(amap.tree_levels, 0)
+
+    def test_node_index_out_of_range(self, amap):
+        with pytest.raises(AddressError):
+            amap.tree_node_addr(1, amap.level_width(1))
+
+    def test_counter_block_addr_roundtrip(self, amap):
+        addr = amap.counter_block_addr(7)
+        assert amap.counter_block_index(addr) == 7
+
+    def test_distinct_nodes_have_distinct_addresses(self, amap):
+        seen = set()
+        for level in range(amap.tree_levels):
+            for index in range(amap.level_width(level)):
+                addr = amap.tree_node_addr(level, index)
+                assert addr not in seen
+                seen.add(addr)
+
+
+class TestParentChild:
+    def test_parent_coords(self, amap):
+        assert amap.parent_coords(0, 9) == (1, 1)
+        assert amap.parent_coords(0, 7) == (1, 0)
+
+    def test_parent_slot(self, amap):
+        assert amap.parent_slot(9) == 1
+        assert amap.parent_slot(8) == 0
+
+    def test_root_has_no_parent(self, amap):
+        with pytest.raises(AddressError):
+            amap.parent_coords(amap.tree_levels, 0)
+
+    def test_child_coords_inverse_of_parent(self, amap):
+        for level in range(1, amap.tree_levels):
+            for index in range(amap.level_width(level)):
+                for child in amap.child_coords(level, index):
+                    assert amap.parent_coords(*child) == (level, index)
+
+    def test_children_cover_level_exactly(self, amap):
+        for level in range(1, amap.tree_levels):
+            children = [
+                c for index in range(amap.level_width(level))
+                for c in amap.child_coords(level, index)]
+            assert len(children) == amap.level_width(level - 1)
+            assert len(set(children)) == len(children)
+
+    def test_leaves_have_no_tree_children(self, amap):
+        with pytest.raises(AddressError):
+            amap.child_coords(0, 0)
+
+    def test_branch_reaches_top(self, amap):
+        branch = amap.branch_coords(0)
+        assert branch[0] == (0, 0)
+        assert branch[-1][0] == amap.tree_levels - 1
+        assert len(branch) == amap.tree_levels
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_branch_is_connected(self, block):
+        amap = AddressMap(CAP)
+        branch = amap.branch_coords(block)
+        for child, parent in zip(branch, branch[1:]):
+            assert amap.parent_coords(*child) == parent

@@ -1,0 +1,181 @@
+"""The set-associative cache, including a hypothesis model check of LRU
+behaviour against a reference implementation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.mem.cache import SetAssociativeCache
+
+
+def small_cache(ways=2, sets=2) -> SetAssociativeCache:
+    return SetAssociativeCache(64 * ways * sets, ways=ways)
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = small_cache()
+        assert cache.lookup(0) is None
+        cache.insert(0)
+        assert cache.lookup(0) is not None
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_contains_does_not_touch_stats(self):
+        cache = small_cache()
+        cache.insert(0)
+        cache.contains(0)
+        cache.contains(64)
+        assert cache.stats.accesses == 0
+
+    def test_peek_does_not_touch_lru(self):
+        cache = small_cache(ways=2, sets=1)
+        cache.insert(0)
+        cache.insert(64)
+        cache.peek(0)           # would refresh 0 if it were a lookup
+        victim = cache.insert(128)
+        assert victim.addr == 0  # 0 is still LRU
+
+    def test_lookup_refreshes_lru(self):
+        cache = small_cache(ways=2, sets=1)
+        cache.insert(0)
+        cache.insert(64)
+        cache.lookup(0)
+        victim = cache.insert(128)
+        assert victim.addr == 64
+
+    def test_payload_stored(self):
+        cache = small_cache()
+        cache.insert(0, payload="node")
+        assert cache.lookup(0).payload == "node"
+
+    def test_insert_existing_updates_payload_and_dirty(self):
+        cache = small_cache()
+        cache.insert(0, payload="a", dirty=False)
+        victim = cache.insert(0, payload="b", dirty=True)
+        assert victim is None
+        line = cache.peek(0)
+        assert line.payload == "b"
+        assert line.dirty
+
+    def test_dirty_sticky_on_reinsert(self):
+        cache = small_cache()
+        cache.insert(0, dirty=True)
+        cache.insert(0, dirty=False)
+        assert cache.peek(0).dirty
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ConfigError):
+            SetAssociativeCache(100, ways=8)
+
+
+class TestEviction:
+    def test_victim_returned(self):
+        cache = small_cache(ways=1, sets=1)
+        cache.insert(0)
+        victim = cache.insert(64)
+        assert victim.addr == 0
+
+    def test_dirty_victim_counts_writeback(self):
+        cache = small_cache(ways=1, sets=1)
+        cache.insert(0, dirty=True)
+        cache.insert(64)
+        assert cache.stats.writebacks == 1
+
+    def test_clean_victim_no_writeback(self):
+        cache = small_cache(ways=1, sets=1)
+        cache.insert(0, dirty=False)
+        cache.insert(64)
+        assert cache.stats.writebacks == 0
+
+    def test_sets_are_independent(self):
+        cache = small_cache(ways=1, sets=2)
+        cache.insert(0)      # set 0
+        victim = cache.insert(64)  # set 1
+        assert victim is None
+
+    def test_invalidate(self):
+        cache = small_cache()
+        cache.insert(0)
+        assert cache.invalidate(0).addr == 0
+        assert cache.peek(0) is None
+        assert cache.invalidate(0) is None
+
+
+class TestBulkOperations:
+    def test_drop_all_returns_everything(self):
+        cache = small_cache(ways=2, sets=2)
+        for addr in (0, 64, 128):
+            cache.insert(addr)
+        dropped = cache.drop_all()
+        assert {line.addr for line in dropped} == {0, 64, 128}
+        assert len(cache) == 0
+
+    def test_dirty_lines(self):
+        cache = small_cache(ways=2, sets=2)
+        cache.insert(0, dirty=True)
+        cache.insert(64, dirty=False)
+        assert [line.addr for line in cache.dirty_lines()] == [0]
+
+    def test_resident_lines(self):
+        cache = small_cache(ways=2, sets=2)
+        cache.insert(0)
+        cache.insert(64)
+        assert {line.addr for line in cache.resident_lines()} == {0, 64}
+
+
+class TestUnbounded:
+    def test_never_evicts(self):
+        cache = SetAssociativeCache(None)
+        for i in range(1000):
+            assert cache.insert(i * 64) is None
+        assert len(cache) == 1000
+
+    def test_hits_after_many_inserts(self):
+        cache = SetAssociativeCache(None)
+        cache.insert(0)
+        for i in range(1, 500):
+            cache.insert(i * 64)
+        assert cache.lookup(0) is not None
+
+
+class TestLRUModelCheck:
+    """Drive the cache and a reference fully-associative-per-set model
+    with the same operations; behaviour must match exactly."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 15), st.booleans()),
+                    min_size=1, max_size=200))
+    def test_against_reference(self, ops):
+        ways, sets = 2, 2
+        cache = small_cache(ways=ways, sets=sets)
+        model: list[list[int]] = [[] for _ in range(sets)]  # MRU at end
+
+        for slot, is_insert in ops:
+            addr = slot * 64
+            set_id = slot % sets
+            mru = model[set_id]
+            if is_insert:
+                victim = cache.insert(addr)
+                if addr in mru:
+                    mru.remove(addr)
+                    mru.append(addr)
+                    assert victim is None
+                else:
+                    expected_victim = None
+                    if len(mru) >= ways:
+                        expected_victim = mru.pop(0)
+                    mru.append(addr)
+                    if expected_victim is None:
+                        assert victim is None
+                    else:
+                        assert victim is not None
+                        assert victim.addr == expected_victim
+            else:
+                line = cache.lookup(addr)
+                if addr in mru:
+                    assert line is not None
+                    mru.remove(addr)
+                    mru.append(addr)
+                else:
+                    assert line is None

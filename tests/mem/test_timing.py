@@ -1,0 +1,60 @@
+"""PCM timing model (Table II parameters)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mem.timing import PCMTiming, TimingModel
+
+
+class TestPCMTiming:
+    def test_table2_defaults(self):
+        pcm = PCMTiming()
+        assert pcm.t_rcd == 48.0
+        assert pcm.t_cl == 15.0
+        assert pcm.t_cwd == 13.0
+        assert pcm.t_faw == 50.0
+        assert pcm.t_wtr == 7.5
+        assert pcm.t_wr == 300.0
+
+    def test_read_is_activate_plus_cas(self):
+        assert PCMTiming().read_ns == 63.0
+
+    def test_row_hit_skips_activate(self):
+        assert PCMTiming().row_hit_read_ns == 15.0
+
+    def test_write_is_cwd_plus_recovery(self):
+        assert PCMTiming().write_ns == 313.0
+
+    def test_negative_parameter_rejected(self):
+        with pytest.raises(ConfigError):
+            PCMTiming(t_wr=-1)
+
+
+class TestTimingModel:
+    def test_cycles_at_2ghz(self):
+        model = TimingModel()
+        assert model.read_cycles == 126          # 63 ns * 2 GHz
+        assert model.row_hit_read_cycles == 30
+        assert model.write_service_cycles == 626
+
+    def test_ns_to_cycles_rounds_up(self):
+        model = TimingModel(cpu_ghz=2.0)
+        assert model.ns_to_cycles(0.4) == 1
+        assert model.ns_to_cycles(1.0) == 2
+
+    def test_drain_scales_with_banks(self):
+        slow = TimingModel(banks=1)
+        fast = TimingModel(banks=8)
+        assert slow.write_drain_cycles == 8 * fast.write_drain_cycles \
+            or abs(slow.write_drain_cycles - 8 * fast.write_drain_cycles) <= 8
+
+    def test_drain_never_zero(self):
+        assert TimingModel(banks=10_000).write_drain_cycles == 1
+
+    def test_invalid_clock_rejected(self):
+        with pytest.raises(ConfigError):
+            TimingModel(cpu_ghz=0)
+
+    def test_invalid_banks_rejected(self):
+        with pytest.raises(ConfigError):
+            TimingModel(banks=0)

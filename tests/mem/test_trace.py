@@ -1,0 +1,71 @@
+"""Trace records and statistics."""
+
+from repro.mem.trace import (
+    AccessType,
+    MemoryAccess,
+    TraceStats,
+    collect_stats,
+    tee_stats,
+)
+
+
+def sample_trace():
+    return [
+        MemoryAccess(AccessType.READ, 0, gap=2),
+        MemoryAccess(AccessType.WRITE, 64, gap=1),
+        MemoryAccess(AccessType.PERSIST, 64, gap=0),
+        MemoryAccess(AccessType.READ, 130, gap=3),
+    ]
+
+
+class TestCollectStats:
+    def test_counts_by_kind(self):
+        stats = collect_stats(sample_trace())
+        assert stats.reads == 2
+        assert stats.writes == 1
+        assert stats.persists == 1
+
+    def test_gap_instructions(self):
+        stats = collect_stats(sample_trace())
+        assert stats.gap_instructions == 6
+
+    def test_memory_share(self):
+        stats = collect_stats(sample_trace())
+        assert stats.memory_share == 4 / 10
+
+    def test_footprint_is_line_aligned_and_distinct(self):
+        stats = collect_stats(sample_trace())
+        assert stats.footprint == {0, 64, 128}
+
+    def test_empty_trace(self):
+        stats = collect_stats([])
+        assert stats.memory_share == 0.0
+        assert stats.total_instructions == 0
+
+
+class TestTeeStats:
+    def test_passthrough_and_accumulate(self):
+        stats = TraceStats()
+        passed = list(tee_stats(sample_trace(), stats))
+        assert passed == sample_trace()
+        assert stats.reads == 2
+
+    def test_lazy_accumulation(self):
+        stats = TraceStats()
+        gen = tee_stats(sample_trace(), stats)
+        next(gen)
+        assert stats.memory_instructions == 1
+
+
+class TestMemoryAccess:
+    def test_frozen(self):
+        access = MemoryAccess(AccessType.READ, 0)
+        try:
+            access.addr = 1
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised
+
+    def test_default_gap(self):
+        assert MemoryAccess(AccessType.READ, 0).gap == 1

@@ -1,0 +1,133 @@
+"""Wear tracking and Start-Gap wear levelling."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.mem.nvm import NVMDevice
+from repro.mem.wear import StartGap, WearTracker
+
+
+class TestWearTracker:
+    def test_records_per_line(self):
+        tracker = WearTracker()
+        tracker.record(0)
+        tracker.record(0)
+        tracker.record(64)
+        assert tracker.writes_to(0) == 2
+        assert tracker.writes_to(64) == 1
+        assert tracker.writes_to(128) == 0
+
+    def test_report_aggregates(self):
+        tracker = WearTracker()
+        for _ in range(5):
+            tracker.record(0)
+        tracker.record(64)
+        report = tracker.report()
+        assert report.total_writes == 6
+        assert report.lines_touched == 2
+        assert report.max_writes == 5
+        assert report.hottest_line == 0
+        assert report.mean_writes == 3.0
+        assert report.imbalance == pytest.approx(5 / 3)
+
+    def test_report_range_filters(self):
+        tracker = WearTracker()
+        tracker.record(0)
+        tracker.record(1024)
+        report = tracker.report(lo=512, region="upper")
+        assert report.total_writes == 1
+        assert report.region == "upper"
+
+    def test_empty_report(self):
+        report = WearTracker().report()
+        assert report.total_writes == 0
+        assert report.imbalance == 0.0
+
+    def test_lifetime_fraction(self):
+        tracker = WearTracker()
+        for _ in range(100):
+            tracker.record(0)
+        assert tracker.report().lifetime_fraction(endurance=1e4) == 0.01
+
+    def test_top_lines_ordering(self):
+        tracker = WearTracker()
+        for addr, n in ((0, 3), (64, 7), (128, 1)):
+            for _ in range(n):
+                tracker.record(addr)
+        assert tracker.top_lines(2) == [(64, 7), (0, 3)]
+
+
+class TestNVMIntegration:
+    def test_counted_writes_tracked(self):
+        nvm = NVMDevice(64 * 1024, track_wear=True)
+        nvm.write_line(0, bytes(64))
+        nvm.write_line(0, bytes(64))
+        assert nvm.wear.writes_to(0) == 2
+
+    def test_pokes_not_tracked(self):
+        nvm = NVMDevice(64 * 1024, track_wear=True)
+        nvm.poke_line(0, bytes(64))
+        assert nvm.wear.writes_to(0) == 0
+
+    def test_disabled_by_default(self):
+        assert NVMDevice(64 * 1024).wear is None
+
+
+class TestStartGap:
+    def test_translation_is_injective_and_avoids_gap(self):
+        sg = StartGap(lines=16, gap_interval=3)
+        for _ in range(200):
+            mapping = [sg.translate(i) for i in range(16)]
+            assert len(set(mapping)) == 16
+            assert sg.gap not in mapping
+            assert all(0 <= p <= 16 for p in mapping)
+            sg.on_write()
+
+    def test_gap_moves_every_interval(self):
+        sg = StartGap(lines=8, gap_interval=5)
+        moved = [sg.on_write() for _ in range(10)]
+        assert moved.count(True) == 2
+        assert sg.gap_moves == 2
+        assert sg.extra_writes == 2
+
+    def test_start_advances_after_full_traversal(self):
+        sg = StartGap(lines=4, gap_interval=1)
+        for _ in range(5):          # gap walks 4 -> 0, then wraps
+            sg.on_write()
+        assert sg.start == 1
+
+    def test_hotspot_spreads_over_physical_slots(self):
+        sg = StartGap(lines=8, gap_interval=2)
+        # One start-advance per 9 gap moves (= 18 writes); 400 writes
+        # advance start ~22 times — multiple full rotations, so the
+        # single logical hotspot visits every physical slot.
+        touched = sg.physical_spread(logical=5, writes=400)
+        assert len(touched) >= 8
+
+    def test_spread_grows_with_writes(self):
+        few = StartGap(lines=32, gap_interval=4).physical_spread(5, 100)
+        many = StartGap(lines=32, gap_interval=4).physical_spread(5, 4000)
+        assert len(many) > len(few)
+
+    def test_no_levelling_without_writes(self):
+        sg = StartGap(lines=8)
+        assert sg.translate(3) == sg.translate(3)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            StartGap(lines=0)
+        with pytest.raises(ConfigError):
+            StartGap(lines=4, gap_interval=0)
+        with pytest.raises(ConfigError):
+            StartGap(lines=4).translate(4)
+
+    @given(st.integers(2, 64), st.integers(1, 20), st.integers(0, 500))
+    @settings(max_examples=40, deadline=None)
+    def test_injectivity_invariant(self, lines, interval, writes):
+        sg = StartGap(lines=lines, gap_interval=interval)
+        for _ in range(writes):
+            sg.on_write()
+        mapping = [sg.translate(i) for i in range(lines)]
+        assert len(set(mapping)) == lines
+        assert sg.gap not in mapping

@@ -1,0 +1,112 @@
+"""The write pending queue: capacity, drain, back-pressure."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mem.wpq import WritePendingQueue
+
+
+def wpq(data=4, meta=2, drain=10) -> WritePendingQueue:
+    return WritePendingQueue(data_entries=data, metadata_entries=meta,
+                             drain_cycles=drain)
+
+
+class TestEnqueue:
+    def test_no_stall_with_room(self):
+        queue = wpq()
+        assert queue.enqueue(0, cycle=0) == 0
+        assert len(queue) == 1
+
+    def test_partitions_are_separate(self):
+        queue = wpq(data=1, meta=1)
+        queue.enqueue(0, 0)
+        assert queue.enqueue(64, 0, metadata=True) == 0
+
+    def test_full_data_queue_stalls(self):
+        queue = wpq(data=2, drain=10)
+        queue.enqueue(0, 0)
+        queue.enqueue(64, 0)
+        stall = queue.enqueue(128, 0)
+        assert stall > 0
+
+    def test_stall_matches_drain_schedule(self):
+        queue = wpq(data=1, drain=10)
+        queue.enqueue(0, 0)
+        # Next slot frees when the first drain fires at cycle 10.
+        assert queue.enqueue(64, 0) == 10
+
+    def test_full_metadata_queue_stalls_independently(self):
+        queue = wpq(data=8, meta=1, drain=10)
+        queue.enqueue(0, 0, metadata=True)
+        assert queue.enqueue(64, 0, metadata=True) > 0
+
+    def test_stats(self):
+        queue = wpq()
+        queue.enqueue(0, 0)
+        queue.enqueue(64, 0, metadata=True)
+        assert queue.stats.counter("enqueued").value == 1
+        assert queue.stats.counter("metadata_enqueued").value == 1
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ConfigError):
+            WritePendingQueue(data_entries=0)
+        with pytest.raises(ConfigError):
+            WritePendingQueue(drain_cycles=0)
+
+
+class TestDrain:
+    def test_advance_drains(self):
+        queue = wpq(drain=10)
+        queue.enqueue(0, 0)
+        queue.enqueue(64, 0)
+        queue.advance_to(25)
+        assert len(queue) == 0
+        assert queue.stats.counter("drained").value == 2
+
+    def test_drain_rate_respected(self):
+        queue = wpq(data=8, drain=10)
+        for i in range(4):
+            queue.enqueue(i * 64, 0)
+        queue.advance_to(15)  # drains at 10 only (next at 20)
+        assert len(queue) == 3
+
+    def test_metadata_drains_first(self):
+        queue = wpq(drain=10)
+        queue.enqueue(0, 0)
+        queue.enqueue(64, 0, metadata=True)
+        queue.advance_to(10)
+        assert queue.occupancy(metadata=True) == 0
+        assert queue.occupancy(metadata=False) == 1
+
+    def test_advance_backwards_is_noop(self):
+        queue = wpq()
+        queue.enqueue(0, 5)
+        queue.advance_to(3)
+        assert len(queue) == 1
+
+    def test_idle_queue_resets_drain_clock(self):
+        queue = wpq(drain=10)
+        queue.enqueue(0, 0)
+        queue.advance_to(100)        # drained long ago; idle since
+        queue.enqueue(64, 100)
+        queue.advance_to(109)
+        assert len(queue) == 1       # drain at >= 100+? not before 110
+        queue.advance_to(110)
+        assert len(queue) == 0
+
+
+class TestFlush:
+    def test_flush_empties_everything(self):
+        queue = wpq()
+        queue.enqueue(0, 0)
+        queue.enqueue(64, 0, metadata=True)
+        flushed = queue.flush()
+        assert len(queue) == 0
+        assert {e.line_addr for e in flushed} == {0, 64}
+
+    def test_flush_order_metadata_first(self):
+        queue = wpq()
+        queue.enqueue(0, 0)
+        queue.enqueue(64, 0, metadata=True)
+        flushed = queue.flush()
+        assert flushed[0].is_metadata

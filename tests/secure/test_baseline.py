@@ -1,0 +1,70 @@
+"""The insecure baseline: encryption only, no integrity machinery."""
+
+import random
+
+from repro.secure.baseline import BaselineController
+
+from tests.conftest import small_config
+
+
+def controller(**overrides) -> BaselineController:
+    return BaselineController(small_config("baseline", **overrides))
+
+
+class TestBaseline:
+    def test_data_roundtrip(self):
+        ctl = controller()
+        ctl.write_data(0, b"\x33" * 64, cycle=0)
+        assert ctl.read_data(0, cycle=100).plaintext == b"\x33" * 64
+
+    def test_no_hashes_ever(self):
+        ctl = controller()
+        for i in range(20):
+            ctl.write_data(i * 64, None, cycle=i * 100)
+            ctl.read_data(i * 64, cycle=i * 100 + 50)
+        # CME + data MACs are modelled as ECC-resident and verified with
+        # the read, but the *tree* hash engine is what schemes pay for:
+        # baseline never touches tree nodes.
+        assert ctl.stats.counter("meta_writes").value <= 20 + 5
+
+    def test_no_tree_nodes_touched(self):
+        ctl = controller()
+        rng = random.Random(1)
+        for i in range(60):
+            ctl.write_data(rng.randrange(0, 2**20, 64), None, cycle=i * 100)
+        amap = ctl.amap
+        for level in range(1, amap.tree_levels):
+            for index in range(amap.level_width(level)):
+                assert not any(ctl.nvm.peek_line(
+                    amap.tree_node_addr(level, index)))
+
+    def test_fetch_does_not_verify(self):
+        """Baseline trusts whatever it reads — by construction."""
+        ctl = controller()
+        ctl.write_data(0, None, cycle=0)
+        ctl.crash()
+        # Corrupt the counter block wholesale: baseline won't notice on
+        # fetch (data decryption will just produce garbage — that is the
+        # vulnerability the secure schemes close).
+        addr = ctl.amap.counter_block_addr(0)
+        ctl.nvm.poke_line(addr, b"\xFF" * 64)
+        ctl.fetch_node(0, 0)  # must not raise
+
+    def test_recovery_trivially_succeeds(self):
+        ctl = controller()
+        ctl.write_data(0, None, cycle=0)
+        ctl.crash()
+        report = ctl.recover()
+        assert report.success
+        assert "insecure" in report.detail
+
+    def test_zero_onchip_overhead(self):
+        assert controller().onchip_overhead_bytes() == 0
+
+    def test_write_through_config_respected(self):
+        through = controller(leaf_write_through=True)
+        through.write_data(0, None, cycle=0)
+        assert through.stats.counter("meta_writes").value == 1
+        lazy_leaf = controller(leaf_write_through=False)
+        lazy_leaf.write_data(0, None, cycle=0)
+        assert lazy_leaf.stats.counter("meta_writes").value == 0

@@ -1,0 +1,129 @@
+"""The lazy and eager baselines: correct during runtime, root crash
+inconsistent after failures (§II-D4, §III-B)."""
+
+import random
+
+import pytest
+
+from repro.secure.eager import EagerController
+from repro.secure.lazy import LazyController
+
+from tests.conftest import small_config
+
+
+def run_writes(controller, n=60, seed=2, spacing=100):
+    rng = random.Random(seed)
+    for i in range(n):
+        controller.write_data(
+            rng.randrange(0, controller.config.data_capacity, 64),
+            None, cycle=i * spacing)
+    return controller
+
+
+class TestLazyRuntime:
+    def test_reads_and_writes_work(self):
+        controller = LazyController(small_config("lazy"))
+        controller.write_data(0, b"\x42" * 64, cycle=0)
+        assert controller.read_data(0, cycle=500).plaintext == b"\x42" * 64
+
+    def test_parent_counter_counts_leaf_flushes(self):
+        controller = LazyController(small_config("lazy"))
+        controller.write_data(0, None, cycle=0)
+        controller.write_data(0, None, cycle=200)
+        parent, _ = controller.fetch_node(1, 0, charge=False)
+        assert parent.counter(0) == 2
+
+    def test_root_lags_leaves(self):
+        """The lazy root only moves when top-level nodes flush: after a
+        few writes it is still zero — the crash-inconsistency source."""
+        controller = run_writes(LazyController(small_config("lazy")), n=5)
+        assert controller.running_root.counters == [0] * 8
+
+    def test_survives_metadata_pressure(self):
+        controller = LazyController(
+            small_config("lazy", metadata_cache_size=1024))
+        run_writes(controller, n=200, seed=8)
+
+
+class TestLazyRecovery:
+    def test_recovery_fails_after_crash_with_writes(self):
+        controller = run_writes(LazyController(small_config("lazy")))
+        controller.crash()
+        report = controller.recover()
+        assert not report.success
+        assert not report.root_matched
+        assert report.attack_reported  # the false positive of §III-B
+
+    def test_recovery_succeeds_with_no_writes(self):
+        controller = LazyController(small_config("lazy"))
+        controller.crash()
+        assert controller.recover().success
+
+
+class TestEagerRuntime:
+    def test_reads_and_writes_work(self):
+        controller = EagerController(small_config("eager"))
+        controller.write_data(0, b"\x24" * 64, cycle=0)
+        assert controller.read_data(0, cycle=10**6).plaintext == b"\x24" * 64
+
+    def test_root_update_pends_during_window(self):
+        controller = EagerController(small_config("eager"))
+        controller.write_data(0, None, cycle=0)
+        assert controller.in_window
+        # The architectural (effective) root already reflects the write.
+        assert controller._root_counter(0) == 1
+        # The register itself has not landed yet.
+        assert controller.running_root.counter(0) == 0
+
+    def test_pending_update_lands_after_window(self):
+        controller = EagerController(small_config("eager"))
+        controller.write_data(0, None, cycle=0)
+        controller.read_data(64, cycle=10**6)   # far past the window
+        assert not controller.in_window
+        assert controller.running_root.counter(0) == 1
+
+    def test_effective_root_verifies_mid_window(self):
+        """Back-to-back writes: the second write's verification happens
+        while the first root update is still in flight."""
+        controller = EagerController(small_config("eager"))
+        controller.write_data(0, None, cycle=0)
+        controller.write_data(64 * 64 * 3, None, cycle=1)  # other leaf
+        controller.read_data(0, cycle=2)
+
+    def test_survives_metadata_pressure(self):
+        controller = EagerController(
+            small_config("eager", metadata_cache_size=1024))
+        run_writes(controller, n=200, seed=8)
+
+
+class TestEagerCrashWindow:
+    def test_crash_in_window_fails_recovery(self):
+        controller = EagerController(small_config("eager"))
+        controller.write_data(0, None, cycle=0)
+        assert controller.in_window
+        controller.crash()
+        report = controller.recover()
+        assert not report.success
+        assert controller.stats.counter("window_lost_updates").value == 1
+
+    def test_crash_outside_window_recovers(self):
+        controller = EagerController(small_config("eager"))
+        controller.write_data(0, None, cycle=0)
+        controller.read_data(64, cycle=10**6)   # window closes
+        assert not controller.in_window
+        controller.crash()
+        assert controller.recover().success
+
+    def test_eadr_does_not_save_eager(self):
+        """§III-C: eADR flushes caches but cannot update the root."""
+        controller = EagerController(small_config("eager", eadr=True))
+        controller.write_data(0, None, cycle=0)
+        assert controller.in_window
+        controller.crash()
+        assert not controller.recover().success
+
+
+@pytest.mark.parametrize("cls,scheme", [(LazyController, "lazy"),
+                                        (EagerController, "eager")])
+def test_single_root_register_overhead(cls, scheme):
+    assert cls(small_config(scheme)).onchip_overhead_bytes() == 64

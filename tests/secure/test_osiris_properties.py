@@ -1,0 +1,73 @@
+"""Property-based checks on the Osiris counter-recovery search itself."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crash.osiris import OsirisReport, _candidates
+from repro.cme.counters import MINOR_LIMIT
+from repro.secure.scue import SCUEController
+
+from tests.conftest import small_config
+
+
+class TestCandidates:
+    def test_starts_at_stored_value(self):
+        assert next(_candidates(2, 10, 4)) == (2, 10)
+
+    def test_count_bounded_by_limit(self):
+        candidates = list(_candidates(0, 0, 6))
+        assert len(candidates) == 7
+        assert candidates[-1] == (0, 6)
+
+    def test_never_crosses_minor_overflow(self):
+        candidates = list(_candidates(1, MINOR_LIMIT - 2, 8))
+        assert all(minor < MINOR_LIMIT for _, minor in candidates)
+        assert all(major == 1 for major, _ in candidates)
+
+    @given(st.integers(0, 100), st.integers(0, MINOR_LIMIT - 1),
+           st.integers(0, 16))
+    def test_candidates_are_monotone(self, major, minor, limit):
+        minors = [m for _, m in _candidates(major, minor, limit)]
+        assert minors == sorted(minors)
+        assert all(minor <= m <= minor + limit for m in minors)
+
+
+class TestReport:
+    def test_success_iff_no_unrecoverable(self):
+        report = OsirisReport()
+        assert report.success
+        report.unrecoverable.append((0, 1))
+        assert not report.success
+
+
+class TestSearchProperties:
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 16))
+    @settings(max_examples=10, deadline=None)
+    def test_any_history_within_limit_recovers(self, seed, limit):
+        """Whatever the write history, the forced-writeback discipline
+        keeps every slot's stale distance within the search window, so
+        recovery always succeeds on honest media."""
+        controller = SCUEController(small_config(
+            "scue", leaf_write_through=False, osiris_limit=limit))
+        rng = random.Random(seed)
+        for i in range(60):
+            controller.write_data(
+                rng.randrange(0, controller.config.data_capacity, 64),
+                None, cycle=i * 100)
+        controller.crash()
+        assert controller.recover().success
+
+    def test_hot_line_hammering_recovers(self):
+        """All writes to ONE line: per-slot distance == per-leaf pending,
+        the tightest case for the limit discipline."""
+        controller = SCUEController(small_config(
+            "scue", leaf_write_through=False, osiris_limit=4))
+        for i in range(23):   # not a multiple of the limit: stale tail
+            controller.write_data(0, None, cycle=i * 100)
+        controller.crash()
+        report = controller.recover()
+        assert report.success
+        leaf = controller.store.load(0, 0, counted=False)
+        assert leaf.minors[0] == 23

@@ -1,0 +1,67 @@
+"""Root registers: the on-chip non-volatile trust base."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.secure.roots import ROOT_REGISTER_BYTES, RootRegister
+from repro.tree.node import COUNTER_MASK
+
+
+class TestRootRegister:
+    def test_starts_zero(self):
+        assert RootRegister("r").counters == [0] * 8
+
+    def test_add(self):
+        root = RootRegister("r")
+        root.add(3)
+        root.add(3, 4)
+        assert root.counter(3) == 5
+
+    def test_add_wraps_modularly(self):
+        root = RootRegister("r")
+        root.set(0, COUNTER_MASK)
+        root.add(0, 2)
+        assert root.counter(0) == 1
+
+    def test_set(self):
+        root = RootRegister("r")
+        root.set(1, 99)
+        assert root.counter(1) == 99
+
+    def test_set_masks_to_56_bits(self):
+        root = RootRegister("r")
+        root.set(0, 1 << 56)
+        assert root.counter(0) == 0
+
+    def test_matches(self):
+        root = RootRegister("r")
+        root.add(0, 7)
+        assert root.matches([7, 0, 0, 0, 0, 0, 0, 0])
+        assert not root.matches([8, 0, 0, 0, 0, 0, 0, 0])
+
+    def test_matches_requires_eight(self):
+        with pytest.raises(ConfigError):
+            RootRegister("r").matches([0])
+
+    def test_snapshot_restore(self):
+        root = RootRegister("r")
+        root.add(2, 5)
+        snap = root.snapshot()
+        root.add(2, 1)
+        root.restore(snap)
+        assert root.counter(2) == 5
+
+    def test_counters_returns_copy(self):
+        root = RootRegister("r")
+        root.counters.append(999)  # must not mutate internal state
+        assert len(root.counters) == 8
+
+    def test_slot_bounds(self):
+        root = RootRegister("r")
+        with pytest.raises(ConfigError):
+            root.add(8)
+        with pytest.raises(ConfigError):
+            root.counter(-1)
+
+    def test_register_is_64_bytes(self):
+        assert ROOT_REGISTER_BYTES == 64

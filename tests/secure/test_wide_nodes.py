@@ -1,0 +1,135 @@
+"""VAULT/MorphCtr-style wide tree nodes (§VII): arity 16/32 with
+correspondingly narrower counters, threaded through the whole stack."""
+
+import random
+
+import pytest
+
+from repro.crash.attacks import replay_leaf, roll_forward_leaf, snapshot_leaf
+from repro.errors import ConfigError
+from repro.mem.address import AddressMap, COUNTER_BITS_FOR_ARITY
+from repro.secure import SCHEMES, make_controller
+from repro.sim.config import SystemConfig
+from repro.tree.node import SITNode
+
+from tests.conftest import small_config
+
+ARITIES = (8, 16, 32)
+
+
+class TestGeometry:
+    def test_counter_widths_fill_the_line(self):
+        for arity, bits in COUNTER_BITS_FOR_ARITY.items():
+            assert arity * bits + 64 == 512
+
+    @pytest.mark.parametrize("arity", ARITIES)
+    def test_wider_nodes_make_shorter_trees(self, arity):
+        amap = AddressMap(4 * 1024 * 1024, arity=arity)
+        baseline = AddressMap(4 * 1024 * 1024, arity=8)
+        assert amap.tree_levels <= baseline.tree_levels
+
+    def test_unsupported_arity_rejected(self):
+        with pytest.raises(ConfigError):
+            AddressMap(1024 * 1024, arity=12)
+
+    @pytest.mark.parametrize("arity", (16, 32))
+    def test_parent_child_relations_scale(self, arity):
+        amap = AddressMap(4 * 1024 * 1024, arity=arity)
+        for level in range(1, amap.tree_levels):
+            for index in range(amap.level_width(level)):
+                children = amap.child_coords(level, index)
+                assert len(children) <= arity
+                for child in children:
+                    assert amap.parent_coords(*child) == (level, index)
+
+
+class TestWideNodes:
+    @pytest.mark.parametrize("arity", (16, 32))
+    def test_serialisation_roundtrip(self, arity):
+        bits = COUNTER_BITS_FOR_ARITY[arity]
+        counters = [(i * 37) % (1 << bits) for i in range(arity)]
+        node = SITNode(1, 0, counters=counters, hmac=0xFEED, arity=arity)
+        restored = SITNode.from_bytes(1, 0, node.to_bytes(), arity=arity)
+        assert restored.counters == counters
+        assert restored.hmac == 0xFEED
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            SITNode(1, 0, counters=[0] * 8, arity=16)
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ConfigError):
+            SITNode(1, 0, arity=16, counter_bits=56)
+
+    @pytest.mark.parametrize("arity", (16, 32))
+    def test_dummy_counter_wraps_at_width(self, arity):
+        bits = COUNTER_BITS_FOR_ARITY[arity]
+        node = SITNode(1, 0, arity=arity)
+        node.set_counter(0, (1 << bits) - 1)
+        node.bump_counter(1, 2)
+        assert node.dummy_counter() == 1
+
+
+@pytest.mark.parametrize("arity", (16, 32))
+class TestWideSystems:
+    def _run(self, scheme, arity, n=80, **overrides):
+        controller = make_controller(small_config(
+            scheme, tree_arity=arity, **overrides))
+        rng = random.Random(6)
+        for i in range(n):
+            controller.write_data(
+                rng.randrange(0, controller.config.data_capacity, 64),
+                None, cycle=i * 100)
+        return controller
+
+    def test_scue_crash_recovery(self, arity):
+        controller = self._run("scue", arity)
+        controller.crash()
+        report = controller.recover()
+        assert report.success
+
+    def test_replay_detected(self, arity):
+        controller = self._run("scue", arity)
+        controller.write_data(0, None, cycle=10**8)
+        snap = snapshot_leaf(controller.store, 0)
+        controller.write_data(0, None, cycle=10**8 + 100)
+        controller.crash()
+        replay_leaf(controller.store, snap)
+        report = controller.recover()
+        assert not report.success
+        assert not report.root_matched
+
+    def test_roll_forward_detected(self, arity):
+        controller = self._run("scue", arity)
+        controller.crash()
+        roll_forward_leaf(controller.store, 0, slot=1)
+        report = controller.recover()
+        assert 0 in report.leaf_hmac_failures
+
+    def test_lazy_still_fails_after_crash(self, arity):
+        controller = self._run("lazy", arity)
+        controller.crash()
+        assert not controller.recover().success
+
+    def test_functional_data_roundtrip(self, arity):
+        controller = make_controller(small_config(
+            "scue", tree_arity=arity, check_data=True))
+        controller.write_data(0x3000, b"\x5B" * 64, cycle=0)
+        assert controller.read_data(0x3000, cycle=500).plaintext \
+            == b"\x5B" * 64
+
+
+def test_all_schemes_run_at_arity_16():
+    for scheme in sorted(SCHEMES):
+        if scheme == "bmt-eager":
+            continue  # the BMT comparison point is 8-ary by design
+        controller = make_controller(small_config(scheme, tree_arity=16))
+        for i in range(25):
+            controller.write_data(i * 4096, None, cycle=i * 100)
+        controller.read_data(0, cycle=10**6)
+
+
+def test_config_threads_arity():
+    config = SystemConfig(data_capacity=1024 * 1024, tree_arity=16)
+    assert config.address_map().arity == 16
+    assert config.address_map().counter_bits == 28

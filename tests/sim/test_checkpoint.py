@@ -1,0 +1,86 @@
+"""System checkpointing: save/load/fork fidelity."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.checkpoint import fork, load_checkpoint, save_checkpoint
+from repro.sim.system import System
+
+from tests.conftest import persist_trace, random_trace, small_config
+
+
+def warmed_system() -> System:
+    system = System(small_config(check_data=True))
+    system.run(random_trace(150, seed=4))
+    return system
+
+
+class TestSaveLoad:
+    def test_roundtrip_preserves_cycles_and_stats(self, tmp_path):
+        system = warmed_system()
+        path = tmp_path / "warm.ckpt"
+        save_checkpoint(system, path)
+        restored = load_checkpoint(path)
+        assert restored.cycle == system.cycle
+        assert restored.result().nvm_data_writes \
+            == system.result().nvm_data_writes
+
+    def test_restored_system_keeps_running(self, tmp_path):
+        system = warmed_system()
+        path = tmp_path / "warm.ckpt"
+        save_checkpoint(system, path)
+        restored = load_checkpoint(path)
+        restored.run(persist_trace(40, seed=5))
+        restored.crash()
+        assert restored.recover().success
+
+    def test_restored_data_contents_match(self, tmp_path):
+        system = System(small_config())
+        from repro.mem.trace import AccessType, MemoryAccess
+        system.run([MemoryAccess(AccessType.PERSIST, 64,
+                                 data=b"\x42" * 64)])
+        path = tmp_path / "s.ckpt"
+        save_checkpoint(system, path)
+        restored = load_checkpoint(path)
+        assert restored.controller.read_data(64, cycle=10**6).plaintext \
+            == b"\x42" * 64
+
+    def test_garbage_file_rejected(self, tmp_path):
+        path = tmp_path / "junk"
+        path.write_bytes(b"not a checkpoint")
+        with pytest.raises(ConfigError):
+            load_checkpoint(path)
+
+    def test_wrong_format_rejected(self, tmp_path):
+        import pickle
+        path = tmp_path / "old"
+        path.write_bytes(pickle.dumps({"format": "v0", "system": None}))
+        with pytest.raises(ConfigError):
+            load_checkpoint(path)
+
+
+class TestFork:
+    def test_fork_diverges_independently(self):
+        system = warmed_system()
+        branch = fork(system)
+        branch.run(persist_trace(30, seed=6))
+        assert branch.cycle > system.cycle
+        # The original is untouched by the branch's writes.
+        assert system.controller.stats.counter("data_writes").value \
+            < branch.controller.stats.counter("data_writes").value
+
+    def test_fork_branches_crash_differently(self):
+        """The intended use: one warmed state, many futures."""
+        system = warmed_system()
+        crashed = fork(system)
+        crashed.crash()
+        assert crashed.recover().success
+        # The original never crashed and keeps running normally.
+        system.run(persist_trace(10, seed=8))
+
+    def test_fork_preserves_root_registers(self):
+        system = System(small_config())
+        system.run(persist_trace(50, seed=2))
+        branch = fork(system)
+        assert branch.controller.recovery_root.counters \
+            == system.controller.recovery_root.counters

@@ -1,0 +1,48 @@
+"""System configuration validation and helpers."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.config import SystemConfig
+
+
+class TestValidation:
+    def test_defaults_construct(self):
+        config = SystemConfig()
+        assert config.scheme == "scue"
+        assert config.hash_latency == 40
+
+    def test_bad_hash_latency(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(hash_latency=0)
+
+    def test_bad_tracker(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(recovery_tracker="bogus")
+
+    def test_address_map_respects_levels(self):
+        config = SystemConfig(data_capacity=4 * 1024 * 1024, tree_levels=9)
+        assert config.address_map().tree_levels == 9
+
+    def test_timing_model_uses_clock(self):
+        config = SystemConfig(cpu_ghz=1.0)
+        assert config.timing_model().read_cycles == 63
+
+
+class TestHelpers:
+    def test_with_replaces_fields(self):
+        config = SystemConfig(scheme="lazy")
+        changed = config.with_(scheme="scue", hash_latency=80)
+        assert changed.scheme == "scue"
+        assert changed.hash_latency == 80
+        assert config.scheme == "lazy"  # original untouched
+
+    def test_paper_table2(self):
+        config = SystemConfig.paper_table2("plp")
+        assert config.scheme == "plp"
+        assert config.tree_levels == 9
+        assert config.metadata_cache_size == 256 * 1024
+
+    def test_paper_table2_overrides(self):
+        config = SystemConfig.paper_table2(hash_latency=160)
+        assert config.hash_latency == 160

@@ -1,0 +1,115 @@
+"""Multi-programmed simulation: shared-controller contention and crash
+semantics across cores."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mem.trace import AccessType, MemoryAccess
+from repro.sim.multicore import (
+    MultiProgramSystem,
+    offset_trace,
+    partitioned_workloads,
+)
+
+from tests.conftest import persist_trace, small_config
+
+
+def make_mp(scheme="scue", cores=4, **overrides) -> MultiProgramSystem:
+    return MultiProgramSystem(small_config(scheme, **overrides),
+                              cores=cores)
+
+
+class TestOffsetTrace:
+    def test_addresses_shift(self):
+        base = [MemoryAccess(AccessType.READ, 0, gap=2),
+                MemoryAccess(AccessType.PERSIST, 64, data=b"x")]
+        shifted = list(offset_trace(base, 4096))
+        assert [a.addr for a in shifted] == [4096, 4160]
+        assert shifted[0].gap == 2
+        assert shifted[1].data == b"x"
+
+
+class TestPartitionedWorkloads:
+    def test_slices_are_disjoint(self):
+        config = small_config()
+        traces = partitioned_workloads(config, ["array", "queue"], 40)
+        spans = {}
+        for name, trace in traces.items():
+            addrs = [a.addr for a in trace]
+            spans[name] = (min(addrs), max(addrs))
+        (lo_a, hi_a), (lo_b, hi_b) = spans.values()
+        assert hi_a < lo_b or hi_b < lo_a
+
+    def test_all_addresses_in_bounds(self):
+        config = small_config()
+        traces = partitioned_workloads(config,
+                                       ["array", "hash", "queue"], 40)
+        for trace in traces.values():
+            assert all(0 <= a.addr < config.data_capacity for a in trace)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            partitioned_workloads(small_config(), [], 10)
+
+
+class TestMultiProgramRun:
+    def test_runs_per_core_results(self):
+        system = make_mp(cores=2)
+        traces = partitioned_workloads(system.config, ["array", "queue"],
+                                       40)
+        system.run(traces)
+        results = system.results()
+        assert len(results) == 2
+        assert all(r.cycles > 0 for r in results)
+        assert all(r.accesses > 0 for r in results)
+        assert system.makespan == max(r.cycles for r in results)
+
+    def test_too_many_traces_rejected(self):
+        system = make_mp(cores=1)
+        with pytest.raises(ConfigError):
+            system.run({"a": persist_trace(5), "b": persist_trace(5)})
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ConfigError):
+            make_mp(cores=0)
+
+    def test_contention_slows_corun(self):
+        """The same workload co-running with three writers must not be
+        faster than running alone (shared WPQ + metadata cache)."""
+        alone = make_mp(cores=4)
+        alone.run(partitioned_workloads(alone.config, ["array"], 80))
+        alone_cycles = alone.results()[0].cycles
+
+        shared = make_mp(cores=4)
+        shared.run(partitioned_workloads(
+            shared.config, ["array", "array", "array", "array"], 80))
+        shared_cycles = shared.results()[0].cycles
+        assert shared_cycles >= alone_cycles * 0.98
+
+    def test_interleave_is_deterministic(self):
+        def run_once():
+            system = make_mp(cores=3)
+            system.run(partitioned_workloads(
+                system.config, ["array", "hash", "queue"], 50))
+            return [r.cycles for r in system.results()]
+        assert run_once() == run_once()
+
+
+class TestMultiProgramCrash:
+    @pytest.mark.parametrize("scheme,expected", [("scue", True),
+                                                 ("plp", True),
+                                                 ("lazy", False)])
+    def test_crash_recovery_truth(self, scheme, expected):
+        system = make_mp(scheme=scheme, cores=2)
+        system.run(partitioned_workloads(system.config,
+                                         ["array", "queue"], 40))
+        system.crash()
+        assert system.recover().success is expected
+
+    def test_all_cores_drop_caches(self):
+        system = make_mp(cores=2)
+        system.run(partitioned_workloads(system.config,
+                                         ["array", "queue"], 30))
+        system.crash()
+        for core in system._cores:
+            assert core.hierarchy.load(0).miss_to_memory

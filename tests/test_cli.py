@@ -1,0 +1,78 @@
+"""The repro-sim command-line interface (invoked in-process)."""
+
+import pytest
+
+from repro.cli import main
+
+FAST = ["--capacity", str(1024 * 1024), "--operations", "60",
+        "--metadata-cache", "4096"]
+
+
+class TestInfo:
+    def test_lists_schemes_and_workloads(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "scue" in out
+        assert "rbtree" in out
+
+
+class TestRun:
+    def test_default_run(self, capsys):
+        assert main(["run", "--workload", "queue", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "avg write latency" in out
+        assert "scheme            : scue" in out
+
+    def test_scheme_selection(self, capsys):
+        assert main(["run", "--scheme", "plp", "--workload", "array",
+                     *FAST]) == 0
+        assert "plp" in capsys.readouterr().out
+
+    def test_arity_option(self, capsys):
+        assert main(["run", "--tree-arity", "16", "--workload", "array",
+                     *FAST]) == 0
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--scheme", "nonsense"])
+
+
+class TestCompare:
+    def test_table_covers_all_schemes(self, capsys):
+        assert main(["compare", "--workload", "queue", *FAST]) == 0
+        out = capsys.readouterr().out
+        for scheme in ("baseline", "lazy", "plp", "bmf-ideal", "scue"):
+            assert scheme in out
+
+
+class TestCrash:
+    def test_scue_recovers_exit_zero(self, capsys):
+        code = main(["crash", "--scheme", "scue", "--workload", "array",
+                     "--crash-after", "30", *FAST])
+        assert code == 0
+        assert "SUCCESS" in capsys.readouterr().out
+
+    def test_lazy_fails_exit_nonzero(self, capsys):
+        code = main(["crash", "--scheme", "lazy", "--workload", "array",
+                     "--crash-after", "30", *FAST])
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().out
+
+
+class TestRecordReplay:
+    def test_record_then_replay(self, tmp_path, capsys):
+        trace_file = str(tmp_path / "w.trc")
+        assert main(["record", "--workload", "queue", "--operations",
+                     "40", "--capacity", str(1024 * 1024),
+                     "-o", trace_file]) == 0
+        assert main(["replay", trace_file, "--capacity",
+                     str(1024 * 1024), "--metadata-cache", "4096"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        assert "replay:" in out
+
+    def test_record_compressed(self, tmp_path):
+        trace_file = str(tmp_path / "w.trc.gz")
+        assert main(["record", "--workload", "array", "--operations",
+                     "30", "--capacity", str(1024 * 1024),
+                     "-o", trace_file, "--compress"]) == 0

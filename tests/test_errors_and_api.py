@@ -1,0 +1,66 @@
+"""The exception hierarchy and the package's public API surface."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    AddressError,
+    ConfigError,
+    CrashError,
+    IntegrityError,
+    RecoveryError,
+    ReproError,
+    RootMismatchError,
+    SimulationError,
+)
+
+
+class TestErrorHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for exc in (ConfigError, AddressError, IntegrityError,
+                    RootMismatchError, RecoveryError, CrashError,
+                    SimulationError):
+            assert issubclass(exc, ReproError)
+
+    def test_root_mismatch_is_integrity(self):
+        assert issubclass(RootMismatchError, IntegrityError)
+
+    def test_single_catch_covers_library_errors(self):
+        with pytest.raises(ReproError):
+            raise IntegrityError("detected")
+
+
+class TestPublicAPI:
+    def test_dunder_all_resolves(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_docstring_example_runs(self):
+        config = repro.SystemConfig(scheme="scue",
+                                    data_capacity=1024 * 1024)
+        system = repro.System(config)
+        system.run(repro.make_workload("array", config.data_capacity,
+                                       30).trace())
+        system.crash()
+        assert system.recover().success
+
+    def test_scheme_registry_covers_paper_set(self):
+        assert {"baseline", "lazy", "eager", "plp", "bmf-ideal",
+                "scue"} <= set(repro.SCHEMES)
+
+    def test_workload_registry_covers_paper_set(self):
+        assert {"array", "btree", "hash", "queue", "rbtree",
+                "mcf", "lbm"} <= set(repro.ALL_WORKLOADS)
+        assert len(repro.ALL_WORKLOADS) == 13  # 5 persistent + 8 SPEC
+
+    def test_unknown_workload_raises_config_error(self):
+        with pytest.raises(ConfigError):
+            repro.make_workload("doom", 1024 * 1024, 10)
+
+    def test_unknown_scheme_raises_config_error(self):
+        with pytest.raises(ConfigError):
+            repro.make_controller(repro.SystemConfig(
+                scheme="quantum", data_capacity=1024 * 1024))
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"

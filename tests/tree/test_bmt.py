@@ -1,0 +1,79 @@
+"""The reference Bonsai Merkle Tree (§II-D2)."""
+
+import pytest
+
+from repro.cme.counters import CounterBlock
+from repro.errors import ConfigError, IntegrityError
+from repro.tree.bmt import BonsaiMerkleTree
+
+
+def blocks(n: int) -> list[CounterBlock]:
+    return [CounterBlock(i) for i in range(n)]
+
+
+class TestConstruction:
+    def test_builds_over_counter_blocks(self):
+        tree = BonsaiMerkleTree(blocks(16))
+        assert tree.height == 2  # 16 -> 2 -> 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            BonsaiMerkleTree([])
+
+    def test_blocks_are_snapshotted(self):
+        originals = blocks(8)
+        tree = BonsaiMerkleTree(originals)
+        originals[0].bump(0)   # mutating the caller's copy
+        assert tree.block(0).minor_of(0) == 0
+
+
+class TestBump:
+    def test_bump_changes_root(self):
+        tree = BonsaiMerkleTree(blocks(16))
+        old_root = tree.root
+        tree.bump(3, slot=5)
+        assert tree.root != old_root
+
+    def test_bump_is_sequential_hashing(self):
+        """BMT hashes level by level — height+1 hashes per update, the
+        cost SIT parallelism avoids (§II-D4)."""
+        tree = BonsaiMerkleTree(blocks(64))
+        hashes = tree.bump(0, 0)
+        assert hashes == tree.height + 1
+        assert tree.sequential_hashes == hashes
+
+    def test_bump_out_of_range(self):
+        with pytest.raises(ConfigError):
+            BonsaiMerkleTree(blocks(8)).bump(8, 0)
+
+
+class TestVerification:
+    def test_tracked_block_verifies(self):
+        tree = BonsaiMerkleTree(blocks(16))
+        tree.bump(2, 7)
+        assert tree.verify_block(tree.block(2))
+
+    def test_stale_block_rejected(self):
+        tree = BonsaiMerkleTree(blocks(16))
+        stale = tree.block(2)
+        tree.bump(2, 7)
+        assert not tree.verify_block(stale)
+
+
+class TestRecovery:
+    def test_bottom_up_reconstruction_matches(self):
+        tree = BonsaiMerkleTree(blocks(16))
+        for i in range(10):
+            tree.bump(i % 16, i % 64)
+        current = [tree.block(i) for i in range(16)]
+        assert tree.reconstruct_root(current) == tree.root
+        tree.check_recovery(current)
+
+    def test_rolled_back_block_detected(self):
+        tree = BonsaiMerkleTree(blocks(16))
+        old = tree.block(0)
+        tree.bump(0, 0)
+        current = [tree.block(i) for i in range(16)]
+        current[0] = old  # replay
+        with pytest.raises(IntegrityError):
+            tree.check_recovery(current)

@@ -1,0 +1,61 @@
+"""The hash engine's latency accounting — parallel vs sequential is the
+SIT-vs-BMT distinction the paper leans on (§II-D4)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.tree.hmac_engine import DEFAULT_HASH_LATENCY, HashEngine
+
+
+class TestCharging:
+    def test_single_hash(self):
+        engine = HashEngine(40)
+        assert engine.charge(1) == 40
+
+    def test_parallel_burst_costs_one_latency(self):
+        engine = HashEngine(40)
+        assert engine.charge(9, parallel=True) == 40
+
+    def test_sequential_chain_costs_per_hash(self):
+        engine = HashEngine(40)
+        assert engine.charge(9, parallel=False) == 360
+
+    def test_zero_count_free(self):
+        engine = HashEngine(40)
+        assert engine.charge(0) == 0
+        assert engine.stats.counter("hashes").value == 0
+
+    def test_hashes_counted_regardless_of_parallelism(self):
+        engine = HashEngine(40)
+        engine.charge(3, parallel=True)
+        engine.charge(2, parallel=False)
+        assert engine.stats.counter("hashes").value == 5
+
+    def test_busy_cycles_accumulate(self):
+        engine = HashEngine(40)
+        engine.charge(1)
+        engine.charge(2, parallel=False)
+        assert engine.stats.counter("busy_cycles").value == 40 + 80
+
+    def test_branch_hash_alias(self):
+        engine = HashEngine(20)
+        assert engine.branch_hash_cycles(5, parallel=True) == 20
+        assert engine.branch_hash_cycles(5, parallel=False) == 100
+
+
+class TestConfiguration:
+    def test_default_latency(self):
+        assert HashEngine().latency_cycles == DEFAULT_HASH_LATENCY
+
+    def test_sweep_latencies(self):
+        for latency in (20, 40, 80, 160):   # Table II sweep
+            assert HashEngine(latency).charge(1) == latency
+
+    def test_invalid_latency_rejected(self):
+        with pytest.raises(ConfigError):
+            HashEngine(0)
+
+    def test_mac_is_keyed(self):
+        a = HashEngine(40, key=b"k1").mac.mac(b"x")
+        b = HashEngine(40, key=b"k2").mac.mac(b"x")
+        assert a != b

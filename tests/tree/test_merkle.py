@@ -1,0 +1,108 @@
+"""The reference Merkle tree (§II-D1)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError, IntegrityError
+from repro.tree.merkle import MerkleTree
+
+
+def leaves(n: int) -> list[bytes]:
+    return [bytes([i]) * 64 for i in range(n)]
+
+
+class TestConstruction:
+    def test_single_leaf(self):
+        tree = MerkleTree(leaves(1))
+        assert tree.height == 0
+        assert len(tree.root) == 8
+
+    def test_height_grows_with_leaves(self):
+        assert MerkleTree(leaves(8)).height == 1
+        assert MerkleTree(leaves(9)).height == 2
+        assert MerkleTree(leaves(64)).height == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            MerkleTree([])
+
+    def test_bad_arity_rejected(self):
+        with pytest.raises(ConfigError):
+            MerkleTree(leaves(4), arity=1)
+
+    def test_roots_differ_for_different_data(self):
+        assert MerkleTree(leaves(8)).root != \
+            MerkleTree(leaves(8)[::-1]).root
+
+
+class TestUpdates:
+    def test_update_changes_root(self):
+        tree = MerkleTree(leaves(16))
+        old_root = tree.root
+        tree.update_leaf(3, b"\xff" * 64)
+        assert tree.root != old_root
+
+    def test_update_hash_count_is_branch_length(self):
+        tree = MerkleTree(leaves(64))
+        assert tree.update_leaf(0, b"x" * 64) == tree.height + 1
+
+    def test_out_of_range_rejected(self):
+        tree = MerkleTree(leaves(8))
+        with pytest.raises(ConfigError):
+            tree.update_leaf(8, b"x")
+
+    def test_verify_after_update(self):
+        tree = MerkleTree(leaves(16))
+        tree.update_leaf(5, b"new" * 21 + b"!")
+        assert tree.verify_leaf(5, b"new" * 21 + b"!")
+
+    def test_verify_rejects_wrong_payload(self):
+        tree = MerkleTree(leaves(16))
+        assert not tree.verify_leaf(5, b"\xAB" * 64)
+
+    def test_verify_rejects_replayed_digest(self):
+        """A replay of an old digest at some level breaks the chain."""
+        tree = MerkleTree(leaves(16))
+        old_digest = tree.levels[1][0]
+        tree.update_leaf(0, b"v2" * 32)
+        tree.levels[1][0] = old_digest
+        assert not tree.verify_leaf(0, b"v2" * 32)
+
+
+class TestRecovery:
+    def test_reconstruction_matches_after_updates(self):
+        tree = MerkleTree(leaves(16))
+        payloads = leaves(16)
+        payloads[3] = b"\x99" * 64
+        tree.update_leaf(3, payloads[3])
+        assert tree.reconstruct_root(payloads) == tree.root
+        tree.check_recovery(payloads)  # must not raise
+
+    def test_tampered_leaf_detected(self):
+        tree = MerkleTree(leaves(16))
+        payloads = leaves(16)
+        payloads[0] = b"\x66" * 64  # attacker modified media
+        with pytest.raises(IntegrityError):
+            tree.check_recovery(payloads)
+
+    def test_swapped_leaves_detected(self):
+        """Leaf digests are position-bound: swapping two equal-looking
+        leaves must still fail."""
+        payloads = leaves(16)
+        tree = MerkleTree(payloads)
+        swapped = list(payloads)
+        swapped[0], swapped[1] = swapped[1], swapped[0]
+        with pytest.raises(IntegrityError):
+            tree.check_recovery(swapped)
+
+    @given(st.lists(st.tuples(st.integers(0, 15), st.binary(min_size=1,
+                                                            max_size=64)),
+                    min_size=0, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_recovery_consistent_over_any_update_sequence(self, updates):
+        payloads = leaves(16)
+        tree = MerkleTree(payloads)
+        for index, data in updates:
+            payloads[index] = bytes(data)
+            tree.update_leaf(index, bytes(data))
+        tree.check_recovery(payloads)

@@ -1,0 +1,32 @@
+"""SITStore dispatch under non-default tree arity: the store must
+deserialise nodes with the address map's geometry, not the default."""
+
+import pytest
+
+from repro.mem.address import AddressMap
+from repro.mem.nvm import NVMDevice
+from repro.tree.node import SITNode
+from repro.tree.store import SITStore
+
+
+@pytest.mark.parametrize("arity", (16, 32))
+def test_wide_node_roundtrip_through_store(arity):
+    amap = AddressMap(1024 * 1024, arity=arity)
+    store = SITStore(NVMDevice(amap.total_capacity), amap)
+    counters = [i % (1 << amap.counter_bits) for i in range(arity)]
+    node = SITNode(1, 2, counters=counters, hmac=77, arity=arity)
+    store.save(node)
+    loaded = store.load(1, 2)
+    assert isinstance(loaded, SITNode)
+    assert loaded.arity == arity
+    assert loaded.counters == counters
+    assert loaded.hmac == 77
+
+
+@pytest.mark.parametrize("arity", (16, 32))
+def test_blank_wide_node_loads_blank(arity):
+    amap = AddressMap(1024 * 1024, arity=arity)
+    store = SITStore(NVMDevice(amap.total_capacity), amap)
+    node = store.load(1, 0)
+    assert node.is_blank
+    assert node.arity == arity

@@ -1,0 +1,89 @@
+"""Statistics plumbing."""
+
+from repro.util.stats import StatCounter, StatGroup, WeightedMean
+
+
+class TestStatCounter:
+    def test_add_default(self):
+        counter = StatCounter("c")
+        counter.add()
+        counter.add(3)
+        assert counter.value == 4
+
+    def test_reset(self):
+        counter = StatCounter("c", value=9)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestWeightedMean:
+    def test_mean(self):
+        mean = WeightedMean("m")
+        mean.add(10)
+        mean.add(20)
+        assert mean.mean == 15
+        assert mean.count == 2
+
+    def test_weighted(self):
+        mean = WeightedMean("m")
+        mean.add(10, weight=3)
+        mean.add(50, weight=1)
+        assert mean.mean == 20
+
+    def test_min_max(self):
+        mean = WeightedMean("m")
+        for v in (5, 1, 9):
+            mean.add(v)
+        assert mean.minimum == 1
+        assert mean.maximum == 9
+
+    def test_empty_mean_is_zero(self):
+        assert WeightedMean("m").mean == 0.0
+
+    def test_reset(self):
+        mean = WeightedMean("m")
+        mean.add(5)
+        mean.reset()
+        assert mean.count == 0
+        assert mean.mean == 0.0
+
+
+class TestStatGroup:
+    def test_counter_is_memoised(self):
+        group = StatGroup("g")
+        assert group.counter("x") is group.counter("x")
+
+    def test_child_nesting_in_dict(self):
+        group = StatGroup("top")
+        group.child("inner").counter("hits").add(2)
+        flat = group.as_dict()
+        assert flat["top.inner.hits"] == 2
+
+    def test_mean_appears_in_dict(self):
+        group = StatGroup("g")
+        group.mean("lat").add(100)
+        flat = group.as_dict()
+        assert flat["g.lat.mean"] == 100
+        assert flat["g.lat.count"] == 1
+
+    def test_reset_recurses(self):
+        group = StatGroup("g")
+        group.counter("a").add(5)
+        group.child("c").counter("b").add(7)
+        group.mean("m").add(3)
+        group.reset()
+        flat = group.as_dict()
+        assert all(v == 0 for v in flat.values())
+
+    def test_attach_external_group(self):
+        group = StatGroup("g")
+        other = StatGroup("other")
+        other.counter("n").add(1)
+        group.attach(other)
+        assert group.as_dict()["g.other.n"] == 1
+
+    def test_iter_yields_counters(self):
+        group = StatGroup("g")
+        group.counter("a")
+        group.counter("b")
+        assert {c.name for c in group} == {"a", "b"}

@@ -1,0 +1,127 @@
+"""Workload infrastructure: the heap and the trace recorder."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mem.trace import AccessType
+from repro.workloads.base import NullRecorder, PersistentHeap, TraceRecorder
+
+
+class TestPersistentHeap:
+    def test_bump_allocation_advances(self):
+        heap = PersistentHeap(4096)
+        a = heap.alloc(16)
+        b = heap.alloc(16)
+        assert b == a + 16
+
+    def test_granule_rounding(self):
+        heap = PersistentHeap(4096)
+        heap.alloc(1)
+        assert heap.used_bytes == 16
+
+    def test_line_aligned(self):
+        heap = PersistentHeap(4096)
+        heap.alloc(8)
+        addr = heap.alloc(8, line_aligned=True)
+        assert addr % 64 == 0
+
+    def test_free_list_reuse(self):
+        heap = PersistentHeap(4096)
+        addr = heap.alloc(32)
+        heap.free(addr, 32)
+        assert heap.alloc(32) == addr
+
+    def test_exhaustion_raises(self):
+        heap = PersistentHeap(64)
+        heap.alloc(64)
+        with pytest.raises(ConfigError):
+            heap.alloc(16)
+
+    def test_invalid_sizes(self):
+        heap = PersistentHeap(4096)
+        with pytest.raises(ConfigError):
+            heap.alloc(0)
+        with pytest.raises(ConfigError):
+            PersistentHeap(0)
+
+    def test_scatter_is_deterministic(self):
+        a = PersistentHeap(64 * 1024, scatter=True, seed=1)
+        b = PersistentHeap(64 * 1024, scatter=True, seed=1)
+        assert [a.alloc(64, line_aligned=True) for _ in range(20)] \
+            == [b.alloc(64, line_aligned=True) for _ in range(20)]
+
+    def test_scatter_spreads_allocations(self):
+        heap = PersistentHeap(1024 * 1024, scatter=True, seed=2)
+        addrs = [heap.alloc(64, line_aligned=True) for _ in range(100)]
+        # Not densely packed: the span covered far exceeds the bytes used.
+        assert max(addrs) - min(addrs) > 100 * 64 * 4
+
+    def test_scatter_never_overlaps(self):
+        heap = PersistentHeap(64 * 1024, scatter=True, seed=3)
+        spans = set()
+        for _ in range(50):
+            addr = heap.alloc(256, line_aligned=True)
+            for line in range(addr, addr + 256, 64):
+                assert line not in spans
+                spans.add(line)
+
+
+class TestTraceRecorder:
+    def test_read_write_persist_kinds(self):
+        recorder = TraceRecorder()
+        recorder.read(0)
+        recorder.write(64)
+        recorder.persist(128)
+        kinds = [r.kind for r in recorder.records]
+        assert kinds == [AccessType.READ, AccessType.WRITE,
+                         AccessType.PERSIST]
+
+    def test_addresses_line_aligned(self):
+        recorder = TraceRecorder()
+        recorder.read(70)
+        assert recorder.records[0].addr == 64
+
+    def test_multiline_access_emits_per_line(self):
+        recorder = TraceRecorder()
+        recorder.persist(0, size=256)
+        assert [r.addr for r in recorder.records] == [0, 64, 128, 192]
+
+    def test_straddling_access(self):
+        recorder = TraceRecorder()
+        recorder.read(60, size=8)  # crosses a line boundary
+        assert [r.addr for r in recorder.records] == [0, 64]
+
+    def test_compute_attaches_to_next_access(self):
+        recorder = TraceRecorder()
+        recorder.compute(12)
+        recorder.read(0)
+        recorder.read(64)
+        assert recorder.records[0].gap == 12
+        assert recorder.records[1].gap == 0
+
+    def test_compute_accumulates(self):
+        recorder = TraceRecorder()
+        recorder.compute(3)
+        recorder.compute(4)
+        recorder.read(0)
+        assert recorder.records[0].gap == 7
+
+    def test_negative_compute_rejected(self):
+        with pytest.raises(ConfigError):
+            TraceRecorder().compute(-1)
+
+    def test_take_clears(self):
+        recorder = TraceRecorder()
+        recorder.read(0)
+        taken = recorder.take()
+        assert len(taken) == 1
+        assert len(recorder) == 0
+
+
+class TestNullRecorder:
+    def test_discards_everything(self):
+        recorder = NullRecorder()
+        recorder.compute(100)
+        recorder.read(0)
+        recorder.persist(64, size=512)
+        assert len(recorder.records) == 0

@@ -1,0 +1,81 @@
+"""The persistent append-log workload (the extra, beyond-paper one)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mem.trace import AccessType, collect_stats
+from repro.sim.system import System
+from repro.workloads import make_workload
+from repro.workloads.persistent import PLogWorkload
+
+from tests.conftest import small_config
+
+CAP = 2 * 1024 * 1024
+
+
+class TestPLog:
+    def test_available_via_make_workload(self):
+        workload = make_workload("plog", CAP, 50, seed=1)
+        assert workload.name == "plog"
+        assert len(list(workload.trace())) > 50
+
+    def test_not_in_canonical_paper_set(self):
+        from repro.workloads import ALL_WORKLOADS, EXTRA_WORKLOADS
+        assert "plog" not in ALL_WORKLOADS
+        assert "plog" in EXTRA_WORKLOADS
+
+    def test_appends_are_sequential(self):
+        workload = PLogWorkload(CAP, operations=40, seed=1,
+                                checkpoint_every=1000)
+        persists = [r for r in workload.trace()
+                    if r.kind is AccessType.PERSIST]
+        entries = [r.addr for r in persists
+                   if r.addr != workload._head]
+        assert entries == sorted(entries)
+        strides = {b - a for a, b in zip(entries, entries[1:])}
+        assert strides <= {workload.entry_bytes}
+
+    def test_publication_order_entry_before_head(self):
+        workload = PLogWorkload(CAP, operations=20, seed=1,
+                                checkpoint_every=1000)
+        persists = [r for r in workload.trace()
+                    if r.kind is AccessType.PERSIST]
+        for entry, head in zip(persists[0::2], persists[1::2]):
+            assert entry.addr != workload._head
+            assert head.addr == workload._head
+
+    def test_checkpoints_add_reads_and_snapshot_writes(self):
+        chatty = collect_stats(PLogWorkload(
+            CAP, 200, seed=1, checkpoint_every=16).trace())
+        quiet = collect_stats(PLogWorkload(
+            CAP, 200, seed=1, checkpoint_every=10_000).trace())
+        assert chatty.reads > quiet.reads
+        assert chatty.persists > quiet.persists
+
+    def test_log_wraps_within_capacity(self):
+        workload = PLogWorkload(CAP, operations=50, seed=1)
+        assert all(0 <= r.addr < CAP for r in workload.trace())
+
+    def test_invalid_checkpoint_interval(self):
+        with pytest.raises(ConfigError):
+            PLogWorkload(CAP, 10, checkpoint_every=0)
+
+    def test_runs_end_to_end_on_scue(self):
+        system = System(small_config("scue"))
+        system.run(make_workload("plog", system.config.data_capacity,
+                                 120, seed=2).trace())
+        system.crash()
+        assert system.recover().success
+
+    def test_best_case_counter_locality(self):
+        """Sequential appends share counter blocks: far fewer distinct
+        leaf blocks than the random-update array touches."""
+        system = System(small_config("scue"))
+        system.run(make_workload("plog", system.config.data_capacity,
+                                 150, seed=2).trace())
+        plog_meta = system.controller.stats.counter("meta_reads").value
+        system2 = System(small_config("scue"))
+        system2.run(make_workload("array", system2.config.data_capacity,
+                                  150, seed=2).trace())
+        array_meta = system2.controller.stats.counter("meta_reads").value
+        assert plog_meta < array_meta

@@ -1,0 +1,106 @@
+"""SPEC-like profiles and the synthetic access-pattern primitives."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mem.trace import AccessType, collect_stats
+from repro.workloads.spec import SPEC_PROFILES, SpecWorkload
+from repro.workloads.synthetic import (
+    StreamWorkload,
+    UniformRandomWorkload,
+    ZipfSampler,
+    ZipfWorkload,
+)
+
+CAP = 8 * 1024 * 1024
+
+
+class TestSpecProfiles:
+    def test_eight_applications(self):
+        assert len(SPEC_PROFILES) == 8
+        assert {"mcf", "lbm", "bwaves", "gcc"} <= set(SPEC_PROFILES)
+
+    @pytest.mark.parametrize("app", sorted(SPEC_PROFILES))
+    def test_trace_deterministic(self, app):
+        a = list(SpecWorkload(app, CAP, 500, seed=1).trace())
+        b = list(SpecWorkload(app, CAP, 500, seed=1).trace())
+        assert a == b
+
+    @pytest.mark.parametrize("app", sorted(SPEC_PROFILES))
+    def test_write_fraction_approximates_profile(self, app):
+        stats = collect_stats(SpecWorkload(app, CAP, 4000, seed=1).trace())
+        expected = SPEC_PROFILES[app].write_fraction
+        measured = stats.writes / stats.memory_instructions
+        assert abs(measured - expected) < 0.05
+
+    def test_streaming_profile_has_sequential_runs(self):
+        trace = list(SpecWorkload("lbm", CAP, 2000, seed=1).trace())
+        sequential = sum(
+            1 for a, b in zip(trace, trace[1:]) if b.addr - a.addr == 64)
+        assert sequential > len(trace) * 0.6
+
+    def test_random_profile_has_wide_footprint(self):
+        stats = collect_stats(SpecWorkload("mcf", CAP, 3000, seed=1).trace())
+        assert len(stats.footprint) > 2500
+
+    def test_skewed_profile_concentrates(self):
+        stats = collect_stats(SpecWorkload("gcc", CAP, 3000, seed=1).trace())
+        mcf = collect_stats(SpecWorkload("mcf", CAP, 3000, seed=1).trace())
+        assert len(stats.footprint) < len(mcf.footprint)
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ConfigError):
+            SpecWorkload("quake", CAP, 10)
+
+    def test_no_persists_in_spec(self):
+        trace = SpecWorkload("milc", CAP, 500, seed=1).trace()
+        assert all(r.kind is not AccessType.PERSIST for r in trace)
+
+
+class TestZipfSampler:
+    def test_range(self):
+        sampler = ZipfSampler(100, 1.0, random.Random(1))
+        assert all(0 <= sampler.sample() < 100 for _ in range(500))
+
+    def test_skew_concentrates_mass(self):
+        sampler = ZipfSampler(1000, 1.2, random.Random(1))
+        samples = [sampler.sample() for _ in range(3000)]
+        top = sum(1 for s in samples if s < 10)
+        assert top > len(samples) * 0.3
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigError):
+            ZipfSampler(0, 1.0, random.Random(1))
+        with pytest.raises(ConfigError):
+            ZipfSampler(10, 0.0, random.Random(1))
+
+
+class TestSyntheticWorkloads:
+    def test_stream_wraps_at_footprint(self):
+        workload = StreamWorkload("s", footprint=64 * 4, accesses=10)
+        addrs = [r.addr for r in workload.trace()]
+        assert addrs[:5] == [0, 64, 128, 192, 0]
+
+    def test_stream_write_fraction(self):
+        workload = StreamWorkload("s", 64 * 1024, 1000, write_fraction=0.25)
+        stats = collect_stats(workload.trace())
+        assert abs(stats.writes / 1000 - 0.25) < 0.02
+
+    def test_uniform_persist_fraction(self):
+        workload = UniformRandomWorkload("u", 64 * 1024, 1000,
+                                         persist_fraction=0.3, seed=2)
+        stats = collect_stats(workload.trace())
+        assert abs(stats.persists / 1000 - 0.3) < 0.06
+
+    def test_zipf_workload_hot_lines(self):
+        workload = ZipfWorkload("z", 64 * 1024, 2000, alpha=1.2, seed=2)
+        from collections import Counter
+        counts = Counter(r.addr for r in workload.trace())
+        hottest = counts.most_common(1)[0][1]
+        assert hottest > 2000 / 100
+
+    def test_stream_footprint_validation(self):
+        with pytest.raises(ConfigError):
+            StreamWorkload("s", footprint=32, accesses=1)

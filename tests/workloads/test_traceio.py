@@ -1,0 +1,80 @@
+"""Binary trace file round-trips."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mem.trace import AccessType, MemoryAccess
+from repro.workloads import make_workload
+from repro.workloads.traceio import load_trace, save_trace
+
+
+def sample():
+    return [
+        MemoryAccess(AccessType.READ, 0, gap=3),
+        MemoryAccess(AccessType.WRITE, 4096, gap=0),
+        MemoryAccess(AccessType.PERSIST, 128, gap=7,
+                     data=b"\xAB" * 64),
+    ]
+
+
+class TestRoundtrip:
+    def test_plain(self, tmp_path):
+        path = tmp_path / "t.trc"
+        assert save_trace(path, sample()) == 3
+        assert list(load_trace(path)) == sample()
+
+    def test_compressed(self, tmp_path):
+        path = tmp_path / "t.trc.gz"
+        save_trace(path, sample(), compress=True)
+        assert list(load_trace(path)) == sample()
+
+    def test_short_payload_padded(self, tmp_path):
+        path = tmp_path / "t.trc"
+        save_trace(path, [MemoryAccess(AccessType.PERSIST, 0,
+                                       data=b"hi")])
+        (loaded,) = load_trace(path)
+        assert loaded.data == b"hi" + bytes(62)
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "t.trc"
+        assert save_trace(path, []) == 0
+        assert list(load_trace(path)) == []
+
+    def test_workload_roundtrip(self, tmp_path):
+        workload = make_workload("queue", 1024 * 1024, 50, seed=3)
+        original = list(workload.trace())
+        path = tmp_path / "queue.trc"
+        save_trace(path, original)
+        assert list(load_trace(path)) == original
+
+    def test_compression_shrinks_repetitive_traces(self, tmp_path):
+        workload = make_workload("lbm", 1024 * 1024, 2000, seed=3)
+        trace = list(workload.trace())
+        plain = tmp_path / "a.trc"
+        packed = tmp_path / "b.trc"
+        save_trace(plain, trace)
+        save_trace(packed, trace, compress=True)
+        assert packed.stat().st_size < plain.stat().st_size / 2
+
+
+class TestValidation:
+    def test_not_a_trace_file(self, tmp_path):
+        path = tmp_path / "junk"
+        path.write_bytes(b"definitely not a trace")
+        with pytest.raises(ConfigError):
+            list(load_trace(path))
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "t.trc"
+        save_trace(path, sample())
+        path.write_bytes(path.read_bytes()[:-2])
+        with pytest.raises(ConfigError):
+            list(load_trace(path))
+
+    def test_truncated_payload(self, tmp_path):
+        path = tmp_path / "t.trc"
+        save_trace(path, [MemoryAccess(AccessType.PERSIST, 0,
+                                       data=b"\x01" * 64)])
+        path.write_bytes(path.read_bytes()[:-10])
+        with pytest.raises(ConfigError):
+            list(load_trace(path))
