@@ -1,0 +1,44 @@
+"""Correctness tooling for the simulator itself: ``reprolint`` + the
+runtime crash-consistency sanitizer.
+
+The paper's whole argument is that the *ordering* of security-metadata
+persists decides whether the root survives a crash (§III-B) — so this
+package mechanically enforces that our own simulator code respects the
+persist domain it models, instead of relying on eyeballs:
+
+* :mod:`repro.analysis.lint` — an AST-based static lint ("reprolint")
+  that walks the package and enforces simulator-domain invariants as
+  named, suppressible rules (every persist attributable to ADR
+  semantics, no dropped verification results, integer-only cycle
+  arithmetic, no ``assert``-based runtime validation, statistics
+  counters registered before increment);
+* :mod:`repro.analysis.sanitizer` — a WITCHER-style runtime monitor
+  that hooks the WPQ, the NVM device and the root registers, records a
+  persist-order trace, and checks at every simulated crash point that
+  metadata persists obey the scheme's declared ordering rules.
+
+Run the lint from the command line::
+
+    python -m repro.analysis --strict
+
+and attach the sanitizer inside tests with::
+
+    from repro.analysis import attach_sanitizer
+    sanitizer = attach_sanitizer(controller)
+"""
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.lint import Linter, ParsedModule
+from repro.analysis.rules import ALL_RULES, Violation, get_rule
+from repro.analysis.sanitizer import PersistOrderSanitizer, attach_sanitizer
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "Linter",
+    "ParsedModule",
+    "PersistOrderSanitizer",
+    "Violation",
+    "attach_sanitizer",
+    "get_rule",
+]

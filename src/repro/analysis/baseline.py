@@ -1,0 +1,99 @@
+"""Baseline suppression file for reprolint.
+
+A baseline records *known, accepted* violations so the lint can gate CI
+on regressions without requiring a flag-day cleanup.  Entries match on
+``(rule, path, fingerprint)`` — the fingerprint hashes the offending
+source line, so unrelated edits that shift line numbers do not churn
+the file, while editing the flagged line itself invalidates the entry
+(the violation resurfaces, as it should).
+
+Format, one entry per line::
+
+    <rule-name>  <path>:<line>  <fingerprint>
+
+Lines starting with ``#`` are comments.  Regenerate with
+``python -m repro.analysis --write-baseline``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.rules import Violation
+
+_HEADER = """\
+# reprolint baseline — known, accepted violations.
+# Regenerate with: python -m repro.analysis --write-baseline
+# Entries match on (rule, path, line-content fingerprint); the line
+# number is informational only.
+"""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    line: int
+    fingerprint: str
+
+    def format(self) -> str:
+        return f"{self.rule}  {self.path}:{self.line}  {self.fingerprint}"
+
+
+class Baseline:
+    """Parsed baseline with matching and regeneration."""
+
+    def __init__(self, entries: list[BaselineEntry] | None = None) -> None:
+        self.entries = entries or []
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        entries: list[BaselineEntry] = []
+        for raw in path.read_text().splitlines():
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 3 or ":" not in parts[1]:
+                continue  # tolerate hand-edited junk rather than crash
+            location, _, lineno = parts[1].rpartition(":")
+            entries.append(BaselineEntry(
+                rule=parts[0], path=location,
+                line=int(lineno) if lineno.isdigit() else 0,
+                fingerprint=parts[2]))
+        return cls(entries)
+
+    @classmethod
+    def from_violations(cls, violations: list[Violation]) -> "Baseline":
+        return cls([
+            BaselineEntry(rule=v.rule.name, path=v.path, line=v.line,
+                          fingerprint=v.fingerprint)
+            for v in violations])
+
+    def save(self, path: Path) -> None:
+        body = "\n".join(entry.format() for entry in sorted(
+            self.entries, key=lambda e: (e.path, e.line, e.rule)))
+        path.write_text(_HEADER + body + ("\n" if body else ""))
+
+    # ------------------------------------------------------------------
+    def split(self, violations: list[Violation]
+              ) -> tuple[list[Violation], list[Violation],
+                         list[BaselineEntry]]:
+        """Partition ``violations`` into (new, baselined) and report the
+        stale baseline entries that matched nothing."""
+        keys = {(e.rule, e.path, e.fingerprint): e for e in self.entries}
+        new: list[Violation] = []
+        baselined: list[Violation] = []
+        matched: set[tuple[str, str, str]] = set()
+        for violation in violations:
+            key = (violation.rule.name, violation.path,
+                   violation.fingerprint)
+            if key in keys:
+                baselined.append(violation)
+                matched.add(key)
+            else:
+                new.append(violation)
+        stale = [entry for key, entry in keys.items()
+                 if key not in matched]
+        return new, baselined, stale

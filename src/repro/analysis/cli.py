@@ -1,0 +1,154 @@
+"""``python -m repro.analysis`` — run reprolint with exit-code gating.
+
+::
+
+    python -m repro.analysis                   # lint src/repro, text out
+    python -m repro.analysis --strict          # also fail on stale
+                                               # baseline entries
+    python -m repro.analysis --format json     # machine-readable
+    python -m repro.analysis --write-baseline  # accept current findings
+    python -m repro.analysis --list-rules      # what is enforced & why
+
+Exit code 0 means every finding is either absent or explicitly
+baselined; 1 means new violations (or, under ``--strict``, a stale
+baseline).  Designed to run in CI next to the test suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.lint import Linter
+from repro.analysis.report import LintReport, rules_text
+from repro.errors import ConfigError
+
+BASELINE_NAME = "analysis-baseline.txt"
+
+
+def default_scan_root() -> Path:
+    """The installed ``repro`` package directory — lint ourselves."""
+    return Path(__file__).resolve().parents[1]
+
+
+def find_repo_root(start: Path) -> Path | None:
+    """Nearest ancestor carrying a ``pyproject.toml`` (the checkout
+    root, where the baseline file lives)."""
+    for candidate in (start, *start.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="reprolint: persist-ordering and simulator-domain "
+                    "invariants as named, suppressible lint rules")
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files or directories to lint "
+                             "(default: the repro package)")
+    parser.add_argument("--strict", action="store_true",
+                        help="also fail when the baseline has stale "
+                             "entries")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help=f"baseline file (default: {BASELINE_NAME} "
+                             "next to pyproject.toml)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="accept all current findings into the "
+                             "baseline file and exit 0")
+    parser.add_argument("--select", action="append", default=None,
+                        metavar="RULE",
+                        help="run only this rule (repeatable; name or "
+                             "RPLnnn id)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="describe every rule and exit")
+    return parser
+
+
+def resolve_baseline_path(args: argparse.Namespace,
+                          scan_root: Path) -> Path | None:
+    if args.no_baseline:
+        return None
+    if args.baseline is not None:
+        return args.baseline
+    repo_root = find_repo_root(scan_root)
+    if repo_root is None:
+        return None
+    return repo_root / BASELINE_NAME
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(rules_text())
+        return 0
+
+    for path in args.paths:
+        if not path.exists():
+            print(f"no such file or directory: {path}", file=sys.stderr)
+            return 2
+
+    scan_root = args.paths[0] if args.paths else default_scan_root()
+    try:
+        linter = Linter(scan_root, select=args.select)
+    except ConfigError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    files: list[Path] = []
+    try:
+        if args.paths:
+            # Multiple roots: lint each, relpaths computed per root.
+            violations = []
+            for root in args.paths:
+                sub = Linter(root, select=args.select)
+                sub_files = list(sub.iter_files())
+                files.extend(sub_files)
+                violations.extend(sub.run(sub_files))
+        else:
+            files = list(linter.iter_files())
+            violations = linter.run(files)
+    except SyntaxError as exc:
+        print(f"cannot lint {exc.filename}:{exc.lineno}: {exc.msg}",
+              file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"cannot lint: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = resolve_baseline_path(args, Path(scan_root))
+    if args.write_baseline:
+        if baseline_path is None:
+            print("no baseline location found (need pyproject.toml or "
+                  "--baseline)", file=sys.stderr)
+            return 2
+        Baseline.from_violations(violations).save(baseline_path)
+        print(f"wrote {len(violations)} entr(ies) to {baseline_path}")
+        return 0
+
+    report = LintReport(files_checked=len(files))
+    if baseline_path is not None and baseline_path.is_file():
+        new, baselined, stale = \
+            Baseline.load(baseline_path).split(violations)
+        report.violations = new
+        report.baselined = baselined
+        report.stale_baseline = stale
+    else:
+        report.violations = violations
+
+    if args.format == "json":
+        print(report.as_json())
+    else:
+        print(report.as_text())
+    return report.exit_code(strict=args.strict)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

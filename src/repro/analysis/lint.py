@@ -1,0 +1,356 @@
+"""reprolint — the AST lint enforcing simulator-domain invariants.
+
+Each check is a :class:`LintRule` subclass scoped to the package paths
+where its invariant applies.  Rules are deliberately *semantic*, not
+stylistic: every one of them protects a property the paper's evaluation
+depends on (see the rationales in :mod:`repro.analysis.rules`).
+
+Suppression: append ``# reprolint: disable=<rule-name>[,<rule-name>]``
+to the offending line (``disable=all`` silences every rule for that
+line).  Fixture files under test control can also pin the path used for
+rule scoping with a first-line ``# reprolint-fixture-path: <relpath>``
+comment, so known-bad snippets exercise path-scoped rules without
+living inside the package.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from repro.analysis.rules import ALL_RULES, RuleInfo, Violation, get_rule
+
+_SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*disable=([\w\-, ]+)")
+_FIXTURE_PATH_RE = re.compile(r"#\s*reprolint-fixture-path:\s*(\S+)")
+
+
+class ParsedModule:
+    """One source file, parsed once and shared by every rule."""
+
+    def __init__(self, path: Path, relpath: str) -> None:
+        self.path = path
+        self.source = path.read_text()
+        self.lines = self.source.splitlines()
+        self.tree = ast.parse(self.source, filename=str(path))
+        self.relpath = relpath
+        # Fixture files may pin the path rules see (test machinery).
+        for line in self.lines[:3]:
+            match = _FIXTURE_PATH_RE.search(line)
+            if match:
+                self.relpath = match.group(1)
+                break
+        self.suppressions: dict[int, set[str]] = {}
+        for lineno, line in enumerate(self.lines, start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match:
+                names = {token.strip()
+                         for token in match.group(1).split(",")
+                         if token.strip()}
+                self.suppressions[lineno] = names
+
+    def snippet(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def suppressed(self, lineno: int, rule_name: str) -> bool:
+        names = self.suppressions.get(lineno, ())
+        return rule_name in names or "all" in names
+
+
+def _attr_name(node: ast.expr) -> str:
+    """Name of an assignment target: ``x`` or ``obj.x`` -> ``x``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return ""
+
+
+def _dotted(node: ast.expr) -> str:
+    """Best-effort dotted form of an attribute chain for messages."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+class LintRule:
+    """Base class: path scoping + the shared violation constructor."""
+
+    #: Path prefixes (relative to the scan root) the rule applies to.
+    #: An empty tuple means everywhere.
+    paths: tuple[str, ...] = ()
+    #: Path prefixes exempt from the rule.
+    exclude: tuple[str, ...] = ()
+
+    def __init__(self) -> None:
+        self.info: RuleInfo = get_rule(self.name)
+
+    name = ""  # overridden
+
+    def applies(self, relpath: str) -> bool:
+        if any(relpath.startswith(prefix) for prefix in self.exclude):
+            return False
+        if not self.paths:
+            return True
+        return any(relpath.startswith(prefix) for prefix in self.paths)
+
+    def violation(self, mod: ParsedModule, node: ast.AST,
+                  message: str) -> Violation:
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Violation(rule=self.info, path=mod.relpath, line=lineno,
+                         column=col + 1, message=message,
+                         snippet=mod.snippet(lineno))
+
+    def check(self, mod: ParsedModule) -> Iterator[Violation]:
+        raise NotImplementedError
+
+
+# ======================================================================
+# RPL001 — every persist attributable to ADR semantics
+# ======================================================================
+class NvmDirectStoreRule(LintRule):
+    """``write_line``/``poke_line`` calls outside the device, the typed
+    store, the crash machinery and the CME re-encryption burst must be
+    preceded — in the same function — by a WPQ ``enqueue``, so every
+    persist is attributable to ADR semantics."""
+
+    name = "nvm-direct-store"
+    exclude = ("mem/", "tree/store.py", "crash/", "cme/encryption.py",
+               "analysis/")
+
+    _STORE_CALLS = ("write_line", "poke_line")
+
+    def check(self, mod: ParsedModule) -> Iterator[Violation]:
+        # Attribute every call to its innermost enclosing function (or
+        # the module scope) so "preceded by an enqueue" is judged per
+        # scope, in statement order.
+        scopes: dict[int, dict[str, list[ast.Call]]] = {}
+
+        def visit(node: ast.AST, scope_id: int) -> None:
+            for child in ast.iter_child_nodes(node):
+                child_scope = scope_id
+                if isinstance(child, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef)):
+                    child_scope = id(child)
+                if isinstance(child, ast.Call) and \
+                        isinstance(child.func, ast.Attribute):
+                    attr = child.func.attr
+                    bucket = scopes.setdefault(
+                        scope_id, {"enqueue": [], "store": []})
+                    if attr == "enqueue":
+                        bucket["enqueue"].append(child)
+                    elif attr in self._STORE_CALLS:
+                        bucket["store"].append(child)
+                visit(child, child_scope)
+
+        visit(mod.tree, id(mod.tree))
+        for bucket in scopes.values():
+            enqueue_lines = [c.lineno for c in bucket["enqueue"]]
+            first_enqueue = min(enqueue_lines) if enqueue_lines else None
+            for call in bucket["store"]:
+                if first_enqueue is not None and \
+                        call.lineno >= first_enqueue:
+                    continue
+                yield self.violation(
+                    mod, call,
+                    f"direct NVM store '{_dotted(call.func)}' with no "
+                    "preceding wpq.enqueue in this function — the "
+                    "persist is invisible to the ADR crash model")
+
+
+# ======================================================================
+# RPL002 — no dropped verification results
+# ======================================================================
+class UncheckedVerifyRule(LintRule):
+    """A ``verify``/``matches`` call whose boolean result is discarded
+    is a verification that can never fail."""
+
+    name = "unchecked-verify"
+    paths = ("secure/", "tree/", "crash/", "cme/")
+
+    _VERIFY_CALLS = ("verify", "matches")
+
+    def check(self, mod: ParsedModule) -> Iterator[Violation]:
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Expr):
+                continue
+            value = node.value
+            if isinstance(value, ast.Call) and \
+                    isinstance(value.func, ast.Attribute) and \
+                    value.func.attr in self._VERIFY_CALLS:
+                yield self.violation(
+                    mod, node,
+                    f"result of '{_dotted(value.func)}(...)' is "
+                    "discarded — a verification that cannot fail is a "
+                    "silent security hole")
+
+
+# ======================================================================
+# RPL003 — integer-only cycle arithmetic
+# ======================================================================
+class FloatCycleArithRule(LintRule):
+    """Assignments to ``*cycle*`` names (and returns from ``*cycle*``
+    functions) must not contain true division or float literals unless
+    explicitly converted with ``int(...)`` at the top level."""
+
+    name = "float-cycle-arith"
+    paths = ("mem/timing.py", "mem/wpq.py", "mem/nvm.py", "sim/")
+
+    @staticmethod
+    def _has_float_math(node: ast.expr) -> bool:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Div):
+                return True
+            if isinstance(sub, ast.Constant) and \
+                    isinstance(sub.value, float):
+                return True
+        return False
+
+    @staticmethod
+    def _int_converted(node: ast.expr) -> bool:
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "int")
+
+    def _flag(self, value: ast.expr | None) -> bool:
+        return (value is not None
+                and not self._int_converted(value)
+                and self._has_float_math(value))
+
+    def check(self, mod: ParsedModule) -> Iterator[Violation]:
+        for node in ast.walk(mod.tree):
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets, value = [node.target], node.value
+            if value is not None:
+                for target in targets:
+                    name = _attr_name(target)
+                    if "cycle" in name.lower() and self._flag(value):
+                        yield self.violation(
+                            mod, node,
+                            f"float arithmetic assigned to cycle "
+                            f"counter '{name}' — cycle counts are "
+                            "exact integers (use // or wrap in int())")
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and "cycle" in node.name.lower():
+                for sub in ast.walk(node):
+                    if isinstance(sub, ast.Return) and \
+                            self._flag(sub.value):
+                        yield self.violation(
+                            mod, sub,
+                            f"'{node.name}' returns float arithmetic — "
+                            "cycle quantities are exact integers")
+
+
+# ======================================================================
+# RPL004 — no assert-based runtime validation
+# ======================================================================
+class BareAssertRule(LintRule):
+    """``assert`` disappears under ``python -O``; library code must
+    raise typed :mod:`repro.errors` exceptions instead."""
+
+    name = "bare-assert"
+    exclude = ("analysis/",)
+
+    def check(self, mod: ParsedModule) -> Iterator[Violation]:
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Assert):
+                yield self.violation(
+                    mod, node,
+                    "bare assert in library code is stripped under "
+                    "python -O — raise a typed repro.errors exception")
+
+
+# ======================================================================
+# RPL005 — counters registered before increment
+# ======================================================================
+class StatCounterDisciplineRule(LintRule):
+    """Chained ``stats.counter("x").add(...)`` creates-or-fetches the
+    counter on the hot path (and silently mints a fresh zero counter on
+    a typo); counters must be bound once at construction."""
+
+    name = "stat-counter-discipline"
+    exclude = ("util/stats.py",)
+
+    _FACTORY_CALLS = ("counter", "mean")
+
+    def check(self, mod: ParsedModule) -> Iterator[Violation]:
+        for node in ast.walk(mod.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "add"):
+                continue
+            receiver = node.func.value
+            if isinstance(receiver, ast.Call) and \
+                    isinstance(receiver.func, ast.Attribute) and \
+                    receiver.func.attr in self._FACTORY_CALLS:
+                yield self.violation(
+                    mod, node,
+                    f"'{_dotted(receiver.func)}(...).add(...)' "
+                    "registers the statistic at increment time — bind "
+                    "it to an attribute at construction instead")
+
+
+_RULE_CLASSES: tuple[type[LintRule], ...] = (
+    NvmDirectStoreRule,
+    UncheckedVerifyRule,
+    FloatCycleArithRule,
+    BareAssertRule,
+    StatCounterDisciplineRule,
+)
+
+# Every registered RuleInfo must have an implementation and vice versa.
+if {cls.name for cls in _RULE_CLASSES} != {r.name for r in ALL_RULES}:
+    raise RuntimeError("lint rule registry out of sync with rules.py")
+
+
+class Linter:
+    """Walk a tree of Python files and run every (selected) rule."""
+
+    def __init__(self, root: Path,
+                 select: Iterable[str] | None = None) -> None:
+        self.root = Path(root)
+        wanted = None if select is None else {
+            get_rule(token).name for token in select}
+        self.rules: list[LintRule] = [
+            cls() for cls in _RULE_CLASSES
+            if wanted is None or cls.name in wanted]
+
+    def iter_files(self) -> Iterator[Path]:
+        if self.root.is_file():
+            yield self.root
+            return
+        for path in sorted(self.root.rglob("*.py")):
+            if "egg-info" in path.parts or "__pycache__" in path.parts:
+                continue
+            yield path
+
+    def relpath_of(self, path: Path) -> str:
+        try:
+            return path.relative_to(self.root).as_posix()
+        except ValueError:
+            return path.name
+
+    def run(self, files: Iterable[Path] | None = None) -> list[Violation]:
+        violations: list[Violation] = []
+        for path in (files if files is not None else self.iter_files()):
+            mod = ParsedModule(Path(path), self.relpath_of(Path(path)))
+            for rule in self.rules:
+                if not rule.applies(mod.relpath):
+                    continue
+                for violation in rule.check(mod):
+                    if not mod.suppressed(violation.line, rule.name):
+                        violations.append(violation)
+        violations.sort(key=lambda v: (v.path, v.line, v.rule.id))
+        return violations

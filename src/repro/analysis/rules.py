@@ -1,0 +1,129 @@
+"""Rule metadata and the violation record shared by the lint and the
+CLI.
+
+Every rule has a stable short ``name`` (the token used in suppression
+comments and the baseline file), an ``id`` for terse grep-able output,
+a one-line ``summary`` and a ``rationale`` tying it back to the paper —
+rules exist to protect a modelling invariant, not a style preference.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    """Descriptive metadata for one lint rule."""
+
+    id: str
+    name: str
+    summary: str
+    rationale: str
+
+
+#: The registry, in report order.
+ALL_RULES: tuple[RuleInfo, ...] = (
+    RuleInfo(
+        id="RPL001",
+        name="nvm-direct-store",
+        summary="NVM store mutation not attributable to the WPQ / "
+                "crash-injection APIs",
+        rationale="The WPQ is the ADR persistence domain (Table II): a "
+                  "write_line/poke_line call with no preceding "
+                  "wpq.enqueue in the same function is a persist the "
+                  "crash model cannot see, so crash injection would "
+                  "silently disagree with the timing model.",
+    ),
+    RuleInfo(
+        id="RPL002",
+        name="unchecked-verify",
+        summary="HMAC/verify result discarded",
+        rationale="A dropped verification result is a silent security "
+                  "hole: the simulator would model a controller that "
+                  "computes MACs but never acts on them, voiding the "
+                  "attack-detection claims of Table I.",
+    ),
+    RuleInfo(
+        id="RPL003",
+        name="float-cycle-arith",
+        summary="floating-point arithmetic on a cycle counter",
+        rationale="Cycle counts are exact integers; float rounding in "
+                  "the WPQ drain clock or the CPU model makes latency "
+                  "comparisons between schemes (Fig 9/10) "
+                  "non-reproducible across platforms.",
+    ),
+    RuleInfo(
+        id="RPL004",
+        name="bare-assert",
+        summary="bare assert used for runtime validation in library "
+                "code",
+        rationale="``python -O`` strips asserts: a verification or "
+                  "type check expressed as assert vanishes in "
+                  "optimised runs, turning a detected integrity "
+                  "failure into silent acceptance.  Raise a typed "
+                  "repro.errors exception instead.",
+    ),
+    RuleInfo(
+        id="RPL005",
+        name="stat-counter-discipline",
+        summary="statistics counter created at increment time",
+        rationale="StatGroup.counter() creates-on-fetch: a chained "
+                  "counter(...).add(...) silently mints a new counter "
+                  "on typo, and per-event registration costs the hot "
+                  "path.  Bind counters once at construction.",
+    ),
+)
+
+_BY_NAME = {rule.name: rule for rule in ALL_RULES}
+_BY_ID = {rule.id: rule for rule in ALL_RULES}
+
+
+def get_rule(name_or_id: str) -> RuleInfo:
+    """Look a rule up by its short name or its RPLnnn id."""
+    rule = _BY_NAME.get(name_or_id) or _BY_ID.get(name_or_id)
+    if rule is None:
+        raise ConfigError(
+            f"unknown lint rule {name_or_id!r}; known rules: "
+            f"{', '.join(sorted(_BY_NAME))}")
+    return rule
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One lint finding, locatable and stable enough to baseline."""
+
+    rule: RuleInfo
+    path: str          # posix-style path relative to the scan root
+    line: int
+    column: int
+    message: str
+    snippet: str       # the stripped offending source line
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-number-independent identity used for baseline matching:
+        a violation keeps its fingerprint when unrelated edits shift it
+        up or down the file."""
+        digest = hashlib.sha256(
+            f"{self.rule.name}|{self.path}|{self.snippet}".encode())
+        return digest.hexdigest()[:12]
+
+    def format(self) -> str:
+        return (f"{self.path}:{self.line}:{self.column}: "
+                f"{self.rule.id} [{self.rule.name}] {self.message}")
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule.name,
+            "id": self.rule.id,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+        }

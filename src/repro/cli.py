@@ -240,6 +240,11 @@ def cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import main as analysis_main
+    return analysis_main(args.lint_args)
+
+
 # ======================================================================
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -288,10 +293,24 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("quick", "default", "paper"))
     p.add_argument("--json", help="also write the result as JSON")
     p.set_defaults(func=cmd_figures)
+
+    p = sub.add_parser(
+        "analyze",
+        help="run reprolint + the crash-consistency analysis gate")
+    p.add_argument("lint_args", nargs=argparse.REMAINDER,
+                   help="arguments forwarded to python -m repro.analysis "
+                        "(e.g. --strict, --format json, --list-rules)")
+    p.set_defaults(func=cmd_analyze)
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv[:1] == ["analyze"]:
+        # Forward verbatim: argparse REMAINDER refuses leading options
+        # (e.g. ``analyze --strict``), so bypass the subparser.
+        from repro.analysis.cli import main as analysis_main
+        return analysis_main(argv[1:])
     args = build_parser().parse_args(argv)
     return args.func(args)
 

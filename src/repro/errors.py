@@ -49,3 +49,16 @@ class CrashError(ReproError):
 class SimulationError(ReproError):
     """The simulator reached an internal state that should be impossible
     (a bug in the model, not in the modelled system)."""
+
+
+class MetadataTypeError(SimulationError):
+    """A metadata fetch produced a node of the wrong type (e.g. a
+    :class:`~repro.tree.node.SITNode` where a counter block was expected).
+    Raised instead of ``assert`` so the check survives ``python -O``."""
+
+
+class PersistOrderingError(SimulationError):
+    """The runtime crash-consistency sanitizer observed a persist-order
+    violation: security metadata reached the persistence domain in an
+    order the scheme's declared crash-consistency rules forbid (e.g. a
+    SCUE leaf persisted before its shortcut root update)."""

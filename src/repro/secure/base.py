@@ -33,7 +33,11 @@ from typing import TYPE_CHECKING
 
 from repro.cme.counters import CounterBlock, MINORS_PER_BLOCK
 from repro.cme.encryption import CMEEngine
-from repro.errors import IntegrityError, SimulationError
+from repro.errors import (
+    IntegrityError,
+    MetadataTypeError,
+    SimulationError,
+)
 from repro.mem.address import AddressMap, CACHE_LINE_SIZE
 from repro.mem.cache import SetAssociativeCache
 from repro.mem.nvm import NVMDevice
@@ -54,6 +58,18 @@ REGISTER_UPDATE_CYCLES = 2
 #: Flat charge for the 64-line re-encryption burst after a minor-counter
 #: overflow (row-hit reads of the covered lines; writes go via the WPQ).
 OVERFLOW_READ_CYCLES_PER_LINE = 30
+
+
+def expect_node(node: "TreeNode", cls: type, context: str):
+    """Narrow a fetched tree node to the expected type, raising a typed
+    error (not ``assert``, which ``python -O`` strips) when the address
+    map handed back the wrong node kind — that is metadata corruption
+    in the model itself and must fail even in optimised runs."""
+    if not isinstance(node, cls):
+        raise MetadataTypeError(
+            f"{context}: expected {cls.__name__}, "
+            f"got {type(node).__name__}")
+    return node
 
 
 @dataclass(frozen=True)
@@ -361,7 +377,7 @@ class SecureMemoryController(ABC):
                     REGISTER_UPDATE_CYCLES if charge else 0)
         plevel, pindex = self.amap.parent_coords(level, index)
         parent, latency = self.fetch_node(plevel, pindex, charge=charge)
-        assert isinstance(parent, SITNode)
+        expect_node(parent, SITNode, f"{self.name}: parent bump")
         parent.bump_counter(slot, amount)
         self._mark_dirty(parent)
         return parent.counter(slot), latency if charge else 0
@@ -382,7 +398,7 @@ class SecureMemoryController(ABC):
             return REGISTER_UPDATE_CYCLES if charge else 0
         plevel, pindex = self.amap.parent_coords(level, index)
         parent, latency = self.fetch_node(plevel, pindex, charge=charge)
-        assert isinstance(parent, SITNode)
+        expect_node(parent, SITNode, f"{self.name}: parent update")
         if set_to is not None:
             parent.set_counter(slot, set_to)
         else:
@@ -460,7 +476,7 @@ class SecureMemoryController(ABC):
         payload = self._payload_for(line, data)
         leaf_index = self.amap.counter_block_of_data(line)
         leaf, fetch_latency = self.fetch_node(0, leaf_index)
-        assert isinstance(leaf, CounterBlock)
+        expect_node(leaf, CounterBlock, f"{self.name}: data write")
         delta, overflow_cycles = self._bump_leaf(leaf, line, cycle)
         ciphertext = self.cme.encrypt(line, payload, leaf)
         self.data_macs[line] = self._data_mac(line, ciphertext, leaf)
@@ -486,7 +502,7 @@ class SecureMemoryController(ABC):
         leaf_index = self.amap.counter_block_of_data(line)
         leaf, fetch_latency = self.fetch_node(0, leaf_index,
                                               speculative=True)
-        assert isinstance(leaf, CounterBlock)
+        expect_node(leaf, CounterBlock, f"{self.name}: data read")
         array_latency = self.nvm.read_latency(line)
         ciphertext = self.nvm.read_line(line)
         self._data_reads.add()

@@ -21,7 +21,11 @@ from __future__ import annotations
 from repro.cme.counters import CounterBlock
 from repro.errors import SimulationError
 from repro.mem.address import CACHE_LINE_SIZE
-from repro.secure.base import RecoveryReport, SecureMemoryController
+from repro.secure.base import (
+    RecoveryReport,
+    SecureMemoryController,
+    expect_node,
+)
 from repro.tree.node import SITNode
 from repro.tree.store import TreeNode
 
@@ -91,7 +95,7 @@ class BMFIdealController(SecureMemoryController):
         for index in range(self.amap.num_counter_blocks):
             leaf = self.store.load(0, index, counted=False)
             reads += 1
-            assert isinstance(leaf, CounterBlock)
+            expect_node(leaf, CounterBlock, "bmf: recovery scan")
             root = self._persistent_root(index // self.amap.arity)
             addr = self.amap.counter_block_addr(index)
             if not leaf.verify(self.mac, addr,

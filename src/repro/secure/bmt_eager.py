@@ -25,7 +25,11 @@ from dataclasses import dataclass
 from repro.cme.counters import CounterBlock
 from repro.errors import ConfigError, IntegrityError
 from repro.mem.address import CACHE_LINE_SIZE
-from repro.secure.base import RecoveryReport, SecureMemoryController
+from repro.secure.base import (
+    RecoveryReport,
+    SecureMemoryController,
+    expect_node,
+)
 from repro.tree.store import TreeNode
 
 DIGEST_BITS = 64
@@ -138,7 +142,7 @@ class BMTEagerController(SecureMemoryController):
             return self.root_digests[index % self.amap.arity], 0, 0
         plevel, pindex = self.amap.parent_coords(level, index)
         parent, latency, fetched = self._fetch_chain(plevel, pindex)
-        assert isinstance(parent, BMTMediaNode)
+        expect_node(parent, BMTMediaNode, "bmt-eager: digest chain")
         return parent.digest(self.amap.parent_slot(index)), latency, fetched
 
     # ==================================================================
@@ -154,7 +158,7 @@ class BMTEagerController(SecureMemoryController):
             plevel, pindex = self.amap.parent_coords(level, index)
             parent, latency = self.fetch_node(plevel, pindex, charge=True)
             fetch_latency += latency
-            assert isinstance(parent, BMTMediaNode)
+            expect_node(parent, BMTMediaNode, "bmt-eager: branch re-hash")
             parent.set_digest(self.amap.parent_slot(index),
                               self._digest_of(current))
             hashes += 1

@@ -24,6 +24,7 @@ from repro.secure.base import (
     RecoveryReport,
     SecureMemoryController,
     WriteOutcome,
+    expect_node,
 )
 from repro.tree.node import SITNode
 from repro.tree.store import TreeNode
@@ -99,7 +100,7 @@ class EagerController(SecureMemoryController):
             plevel, pindex = self.amap.parent_coords(level, index)
             parent, latency = self.fetch_node(plevel, pindex, charge=True)
             fetch_latency += latency
-            assert isinstance(parent, SITNode)
+            expect_node(parent, SITNode, "eager: branch propagation")
             slot = self.amap.parent_slot(index)
             parent.bump_counter(slot, dummy_delta)
             self._mark_dirty(parent)

@@ -20,7 +20,11 @@ from __future__ import annotations
 
 from repro.cme.counters import CounterBlock
 from repro.crash.recovery import counter_summing_reconstruction
-from repro.secure.base import RecoveryReport, SecureMemoryController
+from repro.secure.base import (
+    RecoveryReport,
+    SecureMemoryController,
+    expect_node,
+)
 from repro.tree.node import SITNode
 from repro.tree.store import TreeNode
 
@@ -51,7 +55,7 @@ class PLPController(SecureMemoryController):
             plevel, pindex = self.amap.parent_coords(level, index)
             parent, latency = self.fetch_node(plevel, pindex, charge=True)
             fetch_latency += latency
-            assert isinstance(parent, SITNode)
+            expect_node(parent, SITNode, "plp: branch persist")
             slot = self.amap.parent_slot(index)
             parent.bump_counter(slot, dummy_delta)
             self._mark_dirty(parent)

@@ -1,0 +1,7 @@
+# reprolint-fixture-path: sim/bad_bare_assert.py
+"""Known-bad lint fixture: RPL004 (bare-assert) fires exactly once."""
+
+
+def advance(cycle):
+    assert cycle >= 0
+    return cycle + 1

@@ -1,0 +1,8 @@
+# reprolint-fixture-path: sim/bad_float_cycles.py
+"""Known-bad lint fixture: RPL003 (float-cycle-arith) fires exactly
+once — true division lands in a cycle counter without int()."""
+
+
+def schedule(ns, period_ns):
+    cycles = ns / period_ns
+    return cycles

@@ -1,0 +1,7 @@
+# reprolint-fixture-path: secure/bad_nvm_store.py
+"""Known-bad lint fixture: RPL001 (nvm-direct-store) fires exactly
+once — the store below has no preceding WPQ enqueue in its scope."""
+
+
+def persist_without_adr(controller, addr, data):
+    controller.nvm.write_line(addr, data)

@@ -1,0 +1,7 @@
+# reprolint-fixture-path: secure/bad_stat_counter.py
+"""Known-bad lint fixture: RPL005 (stat-counter-discipline) fires
+exactly once — the counter is created-or-fetched at increment time."""
+
+
+def count_event(stats):
+    stats.counter("events").add()

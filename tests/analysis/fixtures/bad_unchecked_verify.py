@@ -1,0 +1,8 @@
+# reprolint-fixture-path: secure/bad_unchecked_verify.py
+"""Known-bad lint fixture: RPL002 (unchecked-verify) fires exactly
+once — the verification result is computed and thrown away."""
+
+
+def fetch_and_trust(leaf, mac, addr, counter):
+    leaf.verify(mac, addr, counter)
+    return leaf

@@ -1,0 +1,70 @@
+"""``python -m repro.analysis`` exit-code gating and output formats."""
+
+import json
+from pathlib import Path
+
+from repro.analysis.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+BAD = str(FIXTURES / "bad_bare_assert.py")
+GOOD = str(FIXTURES / "good_clean.py")
+
+
+class TestExitCodes:
+    def test_known_bad_fixture_fails(self, capsys):
+        assert main([BAD, "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "RPL004" in out
+        assert "bare-assert" in out
+
+    def test_known_good_fixture_passes(self, capsys):
+        assert main([GOOD, "--no-baseline"]) == 0
+
+    def test_select_unrelated_rule_passes(self, capsys):
+        assert main([BAD, "--no-baseline",
+                     "--select", "unchecked-verify"]) == 0
+
+    def test_select_by_id_still_fails(self, capsys):
+        assert main([BAD, "--no-baseline", "--select", "RPL004"]) == 1
+
+
+class TestJsonOutput:
+    def test_machine_readable_shape(self, capsys):
+        main([BAD, "--no-baseline", "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is False
+        assert payload["by_rule"] == {"bare-assert": 1}
+        (violation,) = payload["violations"]
+        assert violation["id"] == "RPL004"
+        assert violation["path"] == "sim/bad_bare_assert.py"
+        assert violation["fingerprint"]
+
+
+class TestBaselineFlow:
+    def test_write_then_gate_then_stale(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.txt"
+        assert main([BAD, "--write-baseline",
+                     "--baseline", str(baseline)]) == 0
+        assert baseline.is_file()
+        # Baselined finding no longer gates...
+        assert main([BAD, "--baseline", str(baseline)]) == 0
+        # ...a stale baseline passes lax mode but fails --strict.
+        assert main([GOOD, "--baseline", str(baseline)]) == 0
+        assert main([GOOD, "--baseline", str(baseline),
+                     "--strict"]) == 1
+
+
+class TestListRules:
+    def test_every_rule_described(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RPL001", "RPL002", "RPL003", "RPL004",
+                        "RPL005"):
+            assert rule_id in out
+
+
+class TestRepoGate:
+    def test_package_is_strict_clean(self, capsys):
+        """The acceptance criterion: the shipped tree (plus its
+        committed baseline) passes ``--strict`` with exit 0."""
+        assert main(["--strict"]) == 0

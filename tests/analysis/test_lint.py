@@ -1,0 +1,137 @@
+"""reprolint engine: every rule fires exactly once on its known-bad
+fixture, stays quiet on the known-good twin, and honours suppressions
+and the baseline."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Baseline, Linter
+from repro.analysis.rules import Violation, get_rule
+from repro.errors import ConfigError
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: fixture file -> the one rule it must trip.
+BAD = {
+    "bad_nvm_store.py": "nvm-direct-store",
+    "bad_unchecked_verify.py": "unchecked-verify",
+    "bad_float_cycles.py": "float-cycle-arith",
+    "bad_bare_assert.py": "bare-assert",
+    "bad_stat_counter.py": "stat-counter-discipline",
+}
+
+
+def lint_file(path, select=None):
+    return Linter(Path(path), select=select).run()
+
+
+class TestKnownBadFixtures:
+    @pytest.mark.parametrize("fixture,rule", sorted(BAD.items()))
+    def test_rule_fires_exactly_once(self, fixture, rule):
+        violations = lint_file(FIXTURES / fixture)
+        assert [v.rule.name for v in violations] == [rule]
+
+    @pytest.mark.parametrize("fixture,rule", sorted(BAD.items()))
+    def test_fixture_path_header_pins_scoping(self, fixture, rule):
+        (violation,) = lint_file(FIXTURES / fixture)
+        # Path-scoped rules saw the pinned in-package path, not the
+        # fixture's real location under tests/.
+        assert violation.path.startswith(("secure/", "sim/"))
+        assert "fixtures" not in violation.path
+
+
+class TestKnownGoodFixture:
+    def test_near_miss_twins_stay_clean(self):
+        assert lint_file(FIXTURES / "good_clean.py") == []
+
+
+class TestSuppression:
+    def test_disable_comment_silences_the_rule(self, tmp_path):
+        path = tmp_path / "suppressed.py"
+        path.write_text(
+            "def f(x):\n"
+            "    assert x  # reprolint: disable=bare-assert\n")
+        assert lint_file(path) == []
+
+    def test_disable_all(self, tmp_path):
+        path = tmp_path / "suppressed.py"
+        path.write_text(
+            "def f(x):\n"
+            "    assert x  # reprolint: disable=all\n")
+        assert lint_file(path) == []
+
+    def test_unrelated_disable_does_not_silence(self, tmp_path):
+        path = tmp_path / "still_bad.py"
+        path.write_text(
+            "def f(x):\n"
+            "    assert x  # reprolint: disable=unchecked-verify\n")
+        (violation,) = lint_file(path)
+        assert violation.rule.name == "bare-assert"
+
+
+class TestSelect:
+    def test_select_by_name(self):
+        violations = lint_file(FIXTURES / "bad_bare_assert.py",
+                               select=["bare-assert"])
+        assert len(violations) == 1
+
+    def test_select_by_id(self):
+        violations = lint_file(FIXTURES / "bad_bare_assert.py",
+                               select=["RPL004"])
+        assert len(violations) == 1
+
+    def test_select_other_rule_finds_nothing(self):
+        assert lint_file(FIXTURES / "bad_bare_assert.py",
+                         select=["unchecked-verify"]) == []
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ConfigError):
+            lint_file(FIXTURES / "bad_bare_assert.py",
+                      select=["no-such-rule"])
+
+
+class TestBaseline:
+    def test_round_trip_matches_everything(self, tmp_path):
+        violations = lint_file(FIXTURES / "bad_bare_assert.py")
+        path = tmp_path / "baseline.txt"
+        Baseline.from_violations(violations).save(path)
+        new, baselined, stale = Baseline.load(path).split(violations)
+        assert new == []
+        assert len(baselined) == 1
+        assert stale == []
+
+    def test_stale_entries_surface(self, tmp_path):
+        old = lint_file(FIXTURES / "bad_bare_assert.py")
+        path = tmp_path / "baseline.txt"
+        Baseline.from_violations(old).save(path)
+        current = lint_file(FIXTURES / "bad_stat_counter.py")
+        new, baselined, stale = Baseline.load(path).split(current)
+        assert len(new) == 1       # the unbaselined finding
+        assert baselined == []
+        assert len(stale) == 1     # the entry that matched nothing
+
+    def test_fingerprint_survives_line_shifts(self):
+        rule = get_rule("bare-assert")
+        a = Violation(rule=rule, path="sim/x.py", line=5, column=5,
+                      message="m", snippet="assert x")
+        b = Violation(rule=rule, path="sim/x.py", line=50, column=5,
+                      message="m", snippet="assert x")
+        assert a.fingerprint == b.fingerprint
+
+    def test_fingerprint_changes_with_the_line(self):
+        rule = get_rule("bare-assert")
+        a = Violation(rule=rule, path="sim/x.py", line=5, column=5,
+                      message="m", snippet="assert x")
+        b = Violation(rule=rule, path="sim/x.py", line=5, column=5,
+                      message="m", snippet="assert y")
+        assert a.fingerprint != b.fingerprint
+
+
+class TestPackageTree:
+    def test_package_has_no_unbaselined_violations(self):
+        repo_src = Path(__file__).resolve().parents[2] / "src" / "repro"
+        baseline = Baseline.load(
+            Path(__file__).resolve().parents[2] / "analysis-baseline.txt")
+        new, _, _ = baseline.split(Linter(repo_src).run())
+        assert new == [], "\n".join(v.format() for v in new)

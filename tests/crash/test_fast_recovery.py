@@ -6,6 +6,7 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.analysis import attach_sanitizer
 from repro.crash.attacks import replay_leaf, roll_forward_leaf, snapshot_leaf
 from repro.crash.fast_recovery import targeted_reconstruction
 from repro.crash.recovery import counter_summing_reconstruction
@@ -16,8 +17,12 @@ from tests.conftest import small_config
 
 def tracked_scue(tracker="star", **overrides) -> SCUEController:
     overrides.setdefault("metadata_cache_size", 2048)
-    return SCUEController(small_config(
+    controller = SCUEController(small_config(
         "scue", recovery_tracker=tracker, **overrides))
+    # Sanitizer rides along until the first crash; recovery and
+    # post-recovery traffic run uninstrumented (it goes dormant).
+    attach_sanitizer(controller)
+    return controller
 
 
 def run_writes(controller, n=100, seed=3):

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.analysis import attach_sanitizer
 from repro.crash.injection import CrashPlan, run_with_crash, split_at_crash
 from repro.errors import ConfigError
 from repro.mem.trace import AccessType, MemoryAccess
@@ -43,6 +44,7 @@ class TestSplitAtCrash:
 class TestRunWithCrash:
     def test_executes_then_crashes(self):
         system = System(small_config("scue"))
+        attach_sanitizer(system.controller)
         executed = run_with_crash(system, persist_trace(30),
                                   CrashPlan(after_accesses=10))
         assert executed >= 10
@@ -51,6 +53,7 @@ class TestRunWithCrash:
 
     def test_recovery_truth_after_injected_crash(self):
         system = System(small_config("scue"))
+        attach_sanitizer(system.controller)
         run_with_crash(system, persist_trace(30), CrashPlan(10))
         assert system.recover().success
 

@@ -5,6 +5,7 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.analysis import attach_sanitizer
 from repro.crash.recovery import (
     METADATA_FETCH_NS,
     counter_summing_reconstruction,
@@ -17,6 +18,9 @@ from tests.conftest import small_config
 
 def written_controller(n=60, seed=3, **overrides) -> SCUEController:
     controller = SCUEController(small_config("scue", **overrides))
+    # Runtime persist-ordering sanitizer: any SCUE ordering regression
+    # in these histories fails loudly here, not as a wrong Fig 8.
+    attach_sanitizer(controller)
     rng = random.Random(seed)
     for i in range(n):
         controller.write_data(
@@ -107,6 +111,7 @@ class TestReconstruction:
     @settings(max_examples=15, deadline=None)
     def test_reconstruction_over_arbitrary_histories(self, lines):
         controller = SCUEController(small_config("scue"))
+        attach_sanitizer(controller)
         for i, line in enumerate(lines):
             controller.write_data(line * 64, None, cycle=i * 100)
         controller.crash()

@@ -110,3 +110,64 @@ class TestFlush:
         queue.enqueue(64, 0, metadata=True)
         flushed = queue.flush()
         assert flushed[0].is_metadata
+
+
+class TestSlotAccounting:
+    """Table II partitioning: 64 data + 10 metadata slots are separate
+    resources — neither side may ever consume the other's capacity."""
+
+    def test_metadata_never_consumes_data_slots(self):
+        queue = wpq(data=2, meta=2, drain=10)
+        queue.enqueue(0, 0, metadata=True)
+        queue.enqueue(64, 0, metadata=True)
+        # Metadata partition is full; data still enqueues stall-free.
+        assert queue.enqueue(128, 0) == 0
+        assert queue.enqueue(192, 0) == 0
+        assert queue.occupancy(metadata=True) == 2
+        assert queue.occupancy(metadata=False) == 2
+
+    def test_data_never_consumes_metadata_slots(self):
+        queue = wpq(data=2, meta=1, drain=10)
+        queue.enqueue(0, 0)
+        queue.enqueue(64, 0)
+        # Data partition is full; the metadata slot is still free.
+        assert queue.enqueue(128, 0, metadata=True) == 0
+        assert queue.occupancy(metadata=True) == 1
+
+    def test_partial_drain_preserves_fifo_within_partition(self):
+        queue = wpq(data=8, meta=2, drain=10)
+        for i in range(4):
+            queue.enqueue(i * 64, 0)
+        queue.advance_to(10)  # bandwidth for exactly the oldest entry
+        remaining = [entry.line_addr for entry in queue.flush()]
+        assert remaining == [64, 128, 192]
+
+    def test_crash_flush_is_exactly_the_pending_writes(self):
+        """ADR semantics: the crash-time flush is precisely the accepted
+        entries — metadata partition first, each partition in enqueue
+        order — and afterwards the queue is empty."""
+        queue = wpq(data=8, meta=4, drain=10)
+        queue.enqueue(0, 0)
+        queue.enqueue(1024, 0, metadata=True)
+        queue.enqueue(64, 0)
+        queue.enqueue(1088, 0, metadata=True)
+        flushed = queue.flush()
+        assert [entry.line_addr for entry in flushed] \
+            == [1024, 1088, 0, 64]
+        assert len(queue) == 0
+        assert queue.flush() == []
+
+    def test_full_queue_back_pressure_waits_for_the_drain(self):
+        queue = wpq(data=2, drain=10)
+        queue.enqueue(0, 0)   # queue goes busy: first drain at 10
+        queue.enqueue(64, 0)
+        assert queue.enqueue(128, 0) == 10
+        assert queue.occupancy(metadata=False) == 2
+
+    def test_metadata_preference_delays_the_data_slot(self):
+        """The shared drain port serves metadata first, so a blocked
+        data producer waits through the metadata drain too."""
+        queue = wpq(data=1, meta=2, drain=10)
+        queue.enqueue(0, 0)
+        queue.enqueue(1024, 0, metadata=True)
+        assert queue.enqueue(64, 0) == 20
