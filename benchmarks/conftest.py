@@ -7,6 +7,11 @@
   (the default),
 * ``paper``   — largest trace-scale runs (slow).
 
+``REPRO_BENCH_JOBS`` (default 1) shards the matrix across that many
+worker processes, and ``REPRO_BENCH_CAMPAIGN_DIR`` points the campaign
+engine at a result cache + manifest so an interrupted suite resumes
+instead of recomputing (docs/benchmarks.md).
+
 The Fig 9/10/§V-E experiments share one workload x scheme matrix; it is
 computed once per session and cached here so the suite doesn't re-run a
 multi-minute sweep three times.
@@ -15,6 +20,7 @@ multi-minute sweep three times.
 from __future__ import annotations
 
 import os
+from pathlib import Path
 
 import pytest
 
@@ -40,11 +46,21 @@ def bench_scale() -> BenchScale:
 _MATRIX_CACHE: dict[str, object] = {}
 
 
+def _campaign_opts() -> dict:
+    opts: dict = {"jobs": int(os.environ.get("REPRO_BENCH_JOBS", "1"))}
+    campaign_dir = os.environ.get("REPRO_BENCH_CAMPAIGN_DIR")
+    if campaign_dir:
+        base = Path(campaign_dir)
+        opts["cache"] = base / "cache"
+        opts["manifest_path"] = base / "manifest.json"
+    return opts
+
+
 def shared_matrix():
     """The Fig 9/10/§V-E matrix, computed once per session."""
     key = os.environ.get("REPRO_BENCH_SCALE", "default")
     if key not in _MATRIX_CACHE:
-        _MATRIX_CACHE[key] = run_matrix(bench_scale())
+        _MATRIX_CACHE[key] = run_matrix(bench_scale(), **_campaign_opts())
     return _MATRIX_CACHE[key]
 
 

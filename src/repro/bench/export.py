@@ -10,6 +10,7 @@ paper's bar charts are drawn from.
 from __future__ import annotations
 
 import dataclasses
+import enum
 import io
 import json
 from pathlib import Path
@@ -20,20 +21,40 @@ _SKIP_FIELDS = {"matrix"}
 
 
 def to_jsonable(value: Any) -> Any:
-    """Recursively convert figure dataclasses to JSON-compatible data."""
+    """Recursively convert figure dataclasses to JSON-compatible data.
+
+    Handles every shape a ``fig*`` result can embed: nested dataclasses
+    (also inside dicts/sequences), enums (their ``value``), ``Path``
+    (string form), ``bytes`` (hex), and non-string dict keys (enum keys
+    collapse to their value before the string coercion, so
+    ``AccessType.READ`` keys export as ``"read"``, not
+    ``"AccessType.READ"``).  Opaque objects fall back to ``str``.
+    """
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         return {
             field.name: to_jsonable(getattr(value, field.name))
             for field in dataclasses.fields(value)
             if field.name not in _SKIP_FIELDS
         }
+    if isinstance(value, enum.Enum):
+        return to_jsonable(value.value)
     if isinstance(value, dict):
-        return {str(k): to_jsonable(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple, set)):
+        return {_key(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
         return [to_jsonable(v) for v in value]
+    if isinstance(value, Path):
+        return str(value)
+    if isinstance(value, bytes):
+        return value.hex()
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
     return str(value)
+
+
+def _key(key: Any) -> str:
+    if isinstance(key, enum.Enum):
+        key = key.value
+    return key if isinstance(key, str) else str(key)
 
 
 def save_json(value: Any, path: str | Path) -> None:

@@ -9,7 +9,7 @@ side (EXPERIMENTS.md is generated from exactly these runs).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.bench.harness import (
     BenchScale,
@@ -18,6 +18,8 @@ from repro.bench.harness import (
     geomean,
     run_matrix,
 )
+from repro.campaign.executor import run_campaign
+from repro.campaign.spec import CampaignSpec
 from repro.crash.attacks import (
     combined_attack,
     replay_leaf,
@@ -26,7 +28,6 @@ from repro.crash.attacks import (
 )
 from repro.crash.injection import CrashPlan, run_with_crash
 from repro.sim.config import SystemConfig
-from repro.sim.driver import run_workload
 from repro.sim.system import System
 from repro.workloads import ALL_WORKLOADS, make_workload
 
@@ -64,10 +65,15 @@ class ComparisonFigure:
 
 def fig9_write_latency(scale: BenchScale | None = None,
                        workloads: Sequence[str] = ALL_WORKLOADS,
-                       seed: int = 42) -> ComparisonFigure:
-    """Fig 9: write latencies normalised to Baseline."""
+                       seed: int = 42,
+                       **campaign_opts: Any) -> ComparisonFigure:
+    """Fig 9: write latencies normalised to Baseline.
+
+    ``campaign_opts`` (``jobs``, ``cache``, ``manifest_path``,
+    ``progress``) go to the campaign engine — see :func:`run_matrix`.
+    """
     scale = scale or BenchScale.default()
-    matrix = run_matrix(scale, workloads, seed=seed)
+    matrix = run_matrix(scale, workloads, seed=seed, **campaign_opts)
     return ComparisonFigure(
         "write_latency",
         matrix.ratio_table("write_latency", EVAL_SCHEMES),
@@ -77,12 +83,13 @@ def fig9_write_latency(scale: BenchScale | None = None,
 def fig10_execution_time(scale: BenchScale | None = None,
                          workloads: Sequence[str] = ALL_WORKLOADS,
                          seed: int = 42,
-                         matrix: MatrixResult | None = None) -> ComparisonFigure:
+                         matrix: MatrixResult | None = None,
+                         **campaign_opts: Any) -> ComparisonFigure:
     """Fig 10: execution time normalised to Baseline.  Pass the matrix
     from :func:`fig9_write_latency` to reuse the same runs."""
     if matrix is None:
         scale = scale or BenchScale.default()
-        matrix = run_matrix(scale, workloads, seed=seed)
+        matrix = run_matrix(scale, workloads, seed=seed, **campaign_opts)
     return ComparisonFigure(
         "execution_time",
         matrix.ratio_table("execution_time", EVAL_SCHEMES),
@@ -106,45 +113,48 @@ class HashSweepFigure:
 
 
 def _hash_sweep(scale: BenchScale, workloads: Sequence[str], metric: str,
-                seed: int) -> dict[int, dict[str, float]]:
+                seed: int,
+                **campaign_opts: Any) -> dict[int, dict[str, float]]:
+    spec = CampaignSpec.hash_sweep(scale, workloads,
+                                   latencies=HASH_SWEEP, seed=seed)
+    outcome = run_campaign(spec, fail_fast=True, **campaign_opts)
+    outcome.raise_on_failure()
+    measured: dict[tuple[str, int], float] = {}
+    for cell, result in outcome.iter_results():
+        measured[(cell.workload, cell.config.hash_latency)] = (
+            result.avg_write_latency if metric == "write_latency"
+            else result.cycles)
     runs: dict[int, dict[str, float]] = {lat: {} for lat in HASH_SWEEP}
     for name in workloads:
-        workload = make_workload(name, scale.data_capacity,
-                                 scale.operations_for(name), seed=seed)
-        trace = list(workload.trace())
-        measured: dict[int, float] = {}
+        base = measured[(name, HASH_SWEEP[0])] or 1.0
         for latency in HASH_SWEEP:
-            config = scale.config("scue", hash_latency=latency)
-            result = run_workload(config, trace, workload_name=name,
-                                  warmup_accesses=scale.warmup_accesses)
-            measured[latency] = (result.avg_write_latency
-                                 if metric == "write_latency"
-                                 else result.cycles)
-        base = measured[HASH_SWEEP[0]] or 1.0
-        for latency in HASH_SWEEP:
-            runs[latency][name] = measured[latency] / base
+            runs[latency][name] = measured[(name, latency)] / base
     return runs
 
 
 def fig11_hash_sweep_write_latency(scale: BenchScale | None = None,
                                    workloads: Sequence[str] = ALL_WORKLOADS,
-                                   seed: int = 42) -> HashSweepFigure:
+                                   seed: int = 42,
+                                   **campaign_opts: Any) -> HashSweepFigure:
     """Fig 11: SCUE write latency at 20/40/80/160-cycle hashes."""
     scale = scale or BenchScale.default()
     return HashSweepFigure(
         "write_latency",
-        _hash_sweep(scale, workloads, "write_latency", seed),
+        _hash_sweep(scale, workloads, "write_latency", seed,
+                    **campaign_opts),
         PAPER_FIG11_AVG_160)
 
 
 def fig12_hash_sweep_execution_time(scale: BenchScale | None = None,
                                     workloads: Sequence[str] = ALL_WORKLOADS,
-                                    seed: int = 42) -> HashSweepFigure:
+                                    seed: int = 42,
+                                    **campaign_opts: Any) -> HashSweepFigure:
     """Fig 12: SCUE execution time at 20/40/80/160-cycle hashes."""
     scale = scale or BenchScale.default()
     return HashSweepFigure(
         "execution_time",
-        _hash_sweep(scale, workloads, "execution_time", seed),
+        _hash_sweep(scale, workloads, "execution_time", seed,
+                    **campaign_opts),
         PAPER_FIG12_AVG_160)
 
 
@@ -355,13 +365,13 @@ class AccessCountResult:
 def sec5e_memory_accesses(scale: BenchScale | None = None,
                           workloads: Sequence[str] = ALL_WORKLOADS,
                           seed: int = 42,
-                          matrix: MatrixResult | None = None
-                          ) -> AccessCountResult:
+                          matrix: MatrixResult | None = None,
+                          **campaign_opts: Any) -> AccessCountResult:
     """§V-E: PLP ~7x Lazy metadata traffic; BMF-ideal ~8.7% below Lazy;
     SCUE ~= Lazy."""
     if matrix is None:
         scale = scale or BenchScale.default()
-        matrix = run_matrix(scale, workloads, seed=seed)
+        matrix = run_matrix(scale, workloads, seed=seed, **campaign_opts)
     schemes = [s for s in EVAL_SCHEMES if s != "lazy"]
     table = matrix.ratio_table("metadata_accesses", schemes + ["lazy"],
                                baseline="lazy")

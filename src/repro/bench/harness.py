@@ -1,6 +1,10 @@
 """Shared experiment plumbing: run a workload x scheme matrix at a chosen
 scale and aggregate the paper-style normalised ratios.
 
+Cell execution goes through :mod:`repro.campaign` — serially in-process
+by default, across a worker pool with ``jobs>1``, and resumably when a
+result cache is supplied (docs/benchmarks.md).
+
 Scaling methodology (DESIGN.md §2): the paper simulates 16 GB of PCM under
 a 256 KB metadata cache and a 4 MB LLC — the metadata cache covers 1/1024
 of the counter region, and application footprints dwarf the LLC.  Running
@@ -16,12 +20,16 @@ from __future__ import annotations
 import math
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
+from pathlib import Path
 
+from repro.campaign.cache import ResultCache
+from repro.campaign.executor import run_campaign
+from repro.campaign.progress import ProgressReporter
+from repro.campaign.spec import CampaignSpec
 from repro.mem.hierarchy import HierarchyConfig
 from repro.sim.config import SystemConfig
-from repro.sim.driver import run_workload
 from repro.sim.results import RunResult
-from repro.workloads import ALL_WORKLOADS, SPEC_WORKLOADS, make_workload
+from repro.workloads import ALL_WORKLOADS, SPEC_WORKLOADS
 
 #: The comparison set of Figs 9/10 (baseline is the denominator).
 EVAL_SCHEMES = ("plp", "lazy", "bmf-ideal", "scue")
@@ -137,17 +145,29 @@ def run_matrix(scale: BenchScale,
                workloads: Sequence[str] = ALL_WORKLOADS,
                schemes: Sequence[str] = ("baseline",) + EVAL_SCHEMES,
                seed: int = 42,
+               jobs: int = 1,
+               cache: ResultCache | str | Path | None = None,
+               manifest_path: str | Path | None = None,
+               progress: ProgressReporter | None = None,
                **config_overrides) -> MatrixResult:
-    """Run every (workload, scheme) pair on identical traces."""
+    """Run every (workload, scheme) pair on identical traces.
+
+    Cells are submitted through the campaign engine: ``jobs=1`` (the
+    default) executes them serially in-process exactly as the classic
+    harness did, while ``jobs>1`` shards them across a worker pool.
+    Because every workload generator is seed-deterministic, the two
+    paths produce identical results cell for cell.  Pass ``cache`` (a
+    :class:`~repro.campaign.cache.ResultCache` or a directory path) to
+    skip cells a previous — possibly killed — run already completed, and
+    ``manifest_path`` to stream per-cell status to a manifest JSON.
+    """
+    spec = CampaignSpec.matrix(scale, workloads, schemes, seed=seed,
+                               **config_overrides)
+    outcome = run_campaign(
+        spec, jobs=jobs, cache=cache, manifest_path=manifest_path,
+        progress=progress, fail_fast=True)
+    outcome.raise_on_failure()
     matrix = MatrixResult()
-    for name in workloads:
-        workload = make_workload(name, scale.data_capacity,
-                                 scale.operations_for(name), seed=seed)
-        trace = workload.record() if hasattr(workload, "record") \
-            else list(workload.trace())
-        for scheme in schemes:
-            config = scale.config(scheme, **config_overrides)
-            result = run_workload(config, trace, workload_name=name,
-                                  warmup_accesses=scale.warmup_accesses)
-            matrix.add(name, scheme, result)
+    for cell, result in outcome.iter_results():
+        matrix.add(cell.workload, cell.config.scheme, result)
     return matrix

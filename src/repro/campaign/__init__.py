@@ -1,0 +1,43 @@
+"""Experiment campaigns: parallel, resumable sweeps over the paper grid.
+
+The paper's evaluation is a large cell grid — schemes x workloads x
+config points x seeds.  This package turns "run one workload on one
+config" (:mod:`repro.sim.driver`) into "run a declared grid across a
+process pool, resumably":
+
+* :mod:`repro.campaign.spec` — :class:`CellSpec`/:class:`CampaignSpec`
+  enumerate the grid from the figure definitions.
+* :mod:`repro.campaign.executor` — :func:`run_campaign` shards cells
+  over workers with timeouts, retry + backoff, and a serial fallback.
+* :mod:`repro.campaign.cache` — :class:`ResultCache` content-addresses
+  completed cells so re-runs and killed campaigns skip finished work.
+* :mod:`repro.campaign.manifest` — :class:`RunManifest`, the durable
+  JSON record behind ``repro-sim campaign status``.
+
+:mod:`repro.bench` submits through this engine; see docs/benchmarks.md.
+"""
+
+from repro.campaign.cache import CACHE_SALT, ResultCache, cell_key
+from repro.campaign.executor import (
+    CampaignResult,
+    execute_cell,
+    run_campaign,
+)
+from repro.campaign.manifest import CellRecord, RunManifest
+from repro.campaign.progress import NullReporter, ProgressReporter
+from repro.campaign.spec import CampaignSpec, CellSpec
+
+__all__ = [
+    "CACHE_SALT",
+    "CampaignResult",
+    "CampaignSpec",
+    "CellRecord",
+    "CellSpec",
+    "NullReporter",
+    "ProgressReporter",
+    "ResultCache",
+    "RunManifest",
+    "cell_key",
+    "execute_cell",
+    "run_campaign",
+]

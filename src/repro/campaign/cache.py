@@ -1,0 +1,126 @@
+"""Content-addressed on-disk result store for campaign cells.
+
+A cell's cache key is the SHA-256 of its canonical JSON — the serialized
+:class:`~repro.sim.config.SystemConfig` plus workload name, operation
+counts, and seed — salted with a cache-format version and the package
+version.  Identical cells therefore share one entry across campaigns,
+re-running a campaign skips every completed cell, and bumping
+``CACHE_SALT`` (or releasing a new :mod:`repro` version) invalidates
+results whose semantics the code change may have altered.
+
+Layout under the cache root::
+
+    objects/<key[:2]>/<key>.json    one completed cell each
+
+Entries are written atomically (temp file + ``os.replace``) so a killed
+campaign can never leave a half-written object: a cell is either durably
+done or it re-runs.  Corrupted or stale-schema entries are *evicted* on
+read and the cell re-runs — a damaged cache degrades to a cold one, it
+never fails a campaign.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from contextlib import suppress
+from pathlib import Path
+from typing import Any
+
+import repro
+from repro.campaign.spec import CellSpec
+from repro.sim.results import RunResult
+
+#: Bump when simulator semantics change in a way that invalidates cached
+#: measurements without changing the cell spec itself.
+CACHE_SALT = "repro-campaign-v1"
+
+
+def canonical_json(data: Any) -> str:
+    """Key-sorted, whitespace-free JSON: equal data ⇒ equal bytes."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def cell_key(cell: CellSpec) -> str:
+    """Stable content hash of a cell (the cache address)."""
+    payload = "\n".join(
+        (CACHE_SALT, repro.__version__, canonical_json(cell.to_dict())))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class ResultCache:
+    """The on-disk store; all methods tolerate concurrent writers."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.objects = self.root / "objects"
+
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        return self.objects / key[:2] / f"{key}.json"
+
+    def get(self, cell: CellSpec) -> RunResult | None:
+        """The cached result, or ``None`` (evicting any corrupt entry)."""
+        key = cell_key(cell)
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text())
+            if payload["key"] != key:
+                raise ValueError("cache entry key mismatch")
+            return RunResult.from_dict(payload["result"])
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            # json.JSONDecodeError is a ValueError; schema drift raises
+            # TypeError/KeyError/ValueError out of from_dict.
+            self.evict(key)
+            return None
+
+    def put(self, cell: CellSpec, result: RunResult,
+            wall_time: float = 0.0) -> Path:
+        """Atomically persist one completed cell; returns its path."""
+        key = cell_key(cell)
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"key": key, "cell": cell.to_dict(),
+                   "result": result.to_dict(), "wall_time": wall_time}
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(canonical_json(payload))
+            os.replace(tmp, path)
+        except BaseException:
+            with suppress(OSError):
+                os.unlink(tmp)
+            raise
+        return path
+
+    def evict(self, key: str) -> bool:
+        """Drop one entry (corruption recovery); True if it existed."""
+        try:
+            self.path_for(key).unlink()
+            return True
+        except OSError:
+            return False
+
+    def clear(self) -> int:
+        """Delete every object; returns how many were removed."""
+        removed = 0
+        for path in self.iter_paths():
+            with suppress(OSError):
+                path.unlink()
+                removed += 1
+        return removed
+
+    def iter_paths(self) -> list[Path]:
+        if not self.objects.is_dir():
+            return []
+        return sorted(self.objects.glob("*/*.json"))
+
+    def __len__(self) -> int:
+        return len(self.iter_paths())
+
+    def __contains__(self, cell: CellSpec) -> bool:
+        return self.path_for(cell_key(cell)).is_file()

@@ -1,0 +1,151 @@
+"""Run manifests: the durable record of one campaign invocation.
+
+The manifest is a single JSON file updated atomically after every cell
+transition, so at any instant it answers "what has this campaign done so
+far" — including from a different process while the campaign runs, and
+after a kill.  ``repro-sim campaign status`` is just a pretty-printer
+over this file.
+
+Schema (``manifest.json``)::
+
+    {
+      "campaign":   "fig10-quick",
+      "jobs":       4,
+      "created":    1722850000.0,        # epoch seconds
+      "finished":   true,
+      "wall_time":  12.3,                # whole-campaign seconds
+      "cells": [
+        {"cell_id": "array/scue", "key": "<sha256>",
+         "status": "done",               # pending|running|cached|done|failed
+         "wall_time": 0.42, "retries": 0,
+         "error": "", "artifact": "objects/ab/ab…json"},
+        …
+      ]
+    }
+
+``cached`` means the result store already held the cell (a resumed or
+repeated campaign); ``done`` means this invocation computed it.  The
+cache, not the manifest, is the source of truth for resume — the
+manifest records provenance and is safe to delete.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from contextlib import suppress
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import CampaignError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.campaign.spec import CampaignSpec
+
+PENDING = "pending"
+RUNNING = "running"
+CACHED = "cached"
+DONE = "done"
+FAILED = "failed"
+STATUSES = (PENDING, RUNNING, CACHED, DONE, FAILED)
+#: Statuses that mean "this cell's result exists".
+COMPLETE = (CACHED, DONE)
+
+
+@dataclass
+class CellRecord:
+    """Per-cell bookkeeping row."""
+
+    cell_id: str
+    key: str
+    status: str = PENDING
+    wall_time: float = 0.0
+    retries: int = 0
+    error: str = ""
+    artifact: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"cell_id": self.cell_id, "key": self.key,
+                "status": self.status, "wall_time": self.wall_time,
+                "retries": self.retries, "error": self.error,
+                "artifact": self.artifact}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "CellRecord":
+        record = cls(**data)
+        if record.status not in STATUSES:
+            raise CampaignError(
+                f"manifest cell {record.cell_id!r} has unknown status "
+                f"{record.status!r}")
+        return record
+
+
+@dataclass
+class RunManifest:
+    """The whole campaign's status; one row per cell, in spec order."""
+
+    campaign: str
+    jobs: int = 1
+    created: float = field(default_factory=time.time)
+    finished: bool = False
+    wall_time: float = 0.0
+    cells: list[CellRecord] = field(default_factory=list)
+
+    @classmethod
+    def for_spec(cls, spec: "CampaignSpec", keys: list[str],
+                 jobs: int) -> "RunManifest":
+        cells = [CellRecord(cell.cell_id, key)
+                 for cell, key in zip(spec.cells, keys)]
+        return cls(campaign=spec.name, jobs=jobs, cells=cells)
+
+    # ------------------------------------------------------------------
+    def counts(self) -> dict[str, int]:
+        out = {status: 0 for status in STATUSES}
+        for record in self.cells:
+            out[record.status] += 1
+        return out
+
+    @property
+    def complete(self) -> bool:
+        return all(r.status in COMPLETE for r in self.cells)
+
+    def failures(self) -> list[CellRecord]:
+        return [r for r in self.cells if r.status == FAILED]
+
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Atomic write — a kill mid-save leaves the previous version."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"campaign": self.campaign, "jobs": self.jobs,
+                   "created": self.created, "finished": self.finished,
+                   "wall_time": self.wall_time,
+                   "cells": [r.to_dict() for r in self.cells]}
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, indent=1)
+        except BaseException:
+            with suppress(OSError):
+                os.unlink(tmp)
+            raise
+        os.replace(tmp, path)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RunManifest":
+        try:
+            payload = json.loads(Path(path).read_text())
+            return cls(campaign=payload["campaign"], jobs=payload["jobs"],
+                       created=payload["created"],
+                       finished=payload["finished"],
+                       wall_time=payload.get("wall_time", 0.0),
+                       cells=[CellRecord.from_dict(c)
+                              for c in payload["cells"]])
+        except FileNotFoundError:
+            raise
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            raise CampaignError(f"unreadable manifest {path}: {exc}") \
+                from exc

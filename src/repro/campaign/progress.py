@@ -1,0 +1,60 @@
+"""Terminal progress streaming for campaigns.
+
+The executor calls these hooks as cells finish (in completion order, not
+spec order — that is the point of watching a parallel campaign).  The
+reporter writes single lines to ``stderr`` so stdout stays clean for the
+figure tables and ``--json`` output the CLI produces afterwards.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import TextIO
+
+from repro.campaign.manifest import CACHED, DONE, FAILED, CellRecord
+
+
+class ProgressReporter:
+    """Default reporter: one line per finished cell plus a summary."""
+
+    def __init__(self, stream: TextIO | None = None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self._total = 0
+        self._width = 1
+
+    # -- executor hooks -------------------------------------------------
+    def campaign_started(self, name: str, total: int, cached: int,
+                         jobs: int) -> None:
+        self._total = total
+        self._width = max(1, len(str(total)))
+        self._line(f"campaign {name}: {total} cells "
+                   f"({cached} already cached), jobs={jobs}")
+
+    def cell_finished(self, record: CellRecord, finished: int) -> None:
+        mark = {DONE: "done ", CACHED: "cache", FAILED: "FAIL "}.get(
+            record.status, record.status)
+        retries = f" retries={record.retries}" if record.retries else ""
+        detail = f"  {record.error.splitlines()[-1]}" \
+            if record.status == FAILED and record.error else ""
+        self._line(f"[{finished:>{self._width}}/{self._total}] {mark} "
+                   f"{record.cell_id:<28s} {record.wall_time:7.2f}s"
+                   f"{retries}{detail}")
+
+    def campaign_finished(self, counts: dict[str, int],
+                          wall_time: float) -> None:
+        done, cached = counts.get(DONE, 0), counts.get(CACHED, 0)
+        failed = counts.get(FAILED, 0)
+        self._line(f"campaign finished in {wall_time:.2f}s: "
+                   f"{done} run, cache hits: {cached}/{self._total}, "
+                   f"{failed} failed")
+
+    # -------------------------------------------------------------------
+    def _line(self, text: str) -> None:
+        print(text, file=self.stream, flush=True)
+
+
+class NullReporter(ProgressReporter):
+    """Swallows everything (library callers, tests)."""
+
+    def _line(self, text: str) -> None:
+        pass

@@ -1,0 +1,159 @@
+"""Campaign specifications: the declared grid of experiment cells.
+
+A *cell* is the atom of the paper's evaluation — one workload run on one
+fully-resolved :class:`~repro.sim.config.SystemConfig` with an explicit
+seed.  A :class:`CampaignSpec` enumerates cells up front (scheme x
+workload x config-override x seed), so the executor can shard them across
+a process pool, the cache can key them content-addressably, and a killed
+campaign knows exactly which cells remain.
+
+Cells are self-contained on purpose: a worker process rebuilds the
+workload from ``(name, capacity, operations, seed)`` and the system from
+the serialized config, so no trace bytes or live objects ever cross the
+process boundary.  Determinism of the workload generators (every one
+derives its stream from ``random.Random(seed)``) is what makes this
+equivalent to sharing one recorded trace — see
+``tests/campaign/test_determinism.py``.
+
+The grid builders take any *scale* object exposing the
+:class:`repro.bench.harness.BenchScale` surface (``config()``,
+``operations_for()``, ``warmup_accesses``); the protocol keeps this
+module import-free of :mod:`repro.bench`, which sits above it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Protocol
+
+from repro.errors import ConfigError
+from repro.sim.config import SystemConfig
+
+#: The Fig 9/10 comparison set plus the Baseline denominator.
+DEFAULT_SCHEMES = ("baseline", "plp", "lazy", "bmf-ideal", "scue")
+#: The Fig 11/12 hash-latency sweep points (cycles).
+DEFAULT_HASH_SWEEP = (20, 40, 80, 160)
+
+
+class ScaleLike(Protocol):
+    """What the grid builders need from a ``BenchScale``."""
+
+    warmup_accesses: int
+
+    def config(self, scheme: str = ..., **overrides: Any) -> SystemConfig:
+        ...
+
+    def operations_for(self, workload: str) -> int: ...
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One (workload, config, seed) experiment cell."""
+
+    workload: str
+    config: SystemConfig
+    operations: int
+    warmup_accesses: int = 0
+    seed: int = 42
+    #: Free-form grid coordinate beyond (workload, scheme) — e.g.
+    #: ``"hash=80"`` in the sensitivity sweep — so cell ids stay unique
+    #: when the same workload x scheme pair appears at several overrides.
+    group: str = ""
+
+    def __post_init__(self) -> None:
+        if self.operations <= 0:
+            raise ConfigError("cell operations must be positive")
+        if self.warmup_accesses < 0:
+            raise ConfigError("cell warmup_accesses must be non-negative")
+
+    @property
+    def cell_id(self) -> str:
+        """Human-readable manifest id: ``workload/scheme[/group]``."""
+        base = f"{self.workload}/{self.config.scheme}"
+        return f"{base}/{self.group}" if self.group else base
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "config": self.config.to_dict(),
+            "operations": self.operations,
+            "warmup_accesses": self.warmup_accesses,
+            "seed": self.seed,
+            "group": self.group,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "CellSpec":
+        kwargs = dict(data)
+        kwargs["config"] = SystemConfig.from_dict(kwargs["config"])
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A named, ordered collection of cells (order defines result order)."""
+
+    name: str
+    cells: tuple[CellSpec, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        seen: set[str] = set()
+        for cell in self.cells:
+            if cell.cell_id in seen:
+                raise ConfigError(
+                    f"duplicate cell id {cell.cell_id!r}; use "
+                    f"CellSpec.group to disambiguate grid coordinates")
+            seen.add(cell.cell_id)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self) -> Iterator[CellSpec]:
+        return iter(self.cells)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"name": self.name,
+                "cells": [cell.to_dict() for cell in self.cells]}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "CampaignSpec":
+        return cls(data["name"],
+                   tuple(CellSpec.from_dict(c) for c in data["cells"]))
+
+    # ------------------------------------------------------------------
+    # Grid builders mirroring the paper's figure definitions.
+    # ------------------------------------------------------------------
+    @classmethod
+    def matrix(cls, scale: ScaleLike, workloads: Sequence[str],
+               schemes: Sequence[str] = DEFAULT_SCHEMES, seed: int = 42,
+               name: str = "matrix",
+               **config_overrides: Any) -> "CampaignSpec":
+        """The Fig 9/10/§V-E shape: every workload on every scheme, one
+        identical trace (seed) per workload."""
+        cells = tuple(
+            CellSpec(workload=workload,
+                     config=scale.config(scheme, **config_overrides),
+                     operations=scale.operations_for(workload),
+                     warmup_accesses=scale.warmup_accesses,
+                     seed=seed)
+            for workload in workloads for scheme in schemes)
+        return cls(name, cells)
+
+    @classmethod
+    def hash_sweep(cls, scale: ScaleLike, workloads: Sequence[str],
+                   latencies: Sequence[int] = DEFAULT_HASH_SWEEP,
+                   scheme: str = "scue", seed: int = 42,
+                   name: str = "hash-sweep",
+                   **config_overrides: Any) -> "CampaignSpec":
+        """The Fig 11/12 shape: one scheme swept over hash latencies."""
+        cells = tuple(
+            CellSpec(workload=workload,
+                     config=scale.config(scheme, hash_latency=latency,
+                                         **config_overrides),
+                     operations=scale.operations_for(workload),
+                     warmup_accesses=scale.warmup_accesses,
+                     seed=seed,
+                     group=f"hash={latency}")
+            for workload in workloads for latency in latencies)
+        return cls(name, cells)

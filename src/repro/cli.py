@@ -8,6 +8,9 @@
     repro-sim crash --scheme lazy --workload array    # crash + recovery
     repro-sim record --workload rbtree -o rbtree.trc  # trace to file
     repro-sim replay rbtree.trc --scheme scue         # file-driven run
+    repro-sim figures fig10 --jobs 4                  # parallel figure
+    repro-sim campaign run --grid matrix --jobs 8     # resumable sweep
+    repro-sim campaign status .repro-campaign/matrix-quick
 
 Installed as ``repro-sim`` via the package's console script; also
 runnable as ``python -m repro.cli``.
@@ -168,6 +171,22 @@ def cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_opts(args: argparse.Namespace) -> dict:
+    """Campaign keywords shared by ``figures`` and ``campaign run``."""
+    from pathlib import Path
+
+    from repro.campaign import ProgressReporter, ResultCache
+
+    opts: dict = {"jobs": args.jobs}
+    if args.jobs > 1 or getattr(args, "campaign_dir", None):
+        opts["progress"] = ProgressReporter()
+    if getattr(args, "campaign_dir", None):
+        base = Path(args.campaign_dir)
+        opts["cache"] = ResultCache(base / "cache")
+        opts["manifest_path"] = base / "manifest.json"
+    return opts
+
+
 def cmd_figures(args: argparse.Namespace) -> int:
     from repro.bench import (
         BenchScale,
@@ -188,9 +207,10 @@ def cmd_figures(args: argparse.Namespace) -> int:
 
     scale = {"quick": BenchScale.quick, "default": BenchScale.default,
              "paper": BenchScale.paper}[args.scale]()
+    campaign_opts = _campaign_opts(args)
     name = args.figure
     if name in ("fig9", "fig10", "sec5e"):
-        matrix_fig = fig9_write_latency(scale)
+        matrix_fig = fig9_write_latency(scale, **campaign_opts)
         if name == "fig9":
             result = matrix_fig
             print(format_ratio_table("Fig 9: write latency", result.table,
@@ -207,7 +227,7 @@ def cmd_figures(args: argparse.Namespace) -> int:
     elif name in ("fig11", "fig12"):
         fn = fig11_hash_sweep_write_latency if name == "fig11" \
             else fig12_hash_sweep_execution_time
-        result = fn(scale)
+        result = fn(scale, **campaign_opts)
         for latency, row in result.table.items():
             print(f"{latency:>4} cycles: geomean "
                   f"{result.average(latency):.3f}")
@@ -243,6 +263,106 @@ def cmd_figures(args: argparse.Namespace) -> int:
 def cmd_analyze(args: argparse.Namespace) -> int:
     from repro.analysis.cli import main as analysis_main
     return analysis_main(args.lint_args)
+
+
+# ======================================================================
+# Campaigns (docs/benchmarks.md)
+# ======================================================================
+def _campaign_spec(args: argparse.Namespace):
+    from repro.bench import BenchScale
+    from repro.bench.harness import EVAL_SCHEMES
+    from repro.campaign import CampaignSpec
+
+    scale = {"quick": BenchScale.quick, "default": BenchScale.default,
+             "paper": BenchScale.paper}[args.scale]()
+    workloads = args.workloads.split(",") if args.workloads \
+        else list(ALL_WORKLOADS)
+    name = f"{args.grid}-{args.scale}"
+    if args.grid == "matrix":
+        schemes = tuple(args.schemes.split(",")) if args.schemes \
+            else ("baseline",) + EVAL_SCHEMES
+        return CampaignSpec.matrix(scale, workloads, schemes,
+                                   seed=args.seed, name=name)
+    return CampaignSpec.hash_sweep(scale, workloads, seed=args.seed,
+                                   name=name)
+
+
+def _campaign_dir(args: argparse.Namespace) -> "Path":
+    from pathlib import Path
+    if args.dir:
+        return Path(args.dir)
+    return Path(".repro-campaign") / f"{args.grid}-{args.scale}"
+
+
+def cmd_campaign_run(args: argparse.Namespace) -> int:
+    from repro.campaign import ProgressReporter, ResultCache, run_campaign
+
+    spec = _campaign_spec(args)
+    base = _campaign_dir(args)
+    cache = ResultCache(base / "cache")
+    manifest_path = base / "manifest.json"
+    print(f"campaign directory: {base}")
+    outcome = run_campaign(
+        spec, jobs=args.jobs, cache=cache, manifest_path=manifest_path,
+        timeout=args.timeout, retries=args.retries,
+        progress=ProgressReporter())
+    counts = outcome.manifest.counts()
+    print(f"cells     : {len(spec)}")
+    print(f"cache hits: {counts['cached']}/{len(spec)}")
+    print(f"computed  : {counts['done']}")
+    print(f"failed    : {counts['failed']}")
+    print(f"wall time : {outcome.manifest.wall_time:.2f}s "
+          f"(jobs={args.jobs})")
+    print(f"manifest  : {manifest_path}")
+    for record in outcome.manifest.failures():
+        print(f"  FAILED {record.cell_id}: "
+              f"{record.error.strip().splitlines()[-1]}")
+    return 0 if outcome.ok else 1
+
+
+def cmd_campaign_status(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.campaign import RunManifest
+
+    path = Path(args.dir) / "manifest.json"
+    try:
+        manifest = RunManifest.load(path)
+    except FileNotFoundError:
+        print(f"no manifest at {path}")
+        return 1
+    counts = manifest.counts()
+    state = "finished" if manifest.finished else "in progress"
+    print(f"campaign  : {manifest.campaign} ({state}, "
+          f"jobs={manifest.jobs})")
+    print(f"cells     : {len(manifest.cells)}  "
+          + "  ".join(f"{status}={n}" for status, n in counts.items()
+                      if n))
+    print(f"wall time : {manifest.wall_time:.2f}s")
+    if args.cells:
+        for record in manifest.cells:
+            line = (f"  {record.status:8s} {record.cell_id:<28s} "
+                    f"{record.wall_time:7.2f}s")
+            if record.retries:
+                line += f" retries={record.retries}"
+            print(line)
+    return 0 if manifest.complete else 1
+
+
+def cmd_campaign_clean(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.campaign import ResultCache
+
+    base = Path(args.dir)
+    removed = ResultCache(base / "cache").clear()
+    manifest = base / "manifest.json"
+    had_manifest = manifest.is_file()
+    if had_manifest:
+        manifest.unlink()
+    print(f"removed {removed} cached result(s)"
+          + (" and the manifest" if had_manifest else ""))
+    return 0
 
 
 # ======================================================================
@@ -292,7 +412,52 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", default="quick",
                    choices=("quick", "default", "paper"))
     p.add_argument("--json", help="also write the result as JSON")
+    p.add_argument("-j", "--jobs", type=int, default=1,
+                   help="worker processes for the matrix/sweep figures "
+                        "(fig9-12, sec5e); others always run serially")
+    p.add_argument("--campaign-dir",
+                   help="cache + manifest directory: completed cells "
+                        "are reused across invocations")
     p.set_defaults(func=cmd_figures)
+
+    p = sub.add_parser(
+        "campaign",
+        help="parallel, resumable experiment campaigns (docs/benchmarks.md)")
+    csub = p.add_subparsers(dest="campaign_command", required=True)
+
+    pr = csub.add_parser("run", help="run (or resume) a cell grid")
+    pr.add_argument("--grid", default="matrix",
+                    choices=("matrix", "hash-sweep"),
+                    help="matrix = workloads x schemes (Figs 9/10); "
+                         "hash-sweep = SCUE x hash latencies (Figs 11/12)")
+    pr.add_argument("--scale", default="quick",
+                    choices=("quick", "default", "paper"))
+    pr.add_argument("--workloads",
+                    help="comma-separated subset (default: paper set)")
+    pr.add_argument("--schemes",
+                    help="comma-separated subset (matrix grid only)")
+    pr.add_argument("--seed", type=int, default=42)
+    pr.add_argument("-j", "--jobs", type=int, default=1)
+    pr.add_argument("--timeout", type=float, default=None,
+                    help="per-cell seconds before a worker is killed")
+    pr.add_argument("--retries", type=int, default=None,
+                    help="attempts after a failure (default: 0 serial, "
+                         "2 parallel)")
+    pr.add_argument("--dir", default=None,
+                    help="campaign directory (cache + manifest); "
+                         "default .repro-campaign/<grid>-<scale>")
+    pr.set_defaults(func=cmd_campaign_run)
+
+    ps = csub.add_parser("status", help="inspect a campaign manifest")
+    ps.add_argument("dir", help="campaign directory")
+    ps.add_argument("--cells", action="store_true",
+                    help="list every cell, not just the summary")
+    ps.set_defaults(func=cmd_campaign_status)
+
+    pc = csub.add_parser("clean",
+                         help="drop a campaign's cache and manifest")
+    pc.add_argument("dir", help="campaign directory")
+    pc.set_defaults(func=cmd_campaign_clean)
 
     p = sub.add_parser(
         "analyze",

@@ -57,6 +57,13 @@ class MetadataTypeError(SimulationError):
     Raised instead of ``assert`` so the check survives ``python -O``."""
 
 
+class CampaignError(ReproError):
+    """An experiment campaign could not complete: a cell failed past its
+    retry budget, a worker pool collapsed, or a manifest/cache file is
+    structurally unusable.  Per-cell failures inside a non-``fail_fast``
+    campaign are *recorded*, not raised."""
+
+
 class PersistOrderingError(SimulationError):
     """The runtime crash-consistency sanitizer observed a persist-order
     violation: security metadata reached the persistence domain in an

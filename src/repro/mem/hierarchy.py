@@ -35,6 +35,16 @@ class HierarchyConfig:
     l3_size: int = 4 * 1024 * 1024
     l3_ways: int = 8
 
+    def to_dict(self) -> dict[str, int]:
+        """Stable field-order dict (campaign cache keys, worker IPC)."""
+        return {"l1_size": self.l1_size, "l1_ways": self.l1_ways,
+                "l2_size": self.l2_size, "l2_ways": self.l2_ways,
+                "l3_size": self.l3_size, "l3_ways": self.l3_ways}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, int]) -> "HierarchyConfig":
+        return cls(**{k: int(v) for k, v in data.items()})
+
 
 @dataclass
 class HierarchyResult:

@@ -41,6 +41,16 @@ class PCMTiming:
             if getattr(self, name) < 0:
                 raise ConfigError(f"{name} must be non-negative")
 
+    def to_dict(self) -> dict[str, float]:
+        """Stable field-order dict (campaign cache keys, worker IPC)."""
+        return {"t_rcd": self.t_rcd, "t_cl": self.t_cl,
+                "t_cwd": self.t_cwd, "t_faw": self.t_faw,
+                "t_wtr": self.t_wtr, "t_wr": self.t_wr}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, float]) -> "PCMTiming":
+        return cls(**{k: float(v) for k, v in data.items()})
+
     @property
     def read_ns(self) -> float:
         """Array read latency: row activate + CAS."""

@@ -15,7 +15,7 @@ match the paper's.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from typing import Any
 
 from repro.errors import ConfigError
@@ -91,6 +91,40 @@ class SystemConfig:
     def with_(self, **changes: Any) -> "SystemConfig":
         """A copy with the given fields replaced (sweep helper)."""
         return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # Deterministic serialization (campaign cache keys + worker IPC).
+    # Field order is the declaration order, nested configs get their own
+    # stable dicts, and key bytes are hex strings — so two equal configs
+    # always produce equal dicts and equal canonical JSON.
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, (PCMTiming, HierarchyConfig)):
+                value = value.to_dict()
+            elif isinstance(value, bytes):
+                value = value.hex()
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SystemConfig":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown SystemConfig fields: {sorted(unknown)}")
+        kwargs = dict(data)
+        if "pcm" in kwargs:
+            kwargs["pcm"] = PCMTiming.from_dict(kwargs["pcm"])
+        if "hierarchy" in kwargs:
+            kwargs["hierarchy"] = \
+                HierarchyConfig.from_dict(kwargs["hierarchy"])
+        for key in ("mac_key", "cme_key"):
+            if isinstance(kwargs.get(key), str):
+                kwargs[key] = bytes.fromhex(kwargs[key])
+        return cls(**kwargs)
 
     @classmethod
     def paper_table2(cls, scheme: str = "scue",

@@ -8,7 +8,8 @@ quantities mirror the paper's evaluation section: execution time (Fig 10/
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
+from typing import Any
 
 
 @dataclass(frozen=True)
@@ -32,6 +33,22 @@ class RunResult:
     nvm_meta_writes: int
     hashes: int
     stats: dict[str, float] = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------
+    # Deterministic serialization: the campaign result cache stores runs
+    # as JSON and workers ship them between processes; declaration-order
+    # fields keep equal results byte-equal once canonically encoded.
+    def to_dict(self) -> dict[str, Any]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RunResult":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown RunResult fields: {sorted(unknown)}")
+        return cls(**data)
 
     # ------------------------------------------------------------------
     @property

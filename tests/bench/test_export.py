@@ -2,6 +2,9 @@
 
 import json
 from dataclasses import dataclass, field
+from pathlib import Path
+
+import pytest
 
 from repro.bench.export import (
     ratio_table_to_csv,
@@ -9,6 +12,7 @@ from repro.bench.export import (
     save_json,
     to_jsonable,
 )
+from repro.mem.trace import AccessType
 
 
 @dataclass
@@ -47,6 +51,30 @@ class TestToJsonable:
         restored = json.loads(blob)
         assert restored["outcomes"]["roll_forward"]["detected"] is True
 
+    def test_path_exports_as_string(self):
+        assert to_jsonable(Path("a") / "b.json") == str(Path("a/b.json"))
+
+    def test_bytes_export_as_hex(self):
+        assert to_jsonable(b"\x00\xff") == "00ff"
+
+    def test_enum_exports_as_value(self):
+        assert to_jsonable(AccessType.PERSIST) == "persist"
+        assert to_jsonable([AccessType.READ, AccessType.WRITE]) == \
+            ["read", "write"]
+
+    def test_enum_dict_keys_collapse_to_value(self):
+        counts = {AccessType.READ: 3, AccessType.PERSIST: 1}
+        assert to_jsonable(counts) == {"read": 3, "persist": 1}
+
+    def test_sets_export_as_lists(self):
+        assert to_jsonable(frozenset({1})) == [1]
+        assert to_jsonable(set("a")) == ["a"]
+
+    def test_nested_dict_of_dataclass(self):
+        data = to_jsonable({"rows": {AccessType.READ: _Inner(7)},
+                            "where": Path("out")})
+        assert data == {"rows": {"read": {"value": 7}}, "where": "out"}
+
 
 class TestSaveJson:
     def test_writes_parseable_file(self, tmp_path):
@@ -71,6 +99,82 @@ class TestCsv:
         path = tmp_path / "t.csv"
         save_csv({"w": {"s": 1.0}}, path)
         assert path.read_text().startswith("workload,s")
+
+
+class TestEveryFigureResultExports:
+    """Every fig* result type must survive ``json.dumps(to_jsonable(x))``
+    (the satellite: exports used to crash on Paths, enums, and nested
+    dict-of-dataclass shapes)."""
+
+    @pytest.fixture(scope="class")
+    def micro_matrix(self):
+        from repro.bench.harness import run_matrix
+        from tests.campaign._fakes import TinyScale
+        return run_matrix(TinyScale(operations=30), workloads=["array"])
+
+    def _dump(self, result):
+        data = to_jsonable(result)
+        return json.loads(json.dumps(data))
+
+    def test_fig9_and_fig10(self, micro_matrix):
+        from repro.bench.figures import (
+            ComparisonFigure,
+            PAPER_FIG9,
+            PAPER_FIG10,
+            fig10_execution_time,
+        )
+        fig10 = fig10_execution_time(matrix=micro_matrix)
+        fig9 = ComparisonFigure(
+            "write_latency",
+            micro_matrix.ratio_table("write_latency", ("scue",)),
+            PAPER_FIG9, micro_matrix)
+        for fig, paper in ((fig9, PAPER_FIG9), (fig10, PAPER_FIG10)):
+            restored = self._dump(fig)
+            assert "matrix" not in restored        # execution artifact
+            assert restored["paper_average"] == paper
+            assert "geomean" in restored["table"]
+
+    def test_sec5e(self, micro_matrix):
+        from repro.bench.figures import sec5e_memory_accesses
+        restored = self._dump(sec5e_memory_accesses(matrix=micro_matrix))
+        assert "lazy" in restored["table"]["geomean"]
+
+    def test_fig11_fig12_integer_latency_keys(self):
+        from repro.bench.figures import fig11_hash_sweep_write_latency
+        from tests.campaign._fakes import TinyScale
+        fig = fig11_hash_sweep_write_latency(TinyScale(operations=30),
+                                             workloads=["array"])
+        restored = self._dump(fig)
+        # int hash latencies become string keys, values survive.
+        assert set(restored["table"]) == {"20", "40", "80", "160"}
+        assert restored["table"]["20"]["array"] == pytest.approx(1.0)
+
+    def test_fig5(self):
+        from repro.bench.figures import fig5_crash_window
+        fig = fig5_crash_window(schemes=("scue", "lazy"), trials=2,
+                                operations=120,
+                                data_capacity=1024 * 1024)
+        restored = self._dump(fig)
+        assert restored["trials"] == 2
+        assert set(restored["success_rate"]) == {"scue", "lazy"}
+
+    def test_fig13_shape(self):
+        from repro.bench.figures import RecoveryFigure
+        fig = RecoveryFigure(
+            table={"star": {256 * 1024: 0.01}},
+            stale_nodes={"star": {256 * 1024: 5}},
+            paper_4mb={"star": 0.05, "agit": 0.17},
+            functional_reads={"star": 42})
+        restored = self._dump(fig)
+        assert restored["table"]["star"]["262144"] == 0.01
+
+    def test_sec5f(self):
+        from repro.bench.overheads import sec5f_space_overheads
+        rows = sec5f_space_overheads(data_capacity=1024 * 1024)
+        restored = self._dump(rows)
+        assert any(row["scheme"] == "scue" for row in restored)
+        assert all(isinstance(row["measured_bytes"], int)
+                   for row in restored)
 
 
 class TestCliFigures:

@@ -1,0 +1,85 @@
+"""The ``repro-sim campaign`` command group and ``figures --jobs``."""
+
+import json
+
+from repro.cli import main
+
+RUN = ["campaign", "run", "--grid", "matrix", "--scale", "quick",
+       "--workloads", "array", "--schemes", "baseline,scue"]
+
+
+class TestCampaignRun:
+    def test_run_then_rerun_hits_cache(self, tmp_path, capsys):
+        campaign_dir = str(tmp_path / "camp")
+        assert main([*RUN, "--dir", campaign_dir]) == 0
+        out = capsys.readouterr().out
+        assert "cache hits: 0/2" in out
+        assert "computed  : 2" in out
+
+        assert main([*RUN, "--dir", campaign_dir]) == 0
+        out = capsys.readouterr().out
+        assert "cache hits: 2/2" in out
+        assert "computed  : 0" in out
+
+        manifest = json.loads(
+            (tmp_path / "camp" / "manifest.json").read_text())
+        assert manifest["finished"] is True
+        assert {c["status"] for c in manifest["cells"]} == {"cached"}
+
+    def test_status_and_clean(self, tmp_path, capsys):
+        campaign_dir = str(tmp_path / "camp")
+        assert main([*RUN, "--dir", campaign_dir]) == 0
+        capsys.readouterr()
+
+        assert main(["campaign", "status", campaign_dir,
+                     "--cells"]) == 0
+        out = capsys.readouterr().out
+        assert "finished" in out
+        assert "array/baseline" in out and "array/scue" in out
+
+        assert main(["campaign", "clean", campaign_dir]) == 0
+        assert "removed 2 cached result(s) and the manifest" \
+            in capsys.readouterr().out
+
+        assert main(["campaign", "status", campaign_dir]) == 1
+        assert "no manifest" in capsys.readouterr().out
+
+    def test_status_without_campaign(self, tmp_path, capsys):
+        assert main(["campaign", "status", str(tmp_path)]) == 1
+
+
+class TestFiguresJobs:
+    def test_parallel_figure_json_is_byte_identical(self, tmp_path):
+        """The ISSUE acceptance criterion, at test scale: a figure run
+        through the worker pool exports byte-identical JSON."""
+        from repro.bench.export import save_json
+        from repro.bench.figures import fig10_execution_time
+        from repro.bench.harness import BenchScale
+
+        scale = BenchScale.quick()
+        serial = fig10_execution_time(scale, workloads=["array", "queue"])
+        parallel = fig10_execution_time(scale,
+                                        workloads=["array", "queue"],
+                                        jobs=2)
+        serial_path = tmp_path / "serial.json"
+        parallel_path = tmp_path / "parallel.json"
+        save_json(serial, serial_path)
+        save_json(parallel, parallel_path)
+        assert serial_path.read_bytes() == parallel_path.read_bytes()
+
+    def test_campaign_opts_plumbing(self, tmp_path):
+        import argparse
+
+        from repro.cli import _campaign_opts
+
+        args = argparse.Namespace(jobs=4,
+                                  campaign_dir=str(tmp_path / "c"))
+        opts = _campaign_opts(args)
+        assert opts["jobs"] == 4
+        assert opts["cache"].root == tmp_path / "c" / "cache"
+        assert str(opts["manifest_path"]).endswith("manifest.json")
+        assert opts["progress"] is not None
+
+        bare = _campaign_opts(argparse.Namespace(jobs=1,
+                                                 campaign_dir=None))
+        assert bare == {"jobs": 1}

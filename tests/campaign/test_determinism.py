@@ -1,0 +1,64 @@
+"""Seed plumb-through (ISSUE satellite): identical cells must produce
+identical results whichever process — or campaign invocation — runs
+them, because the cache and the serial/parallel equivalence both assume
+a cell is a pure function of its spec."""
+
+from repro.campaign import CampaignSpec, run_campaign
+from repro.campaign.executor import execute_cell
+from repro.sim.config import SystemConfig
+from repro.workloads import ALL_WORKLOADS, SPEC_WORKLOADS, make_workload
+
+from tests.campaign._fakes import TinyScale
+
+CAPACITY = 1024 * 1024
+
+
+def _trace(name: str, operations: int, seed: int):
+    return list(make_workload(name, CAPACITY, operations, seed).trace())
+
+
+class TestWorkloadDeterminism:
+    def test_every_generator_is_seed_deterministic(self):
+        for name in ALL_WORKLOADS:
+            assert _trace(name, 20, seed=7) == _trace(name, 20, seed=7), \
+                f"{name} is not seed-deterministic"
+
+    def test_seed_changes_the_trace(self):
+        name = SPEC_WORKLOADS[0]
+        assert _trace(name, 50, seed=1) != _trace(name, 50, seed=2)
+
+
+class TestCellDeterminism:
+    def test_identical_cells_identical_results(self):
+        spec = CampaignSpec.matrix(TinyScale(operations=40), ["array"],
+                                   ["scue"])
+        first = execute_cell(spec.cells[0])
+        second = execute_cell(spec.cells[0])
+        assert first == second
+        assert first.stats == second.stats
+
+    def test_seed_flows_into_the_result(self):
+        scale = TinyScale(operations=40)
+        name = SPEC_WORKLOADS[0]
+        spec_a = CampaignSpec.matrix(scale, [name], ["scue"], seed=1)
+        spec_b = CampaignSpec.matrix(scale, [name], ["scue"], seed=2)
+        assert execute_cell(spec_a.cells[0]) != \
+            execute_cell(spec_b.cells[0])
+
+
+class TestPathEquivalence:
+    def test_serial_parallel_and_cached_agree(self, tmp_path):
+        spec = CampaignSpec.matrix(TinyScale(), ["queue"],
+                                   ["baseline", "scue"])
+        serial = run_campaign(spec, jobs=1)
+        parallel = run_campaign(spec, jobs=2,
+                                cache=tmp_path / "cache")
+        cached = run_campaign(spec, jobs=1, cache=tmp_path / "cache")
+        assert dict(serial.results) == dict(parallel.results)
+        assert dict(cached.results) == dict(serial.results)
+        assert cached.manifest.counts()["cached"] == len(spec)
+
+    def test_config_construction_is_deterministic(self):
+        scale = TinyScale()
+        assert scale.config("scue") == scale.config("scue")
+        assert SystemConfig() == SystemConfig()

@@ -1,0 +1,106 @@
+"""Deterministic serialization of the config/result types the campaign
+engine ships across processes and stores in the cache (satellite:
+`SystemConfig`/`RunResult` round-trips can't silently drift)."""
+
+import pickle
+
+import pytest
+
+from repro.campaign.cache import canonical_json
+from repro.errors import ConfigError
+from repro.mem.hierarchy import HierarchyConfig
+from repro.mem.timing import PCMTiming
+from repro.sim.config import SystemConfig
+from repro.sim.results import RunResult
+
+
+def _result(**overrides) -> RunResult:
+    base = dict(workload="array", scheme="scue", cycles=1000,
+                instructions=500, loads=100, stores=50, persists=25,
+                load_stall_cycles=200, persist_stall_cycles=100,
+                avg_write_latency=313.5, avg_read_latency=126.0,
+                nvm_data_reads=40, nvm_data_writes=30, nvm_meta_reads=20,
+                nvm_meta_writes=10, hashes=60,
+                stats={"system.loads": 100.0, "wpq.drains": 3.0})
+    base.update(overrides)
+    return RunResult(**base)
+
+
+class TestSystemConfigRoundTrip:
+    def test_default_round_trips(self):
+        config = SystemConfig()
+        assert SystemConfig.from_dict(config.to_dict()) == config
+
+    def test_nested_and_bytes_round_trip(self):
+        config = SystemConfig(
+            scheme="lazy", data_capacity=8 * 1024 * 1024, tree_levels=9,
+            tree_arity=16, hash_latency=80,
+            pcm=PCMTiming(t_wr=250.0),
+            hierarchy=HierarchyConfig(l1_size=16 * 1024, l1_ways=4),
+            leaf_write_through=False, eadr=True,
+            recovery_tracker="star", mac_key=b"\x00\xffkey",
+            cme_key=b"other")
+        restored = SystemConfig.from_dict(config.to_dict())
+        assert restored == config
+        assert restored.pcm.write_ns == config.pcm.write_ns
+        assert restored.mac_key == b"\x00\xffkey"
+
+    def test_dict_is_json_safe_and_stable(self):
+        config = SystemConfig(scheme="scue", hash_latency=160)
+        blob1 = canonical_json(config.to_dict())
+        blob2 = canonical_json(
+            SystemConfig(scheme="scue", hash_latency=160).to_dict())
+        assert blob1 == blob2
+        assert "mac_key" in blob1 and "\\u" not in blob1
+
+    def test_unknown_field_rejected(self):
+        data = SystemConfig().to_dict()
+        data["not_a_field"] = 1
+        with pytest.raises(ConfigError, match="not_a_field"):
+            SystemConfig.from_dict(data)
+
+    def test_validation_still_applies(self):
+        data = SystemConfig().to_dict()
+        data["hash_latency"] = -1
+        with pytest.raises(ConfigError):
+            SystemConfig.from_dict(data)
+
+    def test_pickle_round_trip(self):
+        config = SystemConfig(scheme="plp", tree_levels=9, eadr=True)
+        assert pickle.loads(pickle.dumps(config)) == config
+
+
+class TestRunResultRoundTrip:
+    def test_dict_round_trip(self):
+        result = _result()
+        assert RunResult.from_dict(result.to_dict()) == result
+
+    def test_floats_survive_json_exactly(self):
+        import json
+        result = _result(avg_write_latency=313.3333333333333)
+        restored = RunResult.from_dict(
+            json.loads(json.dumps(result.to_dict())))
+        assert restored == result
+        assert restored.avg_write_latency == result.avg_write_latency
+
+    def test_unknown_field_rejected(self):
+        data = _result().to_dict()
+        data["bogus"] = 1
+        with pytest.raises(ValueError, match="bogus"):
+            RunResult.from_dict(data)
+
+    def test_pickle_round_trip(self):
+        result = _result()
+        restored = pickle.loads(pickle.dumps(result))
+        assert restored == result
+        assert restored.stats == result.stats
+
+
+class TestNestedConfigs:
+    def test_hierarchy_round_trip(self):
+        hierarchy = HierarchyConfig(l1_size=8192, l3_ways=16)
+        assert HierarchyConfig.from_dict(hierarchy.to_dict()) == hierarchy
+
+    def test_pcm_round_trip(self):
+        pcm = PCMTiming(t_rcd=50.0, t_wtr=8.25)
+        assert PCMTiming.from_dict(pcm.to_dict()) == pcm

@@ -1,0 +1,150 @@
+"""Campaign specs (grid enumeration) and the content-addressed cache."""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignSpec, CellSpec, ResultCache, cell_key
+from repro.errors import ConfigError
+
+from tests.campaign._fakes import TinyScale, fake_cells, make_result
+
+
+class TestCellSpec:
+    def test_cell_id_without_group(self):
+        cell = fake_cells(1, group_prefix="")[0]
+        cell = CellSpec(workload="array", config=cell.config,
+                        operations=8)
+        assert cell.cell_id == "array/scue"
+
+    def test_cell_id_with_group(self):
+        cell = fake_cells(1, group_prefix="hash=80")[0]
+        assert cell.cell_id == "array/scue/hash=800"
+
+    def test_rejects_bad_operations(self):
+        config = TinyScale().config()
+        with pytest.raises(ConfigError, match="operations"):
+            CellSpec(workload="array", config=config, operations=0)
+
+    def test_rejects_negative_warmup(self):
+        config = TinyScale().config()
+        with pytest.raises(ConfigError, match="warmup"):
+            CellSpec(workload="array", config=config, operations=8,
+                     warmup_accesses=-1)
+
+    def test_dict_round_trip(self):
+        cell = fake_cells(1)[0]
+        assert CellSpec.from_dict(cell.to_dict()) == cell
+
+
+class TestCampaignSpec:
+    def test_duplicate_cell_ids_rejected(self):
+        cells = fake_cells(1) * 2
+        with pytest.raises(ConfigError, match="duplicate"):
+            CampaignSpec("dup", cells)
+
+    def test_groups_disambiguate(self):
+        spec = CampaignSpec("ok", fake_cells(3))
+        assert len(spec) == 3
+        assert [c.group for c in spec] == ["cell0", "cell1", "cell2"]
+
+    def test_dict_round_trip(self):
+        spec = CampaignSpec("rt", fake_cells(2))
+        assert CampaignSpec.from_dict(spec.to_dict()) == spec
+
+    def test_matrix_builder_shape_and_order(self):
+        spec = CampaignSpec.matrix(TinyScale(), ["array", "queue"],
+                                   ["baseline", "scue"])
+        assert [c.cell_id for c in spec] == [
+            "array/baseline", "array/scue",
+            "queue/baseline", "queue/scue"]
+
+    def test_matrix_builder_applies_overrides(self):
+        spec = CampaignSpec.matrix(TinyScale(), ["array"], ["scue"],
+                                   hash_latency=80)
+        assert spec.cells[0].config.hash_latency == 80
+
+    def test_hash_sweep_builder(self):
+        spec = CampaignSpec.hash_sweep(TinyScale(), ["array"],
+                                       latencies=(20, 160))
+        assert [c.group for c in spec] == ["hash=20", "hash=160"]
+        assert [c.config.hash_latency for c in spec] == [20, 160]
+        assert all(c.config.scheme == "scue" for c in spec)
+
+
+class TestCellKey:
+    def test_stable_for_equal_cells(self):
+        a, b = fake_cells(1)[0], fake_cells(1)[0]
+        key = cell_key(a)
+        assert key == cell_key(b)
+        assert len(key) == 64
+        int(key, 16)    # hex sha256
+
+    def test_sensitive_to_seed_config_and_group(self):
+        base = fake_cells(1)[0]
+        variants = [
+            CellSpec(base.workload, base.config, base.operations,
+                     seed=base.seed + 1, group=base.group),
+            CellSpec(base.workload, base.config.with_(hash_latency=80),
+                     base.operations, seed=base.seed, group=base.group),
+            CellSpec(base.workload, base.config, base.operations,
+                     seed=base.seed, group="other"),
+        ]
+        keys = {cell_key(base)} | {cell_key(v) for v in variants}
+        assert len(keys) == 4
+
+
+class TestResultCache:
+    def test_miss_returns_none(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get(fake_cells(1)[0]) is None
+        assert len(cache) == 0
+
+    def test_put_get_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cell = fake_cells(1)[0]
+        result = make_result(cell)
+        path = cache.put(cell, result, wall_time=1.5)
+        assert cache.get(cell) == result
+        assert cell in cache
+        assert len(cache) == 1
+        # objects/<key[:2]>/<key>.json layout, and no stray temp files.
+        key = cell_key(cell)
+        assert path == tmp_path / "objects" / key[:2] / f"{key}.json"
+        assert not list(tmp_path.rglob("*.tmp"))
+
+    def test_corrupted_entry_evicted_not_fatal(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cell = fake_cells(1)[0]
+        path = cache.put(cell, make_result(cell))
+        path.write_text("{ not json")
+        assert cache.get(cell) is None
+        assert not path.exists()
+
+    def test_key_mismatch_evicted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cell = fake_cells(1)[0]
+        path = cache.put(cell, make_result(cell))
+        payload = json.loads(path.read_text())
+        payload["key"] = "0" * 64
+        path.write_text(json.dumps(payload))
+        assert cache.get(cell) is None
+        assert not path.exists()
+
+    def test_stale_schema_evicted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cell = fake_cells(1)[0]
+        path = cache.put(cell, make_result(cell))
+        payload = json.loads(path.read_text())
+        payload["result"]["field_from_the_future"] = 1
+        path.write_text(json.dumps(payload))
+        assert cache.get(cell) is None
+
+    def test_clear_and_evict(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cells = fake_cells(3)
+        for cell in cells:
+            cache.put(cell, make_result(cell))
+        assert cache.clear() == 3
+        assert len(cache) == 0
+        assert cache.evict(cell_key(cells[0])) is False
