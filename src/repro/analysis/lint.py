@@ -283,7 +283,7 @@ class StatCounterDisciplineRule(LintRule):
     name = "stat-counter-discipline"
     exclude = ("util/stats.py",)
 
-    _FACTORY_CALLS = ("counter", "mean")
+    _FACTORY_CALLS = ("counter", "mean", "histogram")
 
     def check(self, mod: ParsedModule) -> Iterator[Violation]:
         for node in ast.walk(mod.tree):
@@ -302,12 +302,67 @@ class StatCounterDisciplineRule(LintRule):
                     "it to an attribute at construction instead")
 
 
+# ======================================================================
+# RPL006 — cycle charges must be observable
+# ======================================================================
+class ObsUnattributedCyclesRule(LintRule):
+    """A scheme method that advances cycle time (``self....charge``,
+    ``self....enqueue``, ``self._persist_node``) must also emit a trace
+    event through ``self.obs`` so the attribution report can explain
+    where those cycles went.
+
+    Scoped to the scheme subclasses: the shared base controller emits
+    the per-op breakdown events (``write_op``/``read_op``) itself, so it
+    — and non-controller helpers — are exempt.
+    """
+
+    name = "obs-unattributed-cycles"
+    paths = ("secure/",)
+    exclude = ("secure/base.py", "secure/__init__.py", "secure/roots.py")
+
+    _CYCLE_CALLS = ("charge", "enqueue", "_persist_node")
+
+    @staticmethod
+    def _rooted_at_self(node: ast.expr) -> bool:
+        while isinstance(node, ast.Attribute):
+            node = node.value
+        return isinstance(node, ast.Name) and node.id == "self"
+
+    def check(self, mod: ParsedModule) -> Iterator[Violation]:
+        for cls in ast.walk(mod.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            for func in cls.body:
+                if not isinstance(func, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                    continue
+                charges: list[ast.Call] = []
+                emits = False
+                for node in ast.walk(func):
+                    if isinstance(node, ast.Attribute) and \
+                            node.attr == "obs":
+                        emits = True
+                    if isinstance(node, ast.Call) and \
+                            isinstance(node.func, ast.Attribute) and \
+                            node.func.attr in self._CYCLE_CALLS and \
+                            self._rooted_at_self(node.func):
+                        charges.append(node)
+                if charges and not emits:
+                    yield self.violation(
+                        mod, charges[0],
+                        f"'{cls.name}.{func.name}' charges cycles via "
+                        f"'{_dotted(charges[0].func)}(...)' but never "
+                        "touches self.obs — the cycles are invisible "
+                        "to the trace/attribution report")
+
+
 _RULE_CLASSES: tuple[type[LintRule], ...] = (
     NvmDirectStoreRule,
     UncheckedVerifyRule,
     FloatCycleArithRule,
     BareAssertRule,
     StatCounterDisciplineRule,
+    ObsUnattributedCyclesRule,
 )
 
 # Every registered RuleInfo must have an implementation and vice versa.

@@ -76,6 +76,19 @@ ALL_RULES: tuple[RuleInfo, ...] = (
                   "on typo, and per-event registration costs the hot "
                   "path.  Bind counters once at construction.",
     ),
+    RuleInfo(
+        id="RPL006",
+        name="obs-unattributed-cycles",
+        summary="scheme method advances cycle time without emitting an "
+                "observability event",
+        rationale="The repro.obs attribution invariant (per-component "
+                  "cycles summing to total cycles) only holds when "
+                  "every scheme method that charges latency — hash "
+                  "bursts, WPQ enqueues, node persists — also emits a "
+                  "trace event naming where the cycles went.  A silent "
+                  "charge shows up as an unexplained gap in the "
+                  "Perfetto timeline and the flame report.",
+    ),
 )
 
 _BY_NAME = {rule.name: rule for rule in ALL_RULES}

@@ -133,6 +133,26 @@ class MatrixResult:
         }
         return table
 
+    def merged_histograms(self, scheme: str) -> dict[str, dict]:
+        """Bucket-wise merge of one scheme's latency histograms across
+        every workload (``{metric: LatencyHistogram.to_dict()}``) — the
+        campaign-level tail view (p99 across the whole matrix) that a
+        mean-of-means cannot provide."""
+        from repro.obs.histogram import LatencyHistogram
+
+        merged: dict[str, LatencyHistogram] = {}
+        for row in self.results.values():
+            result = row.get(scheme)
+            if result is None:
+                continue
+            for metric, snapshot in result.histograms.items():
+                hist = LatencyHistogram.from_dict(snapshot, name=metric)
+                if metric in merged:
+                    merged[metric].merge(hist)
+                else:
+                    merged[metric] = hist
+        return {metric: hist.to_dict() for metric, hist in merged.items()}
+
 
 def geomean(values: Iterable[float]) -> float:
     values = [v for v in values if v > 0]

@@ -84,6 +84,9 @@ class ResultCache:
         key = cell_key(cell)
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        # result.to_dict() embeds the full observability payload too
+        # (cycle attribution + latency-histogram snapshots), so cached
+        # cells replay with their breakdowns intact.
         payload = {"key": key, "cell": cell.to_dict(),
                    "result": result.to_dict(), "wall_time": wall_time}
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")

@@ -11,6 +11,8 @@
     repro-sim figures fig10 --jobs 4                  # parallel figure
     repro-sim campaign run --grid matrix --jobs 8     # resumable sweep
     repro-sim campaign status .repro-campaign/matrix-quick
+    repro-sim trace --workload btree --scheme scue --out trace.json
+    repro-sim stats diff scue.json eager.json         # compare two runs
 
 Installed as ``repro-sim`` via the package's console script; also
 runnable as ``python -m repro.cli``.
@@ -107,7 +109,62 @@ def cmd_run(args: argparse.Namespace) -> int:
     workload = make_workload(args.workload, args.capacity,
                              args.operations, seed=args.seed)
     system.run(workload.trace())
-    _print_result(system.result(args.workload))
+    result = system.result(args.workload)
+    _print_result(result)
+    if args.json:
+        import json
+        from pathlib import Path
+        Path(args.json).write_text(
+            json.dumps(result.to_dict(), indent=1, sort_keys=True))
+        print(f"wrote {args.json}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs import TraceRecorder
+    from repro.obs.export import (
+        attribution_report,
+        histogram_report,
+        save_chrome_trace,
+    )
+
+    recorder = TraceRecorder(capacity=args.ring)
+    system = System(_config(args), recorder=recorder)
+    workload = make_workload(args.workload, args.capacity,
+                             args.operations, seed=args.seed)
+    system.run(workload.trace())
+    result = system.result(args.workload)
+    save_chrome_trace(recorder, args.out, scheme=result.scheme,
+                      workload=result.workload,
+                      attribution=result.attribution,
+                      total_cycles=result.cycles)
+    print(f"wrote {len(recorder)} events to {args.out} "
+          "(load in https://ui.perfetto.dev)")
+    meta = system.controller.meta_cache.stats.to_dict()
+    print(f"metadata cache    : {meta['hits']:.0f} hits / "
+          f"{meta['misses']:.0f} misses ({meta['hit_rate']:.1%})")
+    print()
+    print(attribution_report(result.attribution, result.cycles,
+                             title=f"{result.scheme}/{result.workload}"))
+    histograms = {name: data for name, data in result.histograms.items()
+                  if data.get("count")}
+    if histograms:
+        print()
+        print(histogram_report(histograms))
+    if args.result_json:
+        Path(args.result_json).write_text(
+            json.dumps(result.to_dict(), indent=1, sort_keys=True))
+        print(f"\nwrote {args.result_json}")
+    return 0
+
+
+def cmd_stats_diff(args: argparse.Namespace) -> int:
+    from repro.obs.diff import diff_results, load_result
+
+    print(diff_results(load_result(args.a), load_result(args.b)))
     return 0
 
 
@@ -378,7 +435,34 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("run", help="run one workload on one scheme")
     _add_system_args(p)
     _add_workload_args(p)
+    p.add_argument("--json", help="also write the RunResult as JSON "
+                                  "(feeds 'stats diff')")
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "trace",
+        help="run one workload with event tracing; write a Chrome-trace/"
+             "Perfetto JSON (docs/observability.md)")
+    _add_system_args(p)
+    _add_workload_args(p)
+    p.add_argument("--out", default="trace.json",
+                   help="Chrome-trace output path (default trace.json)")
+    p.add_argument("--ring", type=int, default=None,
+                   help="keep only the most recent N events "
+                        "(default: unbounded)")
+    p.add_argument("--result-json",
+                   help="also write the RunResult as JSON")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("stats",
+                       help="work with saved RunResult JSON files")
+    ssub = p.add_subparsers(dest="stats_command", required=True)
+    pd = ssub.add_parser(
+        "diff", help="compare two RunResult JSONs (from 'run --json' or "
+                     "'trace --result-json')")
+    pd.add_argument("a", help="baseline result JSON")
+    pd.add_argument("b", help="candidate result JSON")
+    pd.set_defaults(func=cmd_stats_diff)
 
     p = sub.add_parser("compare", help="run every scheme on one workload")
     _add_system_args(p, with_scheme=False)
@@ -477,7 +561,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.analysis.cli import main as analysis_main
         return analysis_main(argv[1:])
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # e.g. ``repro-sim stats diff ... | head``
+        return 0
 
 
 if __name__ == "__main__":

@@ -64,6 +64,13 @@ class CampaignError(ReproError):
     campaign are *recorded*, not raised."""
 
 
+class ObservabilityError(SimulationError):
+    """The tracing/attribution layer caught the simulator lying about
+    itself: per-component attributed cycles do not sum to the total, a
+    trace is structurally invalid (unbalanced span begin/end, time going
+    backwards), or an exported artifact fails schema validation."""
+
+
 class PersistOrderingError(SimulationError):
     """The runtime crash-consistency sanitizer observed a persist-order
     violation: security metadata reached the persistence domain in an

@@ -51,6 +51,13 @@ class CacheStats:
     def hit_rate(self) -> float:
         return self.hits / self.accesses if self.accesses else 0.0
 
+    def to_dict(self) -> dict[str, float]:
+        """Snapshot for trace reports and JSON artifacts."""
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions,
+                "writebacks": self.writebacks,
+                "hit_rate": round(self.hit_rate, 4)}
+
 
 class SetAssociativeCache:
     """Set-associative LRU cache keyed by line address.

@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.mem.cache import SetAssociativeCache
+from repro.obs import events as ev
+from repro.obs.recorder import NULL_RECORDER
 from repro.util.stats import StatGroup
 
 
@@ -65,8 +67,9 @@ class CacheHierarchy:
     """Three-level inclusive LRU cache hierarchy."""
 
     def __init__(self, config: HierarchyConfig | None = None,
-                 stats: StatGroup | None = None) -> None:
+                 stats: StatGroup | None = None, recorder=None) -> None:
         self.config = config or HierarchyConfig()
+        self.obs = recorder if recorder is not None else NULL_RECORDER
         group = stats or StatGroup("cpu_caches")
         self.stats = group
         cfg = self.config
@@ -108,6 +111,9 @@ class CacheHierarchy:
                     dirty_out = True
             if dirty_out:
                 writebacks.append(victim.addr)
+                if self.obs.enabled:
+                    self.obs.instant(ev.EV_LLC_WRITEBACK, ev.TRACK_CPU,
+                                     addr=victim.addr)
         return writebacks
 
     def load(self, line_addr: int) -> HierarchyResult:

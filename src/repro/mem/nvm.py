@@ -15,6 +15,8 @@ from __future__ import annotations
 from repro.errors import AddressError
 from repro.mem.address import CACHE_LINE_SIZE
 from repro.mem.timing import TimingModel
+from repro.obs import events as ev
+from repro.obs.recorder import NULL_RECORDER
 from repro.util.stats import StatGroup
 
 ZERO_LINE = bytes(CACHE_LINE_SIZE)
@@ -33,7 +35,8 @@ class NVMDevice:
 
     def __init__(self, capacity: int, timing: TimingModel | None = None,
                  stats: StatGroup | None = None,
-                 track_wear: bool = False) -> None:
+                 track_wear: bool = False,
+                 recorder=None) -> None:
         if capacity <= 0 or capacity % CACHE_LINE_SIZE:
             raise AddressError(
                 f"capacity must be a positive multiple of {CACHE_LINE_SIZE}")
@@ -46,6 +49,7 @@ class NVMDevice:
             WearTracker("nvm") if track_wear else None
         self._lines: dict[int, bytes] = {}
         self._open_rows: dict[int, int] = {}  # bank -> open row id
+        self.obs = recorder if recorder is not None else NULL_RECORDER
         self.stats = stats or StatGroup("nvm")
         self._reads = self.stats.counter("reads")
         self._writes = self.stats.counter("writes")
@@ -66,7 +70,11 @@ class NVMDevice:
         """Read one 64 B line (functional; counts an array read)."""
         self._check(line_addr)
         self._reads.add()
-        self._touch_row(line_addr)
+        hit = self._touch_row(line_addr)
+        if self.obs.enabled:
+            bank, _ = self._row_of(line_addr)
+            self.obs.instant(ev.EV_NVM_READ, ev.TRACK_NVM,
+                             addr=line_addr, bank=bank, row_hit=hit)
         return self._lines.get(line_addr, ZERO_LINE)
 
     def write_line(self, line_addr: int, data: bytes) -> None:
@@ -77,7 +85,11 @@ class NVMDevice:
                 f"line writes must be {CACHE_LINE_SIZE} bytes, "
                 f"got {len(data)}")
         self._writes.add()
-        self._touch_row(line_addr)
+        hit = self._touch_row(line_addr)
+        if self.obs.enabled:
+            bank, _ = self._row_of(line_addr)
+            self.obs.instant(ev.EV_NVM_WRITE, ev.TRACK_NVM,
+                             addr=line_addr, bank=bank, row_hit=hit)
         if self.wear is not None:
             self.wear.record(line_addr)
         self._lines[line_addr] = bytes(data)

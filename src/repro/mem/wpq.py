@@ -20,6 +20,8 @@ from collections import deque
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
+from repro.obs import events as ev
+from repro.obs.recorder import NULL_RECORDER
 from repro.util.stats import StatGroup
 
 
@@ -44,7 +46,8 @@ class WritePendingQueue:
 
     def __init__(self, data_entries: int = 64, metadata_entries: int = 10,
                  drain_cycles: int = 39,
-                 stats: StatGroup | None = None) -> None:
+                 stats: StatGroup | None = None,
+                 recorder=None) -> None:
         if data_entries <= 0 or metadata_entries <= 0:
             raise ConfigError("WPQ sizes must be positive")
         if drain_cycles <= 0:
@@ -56,6 +59,7 @@ class WritePendingQueue:
         self._metadata: deque[WPQEntry] = deque()
         self._next_drain_at = 0
         self._now = 0
+        self.obs = recorder if recorder is not None else NULL_RECORDER
         group = stats or StatGroup("wpq")
         self.stats = group
         self._enqueued = group.counter("enqueued")
@@ -91,6 +95,12 @@ class WritePendingQueue:
         entry = (self._metadata.popleft() if self._metadata
                  else self._data.popleft())
         self._drained.add()
+        if self.obs.enabled:
+            self.obs.instant(ev.EV_WPQ_DRAIN, ev.TRACK_WPQ,
+                             ts=max(self._next_drain_at, entry.enqueued_at),
+                             addr=entry.line_addr,
+                             metadata=entry.is_metadata,
+                             queued_cycles=self._now - entry.enqueued_at)
         return entry
 
     def enqueue(self, line_addr: int, cycle: int,
@@ -122,6 +132,14 @@ class WritePendingQueue:
             self._enqueued.add()
         if stall:
             self._stall.add(stall)
+        if self.obs.enabled:
+            self.obs.instant(ev.EV_WPQ_ENQUEUE, ev.TRACK_WPQ, ts=cycle,
+                             addr=line_addr, metadata=metadata,
+                             occupancy=len(queue), stall=stall)
+            if stall:
+                self.obs.instant(ev.EV_WPQ_STALL, ev.TRACK_WPQ, ts=cycle,
+                                 addr=line_addr, metadata=metadata,
+                                 stall=stall)
         return stall
 
     def flush(self) -> list[WPQEntry]:

@@ -1,0 +1,36 @@
+"""repro.obs: structured tracing, latency histograms and attribution.
+
+The observability layer answers *where do the cycles go* — the question
+behind every figure in the paper (SCUE wins because root-update and
+verify-chain work leaves the critical write path).  Three pieces:
+
+* :mod:`repro.obs.recorder` — typed span/instant trace events with cycle
+  timestamps, a ring-buffer mode, and a zero-cost :data:`NULL_RECORDER`
+  so the hot path pays a single attribute check when tracing is off;
+* :mod:`repro.obs.histogram` — fixed-bucket latency histograms
+  (p50/p95/p99/max) replacing bare means;
+* :mod:`repro.obs.attribution` — per-component cycle counters that must
+  sum to the total simulated cycles (checked, not hoped).
+
+Exporters (:mod:`repro.obs.export`) turn a recorder into Chrome-trace /
+Perfetto JSON or a text attribution report; :mod:`repro.obs.validate`
+checks exported traces structurally; :mod:`repro.obs.diff` compares two
+run-result JSONs scheme-vs-scheme.  See docs/observability.md.
+"""
+
+from repro.obs.attribution import (ATTRIBUTION_COMPONENTS, AttributionLedger,
+                                   check_attribution)
+from repro.obs.histogram import LatencyHistogram
+from repro.obs.recorder import (NULL_RECORDER, NullRecorder, TraceEvent,
+                                TraceRecorder)
+
+__all__ = [
+    "ATTRIBUTION_COMPONENTS",
+    "AttributionLedger",
+    "LatencyHistogram",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "TraceEvent",
+    "TraceRecorder",
+    "check_attribution",
+]

@@ -1,0 +1,85 @@
+"""Scheme-vs-scheme breakdown comparison (``repro-sim stats diff``).
+
+Takes two run-result JSON files (``repro-sim run --json`` / ``trace
+--result-json`` output) and renders where the cycles moved: headline
+metrics, the per-component attribution deltas, and histogram tail
+shifts.  This is the Fig 9 story as a table — e.g. SCUE vs eager shows
+``write_scheme`` (root-update work) collapsing on the critical path.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ObservabilityError
+from repro.sim.results import RunResult
+
+
+def load_result(path: str | Path) -> RunResult:
+    """Load a :class:`RunResult` from a JSON file, with a clear error on
+    files that are not run results."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ObservabilityError(f"{path}: unreadable result JSON: {exc}")
+    if not isinstance(data, dict) or "scheme" not in data:
+        raise ObservabilityError(
+            f"{path}: not a run-result JSON (expected repro-sim run --json "
+            "output)")
+    return RunResult.from_dict(data)
+
+
+def _ratio(a: float, b: float) -> str:
+    if b == 0:
+        return "-"
+    return f"{a / b:6.3f}x"
+
+
+def diff_results(a: RunResult, b: RunResult) -> str:
+    """Render a text comparison of run ``a`` against run ``b``."""
+    label_a = f"{a.scheme}/{a.workload}"
+    label_b = f"{b.scheme}/{b.workload}"
+    lines = [f"stats diff: {label_a} vs {label_b}", ""]
+    lines.append(f"  {'metric':<22} {label_a:>14} {label_b:>14} {'a/b':>8}")
+    for metric, getter in (
+            ("cycles", lambda r: r.cycles),
+            ("ipc", lambda r: round(r.ipc, 4)),
+            ("avg_write_latency", lambda r: round(r.avg_write_latency, 1)),
+            ("avg_read_latency", lambda r: round(r.avg_read_latency, 1)),
+            ("nvm_meta_reads", lambda r: r.nvm_meta_reads),
+            ("nvm_meta_writes", lambda r: r.nvm_meta_writes),
+            ("hashes", lambda r: r.hashes)):
+        va, vb = getter(a), getter(b)
+        lines.append(f"  {metric:<22} {va:>14} {vb:>14} "
+                     f"{_ratio(float(va), float(vb)):>8}")
+    if a.attribution or b.attribution:
+        lines.append("")
+        lines.append(f"  {'attribution (cycles)':<22} {label_a:>14} "
+                     f"{label_b:>14} {'delta':>10}")
+        components = list(a.attribution)
+        components += [c for c in b.attribution if c not in components]
+        for component in components:
+            va = a.attribution.get(component, 0)
+            vb = b.attribution.get(component, 0)
+            lines.append(f"  {component:<22} {va:>14} {vb:>14} "
+                         f"{va - vb:>+10}")
+    shared = sorted(set(a.histograms) & set(b.histograms))
+    if shared:
+        lines.append("")
+        lines.append(f"  {'histogram tails':<22} {'p50':>10} {'p99':>10} "
+                     f"{'max':>10}")
+        for name in shared:
+            for label, hist in ((label_a, a.histograms[name]),
+                                (label_b, b.histograms[name])):
+                lines.append(
+                    f"  {name + ' ' + label:<22} "
+                    f"{_cell(hist, 'p50'):>10} {_cell(hist, 'p99'):>10} "
+                    f"{_cell(hist, 'max'):>10}")
+    return "\n".join(lines)
+
+
+def _cell(hist: dict[str, Any], key: str) -> str:
+    value = hist.get(key)
+    return "-" if value is None else str(value)

@@ -1,0 +1,62 @@
+"""Event taxonomy: the names and tracks the pipeline emits.
+
+Every instrumented component emits events from this closed vocabulary so
+exporters, tests and the docs agree on what a trace contains.  Names are
+constants rather than an enum because the hot path formats them straight
+into event records; an enum would add an attribute dereference per event
+for no safety gain (the taxonomy test pins the full set).
+
+Tracks map to Chrome-trace *threads*: events on one track must nest
+properly, so spans live only on tracks where the simulator guarantees
+sequential, non-overlapping execution (the in-order CPU, the recovery
+walk).  Everything concurrent-ish — WPQ drains, NVM banks, hash bursts —
+is an instant event on its component's own track.
+"""
+
+from __future__ import annotations
+
+# --- tracks (Chrome-trace tid ordering follows this tuple) -----------------
+TRACK_CPU = "cpu"            # per-access spans; strictly sequential
+TRACK_CTL = "controller"     # secure-controller op instants
+TRACK_VERIFY = "verify"      # verify-chain hops (SIT/BMT levels)
+TRACK_HASH = "hash"          # HMAC engine charges
+TRACK_WPQ = "wpq"            # write-pending-queue enqueue/drain/stall
+TRACK_NVM = "nvm"            # NVM device reads/writes, bank busy
+TRACK_ROOT = "root"          # on-chip root register updates
+TRACK_RECOVERY = "recovery"  # recovery phases; sequential spans
+
+ALL_TRACKS = (TRACK_CPU, TRACK_CTL, TRACK_VERIFY, TRACK_HASH,
+              TRACK_WPQ, TRACK_NVM, TRACK_ROOT, TRACK_RECOVERY)
+
+# --- span names (ph B/E pairs) ---------------------------------------------
+EV_READ = "read"                    # CPU stalled on a demand read miss
+EV_PERSIST = "persist"              # CPU stalled on a persist (clwb+fence)
+EV_RECOVERY = "recovery"            # whole recovery pass
+EV_RECOVERY_PHASE = "recovery_phase"  # one phase of it (scan, rebuild, ...)
+
+SPAN_EVENTS = (EV_READ, EV_PERSIST, EV_RECOVERY, EV_RECOVERY_PHASE)
+
+# --- instant names ----------------------------------------------------------
+EV_WRITE_OP = "write_op"            # controller write_data (persist or wb)
+EV_READ_OP = "read_op"              # controller read_data breakdown
+EV_VERIFY_HOP = "verify_hop"        # one level of the verify chain
+EV_HMAC = "hmac"                    # HashEngine.charge
+EV_OVERFLOW = "counter_overflow"    # minor-counter overflow re-encryption
+EV_LEAF_PERSIST = "leaf_persist"    # scheme's on-leaf-persist policy fired
+EV_META_FLUSH = "meta_flush"        # scheme flushed a dirty metadata node
+EV_WPQ_ENQUEUE = "wpq_enqueue"
+EV_WPQ_STALL = "wpq_stall"          # enqueue blocked on a full queue
+EV_WPQ_DRAIN = "wpq_drain"          # one entry written back to media
+EV_NVM_READ = "nvm_read"
+EV_NVM_WRITE = "nvm_write"
+EV_ROOT_UPDATE = "root_update"      # running/recovery root register write
+EV_LLC_WRITEBACK = "llc_writeback"  # dirty line evicted out of L3
+EV_CRASH = "crash"                  # power failure injected
+
+INSTANT_EVENTS = (EV_WRITE_OP, EV_READ_OP, EV_VERIFY_HOP, EV_HMAC,
+                  EV_OVERFLOW, EV_LEAF_PERSIST, EV_META_FLUSH,
+                  EV_WPQ_ENQUEUE, EV_WPQ_STALL, EV_WPQ_DRAIN,
+                  EV_NVM_READ, EV_NVM_WRITE, EV_ROOT_UPDATE,
+                  EV_LLC_WRITEBACK, EV_CRASH)
+
+ALL_EVENTS = SPAN_EVENTS + INSTANT_EVENTS

@@ -1,0 +1,126 @@
+"""Exporters: Chrome-trace/Perfetto JSON and text attribution reports.
+
+Chrome-trace events need numeric thread ids; each recorder track gets a
+stable tid (declaration order in :mod:`repro.obs.events`) named via
+``M``/``thread_name`` metadata records, so Perfetto shows "cpu", "wpq",
+"nvm"... as labelled rows.  Timestamps are simulated cycles exported as
+microseconds (1 cycle == 1 us in the viewer; the unit is documented in
+``otherData``).
+
+Spans are stored internally as single records with a duration and only
+here expanded into B/E pairs; the sort key ``(ts, seq, B-before-E)``
+guarantees the pairs nest on every track.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.obs import events as ev
+from repro.obs.recorder import TraceRecorder
+
+_PID = 1
+
+
+def _track_tid(track: str) -> int:
+    try:
+        return ev.ALL_TRACKS.index(track)
+    except ValueError:
+        return len(ev.ALL_TRACKS)
+
+
+def to_chrome_trace(recorder: TraceRecorder, *,
+                    scheme: str = "", workload: str = "",
+                    attribution: dict[str, int] | None = None,
+                    total_cycles: int | None = None) -> dict[str, Any]:
+    """Render a recorder as a Chrome-trace/Perfetto JSON object."""
+    label = " ".join(part for part in ("repro-sim", scheme, workload) if part)
+    trace_events: list[dict[str, Any]] = [{
+        "ph": "M", "pid": _PID, "tid": 0, "name": "process_name",
+        "args": {"name": label},
+    }]
+    used_tracks = sorted({event.track for event in recorder.events},
+                         key=_track_tid)
+    for track in used_tracks:
+        trace_events.append({
+            "ph": "M", "pid": _PID, "tid": _track_tid(track),
+            "name": "thread_name", "args": {"name": track},
+        })
+    # Expand spans to B/E; sort so E events at a boundary precede the next
+    # span's B (key element 2) and ties break on recording order.
+    expanded: list[tuple[int, int, int, dict[str, Any]]] = []
+    for event in recorder.events:
+        tid = _track_tid(event.track)
+        base = {"pid": _PID, "tid": tid, "name": event.name,
+                "cat": event.track}
+        if event.is_span:
+            begin = dict(base, ph="B", ts=event.ts)
+            if event.args:
+                begin["args"] = dict(event.args)
+            expanded.append((event.ts, 1, event.seq, begin))
+            expanded.append((event.ts + event.dur, 0, event.seq,
+                             dict(base, ph="E", ts=event.ts + event.dur)))
+        else:
+            instant = dict(base, ph="i", ts=event.ts, s="t")
+            if event.args:
+                instant["args"] = dict(event.args)
+            expanded.append((event.ts, 2, event.seq, instant))
+    expanded.sort(key=lambda item: item[:3])
+    trace_events.extend(item[3] for item in expanded)
+    other: dict[str, Any] = {
+        "timeUnit": "1 us == 1 simulated cycle",
+        "events": len(recorder.events),
+        "ring_capacity": recorder.capacity,
+    }
+    if attribution is not None:
+        other["attribution"] = dict(attribution)
+    if total_cycles is not None:
+        other["total_cycles"] = total_cycles
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms",
+            "otherData": other}
+
+
+def save_chrome_trace(recorder: TraceRecorder, path: str | Path,
+                      **kwargs: Any) -> None:
+    """Write :func:`to_chrome_trace` output to ``path``."""
+    payload = to_chrome_trace(recorder, **kwargs)
+    Path(path).write_text(json.dumps(payload, indent=1) + "\n")
+
+
+# ---------------------------------------------------------------------------
+def attribution_report(attribution: dict[str, int], total_cycles: int,
+                       *, title: str = "cycle attribution") -> str:
+    """Text flame report: one bar per component, share of total cycles."""
+    lines = [f"{title} ({total_cycles} cycles)"]
+    width = max((len(name) for name in attribution), default=0)
+    for name, cycles in sorted(attribution.items(),
+                               key=lambda item: -item[1]):
+        share = cycles / total_cycles if total_cycles else 0.0
+        bar = "#" * round(share * 40)
+        lines.append(f"  {name:<{width}}  {cycles:>12}  "
+                     f"{share:6.1%}  {bar}")
+    attributed = sum(attribution.values())
+    lines.append(f"  {'total':<{width}}  {attributed:>12}  "
+                 f"{'OK' if attributed == total_cycles else 'MISMATCH'}")
+    return "\n".join(lines)
+
+
+def histogram_report(histograms: dict[str, dict[str, Any]]) -> str:
+    """Text table of per-metric histogram summaries."""
+    lines = ["latency histograms (cycles)"]
+    width = max((len(name) for name in histograms), default=6)
+    width = max(width, len("metric"))
+    header = (f"  {'metric':<{width}} {'count':>8} {'mean':>9} {'p50':>6} "
+              f"{'p95':>6} {'p99':>6} {'max':>6}")
+    lines.append(header)
+    for name, data in sorted(histograms.items()):
+        def cell(key: str) -> str:
+            value = data.get(key)
+            return "-" if value is None else str(value)
+        mean = data.get("mean", 0.0)
+        lines.append(f"  {name:<{width}} {data.get('count', 0):>8} "
+                     f"{mean:>9.1f} {cell('p50'):>6} {cell('p95'):>6} "
+                     f"{cell('p99'):>6} {cell('max'):>6}")
+    return "\n".join(lines)

@@ -1,0 +1,141 @@
+"""Fixed-bucket latency histograms (p50/p95/p99/max).
+
+Bare means hide exactly what the paper's figures argue about: tail write
+latency.  :class:`LatencyHistogram` buckets samples by power of two —
+bucket 0 holds value 0, bucket *b* holds ``[2**(b-1), 2**b - 1]`` — so
+``add`` is a ``bit_length`` plus one list increment, cheap enough for the
+per-access hot path.  Percentiles are estimated as the upper bound of
+the bucket containing the target rank, clamped to the observed maximum
+(so ``p100 == max`` exactly and estimates never exceed a real sample).
+
+Histograms merge bucket-wise, which is how campaign aggregation combines
+per-cell histograms without re-running anything.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: Enough buckets for latencies up to 2**62 cycles; saturating on top.
+_BUCKETS = 64
+
+
+class LatencyHistogram:
+    """Power-of-two-bucket histogram of non-negative integer samples."""
+
+    __slots__ = ("name", "counts", "count", "total", "minimum", "maximum")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.counts = [0] * _BUCKETS
+        self.count = 0
+        self.total = 0
+        self.minimum: int | None = None
+        self.maximum: int | None = None
+
+    # ------------------------------------------------------------------
+    def add(self, value: int, weight: int = 1) -> None:
+        idx = value.bit_length() if value > 0 else 0
+        if idx >= _BUCKETS:
+            idx = _BUCKETS - 1
+        self.counts[idx] += weight
+        self.count += weight
+        self.total += value * weight
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    @staticmethod
+    def bucket_bounds(index: int) -> tuple[int, int]:
+        """Inclusive ``(low, high)`` sample range of bucket ``index``."""
+        if index == 0:
+            return (0, 0)
+        return (1 << (index - 1), (1 << index) - 1)
+
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, pct: float) -> int | None:
+        """Upper-bound estimate of the ``pct``-th percentile, or ``None``
+        on an empty histogram."""
+        if not self.count:
+            return None
+        rank = max(1, -(-int(pct * self.count) // 100))  # ceil(pct% * n)
+        seen = 0
+        for idx, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= rank:
+                high = self.bucket_bounds(idx)[1]
+                return min(high, self.maximum)
+        return self.maximum  # pragma: no cover - rank <= count always hits
+
+    @property
+    def p50(self) -> int | None:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> int | None:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> int | None:
+        return self.percentile(99)
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold ``other`` into this histogram (campaign aggregation)."""
+        for idx, bucket_count in enumerate(other.counts):
+            self.counts[idx] += bucket_count
+        self.count += other.count
+        self.total += other.total
+        if other.minimum is not None and (self.minimum is None
+                                          or other.minimum < self.minimum):
+            self.minimum = other.minimum
+        if other.maximum is not None and (self.maximum is None
+                                          or other.maximum > self.maximum):
+            self.maximum = other.maximum
+
+    def reset(self) -> None:
+        self.counts = [0] * _BUCKETS
+        self.count = 0
+        self.total = 0
+        self.minimum = None
+        self.maximum = None
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready snapshot; bucket list trimmed of trailing zeros."""
+        last = 0
+        for idx, bucket_count in enumerate(self.counts):
+            if bucket_count:
+                last = idx + 1
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "buckets": self.counts[:last],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any],
+                  name: str = "") -> "LatencyHistogram":
+        hist = cls(name)
+        buckets = data.get("buckets", [])
+        hist.counts[:len(buckets)] = buckets
+        hist.count = data.get("count", 0)
+        hist.total = data.get("total", 0)
+        hist.minimum = data.get("min")
+        hist.maximum = data.get("max")
+        return hist
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"LatencyHistogram({self.name!r}, n={self.count}, "
+                f"p50={self.p50}, p99={self.p99}, max={self.maximum})")

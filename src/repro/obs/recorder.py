@@ -1,0 +1,124 @@
+"""Trace recorders: the event sink the whole pipeline writes into.
+
+Two implementations share one duck type:
+
+* :class:`NullRecorder` — the default.  ``enabled`` is ``False`` and
+  every method is a no-op; instrumented code guards every emission with
+  ``if recorder.enabled:`` so the hot path pays exactly one attribute
+  check when tracing is off.
+* :class:`TraceRecorder` — appends :class:`TraceEvent` records, either
+  unbounded or into a ring buffer (``capacity=N`` keeps the last N
+  events, the right mode for "trace until the bug happens").
+
+Timestamps are simulated cycles.  Components below the controller (NVM,
+WPQ, hash engine) do not know the current cycle, so the recorder carries
+``now``: the system/controller sets it at the top of each operation and
+deeper components stamp their events with it.
+
+Spans are stored as single records with a duration and only expanded to
+Chrome-trace B/E pairs at export time — ring-buffer eviction therefore
+drops whole spans and can never produce an unbalanced trace.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event.  ``dur`` is ``None`` for instants."""
+
+    name: str
+    track: str
+    ts: int
+    seq: int
+    dur: int | None = None
+    args: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def is_span(self) -> bool:
+        return self.dur is not None
+
+
+class NullRecorder:
+    """Do-nothing recorder; the hot path's default.
+
+    Kept stateless and shared (:data:`NULL_RECORDER`) so constructing a
+    system without tracing allocates nothing.
+    """
+
+    enabled = False
+    now = 0
+
+    def set_now(self, cycle: int) -> None:
+        pass
+
+    def instant(self, name: str, track: str, ts: int | None = None,
+                **args: Any) -> None:
+        pass
+
+    def span(self, name: str, track: str, ts: int, dur: int,
+             **args: Any) -> None:
+        pass
+
+    def link(self) -> int:
+        return 0
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: Shared do-nothing recorder; every component's default.
+NULL_RECORDER = NullRecorder()
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` records with cycle timestamps.
+
+    ``capacity=None`` records everything; an integer keeps only the most
+    recent ``capacity`` events (ring-buffer mode).  ``link()`` hands out
+    monotonically increasing ids that emitters thread through related
+    events' ``args`` (cause links, e.g. the write_op that triggered a
+    counter overflow).
+    """
+
+    enabled = True
+
+    def __init__(self, capacity: int | None = None) -> None:
+        self.capacity = capacity
+        self.events: deque[TraceEvent] = deque(maxlen=capacity)
+        self.now = 0
+        self._seq = 0
+        self._links = 0
+
+    def set_now(self, cycle: int) -> None:
+        self.now = cycle
+
+    def instant(self, name: str, track: str, ts: int | None = None,
+                **args: Any) -> None:
+        self._seq += 1
+        self.events.append(TraceEvent(
+            name, track, self.now if ts is None else ts, self._seq,
+            None, args))
+
+    def span(self, name: str, track: str, ts: int, dur: int,
+             **args: Any) -> None:
+        self._seq += 1
+        self.events.append(TraceEvent(name, track, ts, self._seq, dur, args))
+
+    def link(self) -> int:
+        """A fresh cause-link id to correlate related events."""
+        self._links += 1
+        return self._links
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)

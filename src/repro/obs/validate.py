@@ -1,0 +1,115 @@
+"""Structural validator for exported Chrome-trace JSON.
+
+CI's trace-smoke job runs this (``python -m repro.obs.validate t.json``)
+against a freshly exported trace; tests call :func:`validate_chrome_trace`
+directly.  Checks are structural, not semantic:
+
+* top level has a non-empty ``traceEvents`` list;
+* every event has ``ph``/``pid``/``tid``/``name`` with a known phase;
+* ``B``/``E`` events pair up and nest per ``(pid, tid)`` — names match
+  on pop, no dangling begins at end of trace;
+* timestamps are monotonically non-decreasing in file order (metadata
+  records excluded);
+* if ``otherData`` carries an attribution table and total, the table
+  sums to the total (the exported artifact re-checks the simulator's
+  own invariant).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Any
+
+_PHASES = {"B", "E", "i", "I", "X", "M"}
+
+
+def validate_chrome_trace(payload: dict[str, Any]) -> list[str]:
+    """Return a list of structural problems (empty == valid)."""
+    errors: list[str] = []
+    trace_events = payload.get("traceEvents")
+    if not isinstance(trace_events, list) or not trace_events:
+        return ["traceEvents missing, not a list, or empty"]
+    stacks: dict[tuple[Any, Any], list[str]] = {}
+    last_ts: int | float | None = None
+    for index, event in enumerate(trace_events):
+        if not isinstance(event, dict):
+            errors.append(f"event {index}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in _PHASES:
+            errors.append(f"event {index}: unknown phase {phase!r}")
+            continue
+        if "name" not in event:
+            errors.append(f"event {index}: missing name")
+        if phase == "M":
+            continue
+        missing = [key for key in ("pid", "tid", "ts") if key not in event]
+        if missing:
+            errors.append(f"event {index}: missing {missing}")
+            continue
+        ts = event["ts"]
+        if last_ts is not None and ts < last_ts:
+            errors.append(f"event {index}: ts {ts} < previous {last_ts} "
+                          "(not monotonic)")
+        last_ts = ts
+        key = (event["pid"], event["tid"])
+        if phase == "B":
+            stacks.setdefault(key, []).append(event.get("name", ""))
+        elif phase == "E":
+            stack = stacks.get(key)
+            if not stack:
+                errors.append(f"event {index}: E with empty stack on "
+                              f"track {key}")
+            else:
+                opened = stack.pop()
+                if opened != event.get("name"):
+                    errors.append(
+                        f"event {index}: E name {event.get('name')!r} "
+                        f"does not match open span {opened!r} on {key}")
+    for key, stack in stacks.items():
+        if stack:
+            errors.append(f"track {key}: {len(stack)} unclosed span(s): "
+                          f"{stack}")
+    other = payload.get("otherData", {})
+    attribution = other.get("attribution")
+    total = other.get("total_cycles")
+    if isinstance(attribution, dict) and isinstance(total, int):
+        attributed = sum(attribution.values())
+        if attributed != total:
+            errors.append(f"otherData attribution sums to {attributed}, "
+                          f"total_cycles is {total}")
+    return errors
+
+
+def validate_file(path: str | Path) -> list[str]:
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable trace: {exc}"]
+    if not isinstance(payload, dict):
+        return [f"{path}: top level is not an object"]
+    return validate_chrome_trace(payload)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    if not args:
+        print("usage: python -m repro.obs.validate TRACE.json ...",
+              file=sys.stderr)
+        return 2
+    status = 0
+    for path in args:
+        problems = validate_file(path)
+        if problems:
+            status = 1
+            for problem in problems:
+                print(f"{path}: {problem}")
+        else:
+            print(f"{path}: OK")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    sys.exit(main())

@@ -46,15 +46,18 @@ SCHEMES: dict[str, type[SecureMemoryController]] = {
 }
 
 
-def make_controller(config: "SystemConfig") -> SecureMemoryController:
-    """Build the controller named by ``config.scheme``."""
+def make_controller(config: "SystemConfig",
+                    recorder=None) -> SecureMemoryController:
+    """Build the controller named by ``config.scheme``.  ``recorder`` is
+    an optional :class:`repro.obs.TraceRecorder`; the default is the
+    zero-cost null recorder."""
     try:
         cls = SCHEMES[config.scheme]
     except KeyError:
         raise ConfigError(
             f"unknown scheme {config.scheme!r}; "
             f"choose from {sorted(SCHEMES)}") from None
-    return cls(config)
+    return cls(config, recorder=recorder)
 
 
 __all__ = [

@@ -42,6 +42,8 @@ from repro.mem.address import AddressMap, CACHE_LINE_SIZE
 from repro.mem.cache import SetAssociativeCache
 from repro.mem.nvm import NVMDevice
 from repro.mem.wpq import WritePendingQueue
+from repro.obs import events as ev
+from repro.obs.recorder import NULL_RECORDER, NullRecorder, TraceRecorder
 from repro.secure.roots import ROOT_REGISTER_BYTES, RootRegister
 from repro.tree.hmac_engine import HashEngine
 from repro.tree.node import SITNode
@@ -74,11 +76,17 @@ def expect_node(node: "TreeNode", cls: type, context: str):
 
 @dataclass(frozen=True)
 class ReadOutcome:
-    """Result of a data read at the controller."""
+    """Result of a data read at the controller.
+
+    ``array_latency``/``flush_cycles`` break the latency down for cycle
+    attribution: ``latency == max(array, counter_fetch) + flush``.
+    """
 
     latency: int
     plaintext: bytes
     counter_fetch_latency: int = 0
+    array_latency: int = 0
+    flush_cycles: int = 0
 
 
 @dataclass(frozen=True)
@@ -88,12 +96,18 @@ class WriteOutcome:
     ``latency`` is the full write latency recorded for Fig 9;
     ``cpu_stall`` is the portion a persisting CPU actually waits for
     (everything except the write service time, which the WPQ hides).
+    The remaining fields split ``critical_cycles`` for attribution:
+    ``critical == fetch + overflow + scheme + flush``.
     """
 
     latency: int
     cpu_stall: int
     critical_cycles: int
     wpq_stall: int
+    fetch_latency: int = 0
+    overflow_cycles: int = 0
+    scheme_cycles: int = 0
+    flush_cycles: int = 0
 
 
 @dataclass
@@ -128,24 +142,30 @@ class SecureMemoryController(ABC):
     #: (true for SIT-family schemes, §II-D4).
     parallel_hashing = True
 
-    def __init__(self, config: "SystemConfig") -> None:
+    def __init__(self, config: "SystemConfig",
+                 recorder: "TraceRecorder | NullRecorder | None" = None
+                 ) -> None:
         self.config = config
+        self.obs = recorder if recorder is not None else NULL_RECORDER
         self.amap: AddressMap = config.address_map()
         self.timing = config.timing_model()
         self.stats = StatGroup("controller")
         self.nvm = NVMDevice(self.amap.total_capacity, self.timing,
                              self.stats.child("nvm"),
-                             track_wear=config.track_wear)
+                             track_wear=config.track_wear,
+                             recorder=self.obs)
         self.wpq = WritePendingQueue(
             config.wpq_data_entries, config.wpq_metadata_entries,
             drain_cycles=self.timing.write_drain_cycles,
-            stats=self.stats.child("wpq"))
+            stats=self.stats.child("wpq"),
+            recorder=self.obs)
         self.meta_cache = SetAssociativeCache(
             config.metadata_cache_size, config.metadata_cache_ways,
             name="metadata_cache",
             stats=self.stats.child("metadata_cache"))
         self.hash_engine = HashEngine(config.hash_latency, config.mac_key,
-                                      self.stats.child("hash_engine"))
+                                      self.stats.child("hash_engine"),
+                                      recorder=self.obs)
         self.mac = self.hash_engine.mac
         self.cme = CMEEngine(self.amap, config.cme_key,
                              self.stats.child("cme"))
@@ -176,8 +196,11 @@ class SecureMemoryController(ABC):
         self._meta_reads = self.stats.counter("meta_reads")
         self._meta_writes = self.stats.counter("meta_writes")
         self._overflows = self.stats.counter("counter_overflows")
-        self._write_latency = self.stats.mean("write_latency")
-        self._read_latency = self.stats.mean("read_latency")
+        # Histograms, not bare means: the figures argue about tails.
+        # ``.mean``/``.count`` export keys match the old WeightedMeans.
+        self._write_latency = self.stats.histogram("write_latency")
+        self._read_latency = self.stats.histogram("read_latency")
+        self._verify_latency = self.stats.histogram("verify_latency")
         self._crashes = self.stats.counter("crashes")
 
     # ==================================================================
@@ -271,6 +294,10 @@ class SecureMemoryController(ABC):
                 f"{self.name}: verification failed for tree node "
                 f"(level {level}, index {index}) at {line:#x}")
         self._install(line, node, dirty=False)
+        if self.obs.enabled:
+            self.obs.instant(ev.EV_VERIFY_HOP, ev.TRACK_VERIFY,
+                             level=level, index=index, addr=line,
+                             read_latency=latency)
         return node, latency, fetched + 1
 
     def fetch_node(self, level: int, index: int, charge: bool = True,
@@ -373,6 +400,10 @@ class SecureMemoryController(ABC):
         slot = self.amap.parent_slot(index)
         if level + 1 >= self.amap.tree_levels:
             self.running_root.add(slot, amount)
+            if self.obs.enabled:
+                self.obs.instant(ev.EV_ROOT_UPDATE, ev.TRACK_ROOT,
+                                 register="running_root", slot=slot,
+                                 amount=amount, on_critical_path=charge)
             return (self.running_root.counter(slot),
                     REGISTER_UPDATE_CYCLES if charge else 0)
         plevel, pindex = self.amap.parent_coords(level, index)
@@ -395,6 +426,10 @@ class SecureMemoryController(ABC):
                 self.running_root.set(slot, set_to)
             else:
                 self.running_root.add(slot, bump_by or 1)
+            if self.obs.enabled:
+                self.obs.instant(ev.EV_ROOT_UPDATE, ev.TRACK_ROOT,
+                                 register="running_root", slot=slot,
+                                 on_critical_path=charge)
             return REGISTER_UPDATE_CYCLES if charge else 0
         plevel, pindex = self.amap.parent_coords(level, index)
         parent, latency = self.fetch_node(plevel, pindex, charge=charge)
@@ -450,6 +485,10 @@ class SecureMemoryController(ABC):
         # Minor overflow: re-encrypt the 64 covered lines (§II-B) and
         # refresh their ECC-resident MACs.
         self._overflows.add()
+        if self.obs.enabled:
+            self.obs.instant(ev.EV_OVERFLOW, ev.TRACK_CTL,
+                             leaf=leaf.index, slot=slot,
+                             lines=MINORS_PER_BLOCK)
         self.cme.reencrypt_block(self.nvm, leaf, old_major, old_minors)
         base = leaf.index * MINORS_PER_BLOCK * CACHE_LINE_SIZE
         extra = 0
@@ -473,6 +512,7 @@ class SecureMemoryController(ABC):
         the Fig 9 write-latency metric)."""
         line = self.amap.line_of(addr)
         self._op_cycle = cycle
+        self.obs.set_now(cycle)
         payload = self._payload_for(line, data)
         leaf_index = self.amap.counter_block_of_data(line)
         leaf, fetch_latency = self.fetch_node(0, leaf_index)
@@ -490,8 +530,17 @@ class SecureMemoryController(ABC):
             + flush_cycles
         latency = critical + wpq_stall + self.timing.write_service_cycles
         self._write_latency.add(latency)
+        self._verify_latency.add(fetch_latency)
+        if self.obs.enabled:
+            self.obs.instant(ev.EV_WRITE_OP, ev.TRACK_CTL, addr=line,
+                             persist=persist, latency=latency,
+                             fetch=fetch_latency, overflow=overflow_cycles,
+                             scheme=scheme_cycles, flush=flush_cycles,
+                             wpq_stall=wpq_stall)
         cpu_stall = (critical + wpq_stall) if persist else 0
-        return WriteOutcome(latency, cpu_stall, critical, wpq_stall)
+        return WriteOutcome(latency, cpu_stall, critical, wpq_stall,
+                            fetch_latency, overflow_cycles, scheme_cycles,
+                            flush_cycles)
 
     def read_data(self, addr: int, cycle: int) -> ReadOutcome:
         """A data read missing all CPU caches: fetch + verify the counter
@@ -499,6 +548,7 @@ class SecureMemoryController(ABC):
         ECC-resident data MAC (speculatively, off the latency path)."""
         line = self.amap.line_of(addr)
         self._op_cycle = cycle
+        self.obs.set_now(cycle)
         leaf_index = self.amap.counter_block_of_data(line)
         leaf, fetch_latency = self.fetch_node(0, leaf_index,
                                               speculative=True)
@@ -526,7 +576,13 @@ class SecureMemoryController(ABC):
         flush_cycles = self.drain_pending(cycle)
         latency = max(array_latency, fetch_latency) + flush_cycles
         self._read_latency.add(latency)
-        return ReadOutcome(latency, plaintext, fetch_latency)
+        self._verify_latency.add(fetch_latency)
+        if self.obs.enabled:
+            self.obs.instant(ev.EV_READ_OP, ev.TRACK_CTL, addr=line,
+                             latency=latency, array=array_latency,
+                             fetch=fetch_latency, flush=flush_cycles)
+        return ReadOutcome(latency, plaintext, fetch_latency,
+                           array_latency, flush_cycles)
 
     def tick(self, cycle: int) -> None:
         """Wall-clock advance from the CPU model: drain the WPQ and let
@@ -550,6 +606,9 @@ class SecureMemoryController(ABC):
         is then dropped."""
         self._crashing = True
         self._crashes.add()
+        if self.obs.enabled:
+            self.obs.instant(ev.EV_CRASH, ev.TRACK_CPU, scheme=self.name,
+                             eadr=self.config.eadr)
         self.wpq.flush()
         if self.config.eadr:
             for cached in self.meta_cache.dirty_lines():

@@ -10,6 +10,7 @@ of the tree overheads.
 from __future__ import annotations
 
 from repro.cme.counters import CounterBlock
+from repro.obs import events as ev
 from repro.secure.base import RecoveryReport, SecureMemoryController
 from repro.tree.store import TreeNode
 
@@ -41,12 +42,23 @@ class BaselineController(SecureMemoryController):
         if self.config.leaf_write_through:
             # Keep counters durable with data (same persistence contract
             # as the secure schemes) but with zero integrity work.
-            return self._persist_node(leaf, cycle)
+            stall = self._persist_node(leaf, cycle)
+            if self.obs.enabled:
+                self.obs.instant(ev.EV_LEAF_PERSIST, ev.TRACK_CTL,
+                                 scheme=self.name, leaf=leaf_index,
+                                 cycles=stall)
+            return stall
         # Otherwise the dirty cached block is flushed on eviction.
         return 0
 
     def _flush_node(self, node: TreeNode, cycle: int) -> int:
-        return self._persist_node(node, cycle)
+        stall = self._persist_node(node, cycle)
+        if self.obs.enabled:
+            level, index = self.store.coords_of(node)
+            self.obs.instant(ev.EV_META_FLUSH, ev.TRACK_CTL,
+                             scheme=self.name, level=level, index=index,
+                             cycles=stall)
+        return stall
 
     def recover(self) -> RecoveryReport:
         """Nothing to verify: the baseline cannot detect anything, which is

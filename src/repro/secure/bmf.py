@@ -21,6 +21,7 @@ from __future__ import annotations
 from repro.cme.counters import CounterBlock
 from repro.errors import SimulationError
 from repro.mem.address import CACHE_LINE_SIZE
+from repro.obs import events as ev
 from repro.secure.base import (
     RecoveryReport,
     SecureMemoryController,
@@ -36,8 +37,8 @@ class BMFIdealController(SecureMemoryController):
     name = "bmf-ideal"
     crash_consistent_root = True
 
-    def __init__(self, config) -> None:
-        super().__init__(config)
+    def __init__(self, config, recorder=None) -> None:
+        super().__init__(config, recorder)
         #: The persistent roots: level-1 nodes, keyed by index.  Plain
         #: dict rather than a cache — the ideal nvMC never evicts and
         #: survives crashes.
@@ -72,6 +73,12 @@ class BMFIdealController(SecureMemoryController):
         hash_latency = self.hash_engine.charge(1)
         wpq_stall = self._persist_node(leaf, cycle) \
             if self.config.leaf_write_through else 0
+        if self.obs.enabled:
+            self.obs.instant(ev.EV_ROOT_UPDATE, ev.TRACK_ROOT,
+                             register="nvmc", leaf=leaf_index)
+            self.obs.instant(ev.EV_LEAF_PERSIST, ev.TRACK_CTL,
+                             scheme=self.name, leaf=leaf_index,
+                             cycles=hash_latency + wpq_stall)
         return hash_latency + wpq_stall
 
     def _flush_node(self, node: TreeNode, cycle: int) -> int:
@@ -84,7 +91,12 @@ class BMFIdealController(SecureMemoryController):
         addr = self.amap.counter_block_addr(node.index)
         node.seal(self.mac, addr, root.counter(slot))
         self.hash_engine.charge(1)
-        return self._persist_node(node, cycle)
+        stall = self._persist_node(node, cycle)
+        if self.obs.enabled:
+            self.obs.instant(ev.EV_META_FLUSH, ev.TRACK_CTL,
+                             scheme=self.name, level=0, index=node.index,
+                             cycles=stall)
+        return stall
 
     # ------------------------------------------------------------------
     def recover(self) -> RecoveryReport:

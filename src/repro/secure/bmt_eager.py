@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from repro.cme.counters import CounterBlock
 from repro.errors import ConfigError, IntegrityError
 from repro.mem.address import CACHE_LINE_SIZE
+from repro.obs import events as ev
 from repro.secure.base import (
     RecoveryReport,
     SecureMemoryController,
@@ -84,8 +85,8 @@ class BMTEagerController(SecureMemoryController):
     #: The defining property: BMT hashing is a chain, not a burst.
     parallel_hashing = False
 
-    def __init__(self, config) -> None:
-        super().__init__(config)
+    def __init__(self, config, recorder=None) -> None:
+        super().__init__(config, recorder)
         if self.amap.arity != 8:
             raise ConfigError("the BMT comparison point is 8-ary")
         #: On-chip root: one digest per top-level node (a 64 B register,
@@ -171,11 +172,24 @@ class BMTEagerController(SecureMemoryController):
         hash_latency = self.hash_engine.charge(hashes, parallel=False)
         wpq_stall = self._persist_node(leaf, cycle) \
             if self.config.leaf_write_through else 0
+        if self.obs.enabled:
+            self.obs.instant(ev.EV_ROOT_UPDATE, ev.TRACK_ROOT,
+                             register="root_digest",
+                             slot=index % self.amap.arity)
+            self.obs.instant(ev.EV_LEAF_PERSIST, ev.TRACK_CTL,
+                             scheme=self.name, leaf=leaf_index,
+                             cycles=fetch_latency + hash_latency + wpq_stall)
         return fetch_latency + hash_latency + wpq_stall
 
     def _flush_node(self, node: TreeNode, cycle: int) -> int:
         # Digests were maintained eagerly; the image is current.
-        return self._persist_node(node, cycle)
+        stall = self._persist_node(node, cycle)
+        if self.obs.enabled:
+            level, index = self.store.coords_of(node)
+            self.obs.instant(ev.EV_META_FLUSH, ev.TRACK_CTL,
+                             scheme=self.name, level=level, index=index,
+                             cycles=stall)
+        return stall
 
     # ==================================================================
     # Recovery: rebuild digests bottom-up (BMT's native strength)

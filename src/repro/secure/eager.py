@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from repro.cme.counters import CounterBlock
 from repro.crash.recovery import counter_summing_reconstruction
+from repro.obs import events as ev
 from repro.secure.base import (
     ReadOutcome,
     RecoveryReport,
@@ -36,8 +37,8 @@ class EagerController(SecureMemoryController):
     name = "eager"
     crash_consistent_root = False
 
-    def __init__(self, config) -> None:
-        super().__init__(config)
+    def __init__(self, config, recorder=None) -> None:
+        super().__init__(config, recorder)
         #: In-flight root updates: [completion_cycle | None, slot, delta].
         #: ``None`` marks an update whose window is scheduled when the
         #: enclosing write completes (the pipeline starts at data
@@ -66,6 +67,11 @@ class EagerController(SecureMemoryController):
             complete_at, slot, delta = entry
             if complete_at is not None and complete_at <= cycle:
                 self.running_root.add(slot, delta)
+                if self.obs.enabled:
+                    self.obs.instant(ev.EV_ROOT_UPDATE, ev.TRACK_ROOT,
+                                     ts=complete_at,
+                                     register="running_root", slot=slot,
+                                     in_flight_landed=True)
             else:
                 still_pending.append(entry)
         self._pending_root = still_pending
@@ -120,11 +126,22 @@ class EagerController(SecureMemoryController):
         self._pending_root.append([None, slot, dummy_delta])
         current.seal(self.mac, self.store.node_addr(level, index),
                      self._root_counter(index))
+        if self.obs.enabled:
+            self.obs.instant(ev.EV_LEAF_PERSIST, ev.TRACK_CTL,
+                             scheme=self.name, leaf=leaf_index,
+                             cycles=fetch_latency + hash_latency + wpq_stall,
+                             window_opened=True)
         return fetch_latency + hash_latency + wpq_stall
 
     def _flush_node(self, node: TreeNode, cycle: int) -> int:
         # Eagerly maintained nodes always carry a current HMAC.
-        return self._persist_node(node, cycle)
+        stall = self._persist_node(node, cycle)
+        if self.obs.enabled:
+            level, index = self.store.coords_of(node)
+            self.obs.instant(ev.EV_META_FLUSH, ev.TRACK_CTL,
+                             scheme=self.name, level=level, index=index,
+                             cycles=stall)
+        return stall
 
     # ------------------------------------------------------------------
     def _on_crash(self) -> None:

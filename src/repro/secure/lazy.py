@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from repro.cme.counters import CounterBlock
 from repro.crash.recovery import counter_summing_reconstruction
+from repro.obs import events as ev
 from repro.secure.base import RecoveryReport, SecureMemoryController
 from repro.tree.store import TreeNode
 
@@ -42,6 +43,10 @@ class LazyController(SecureMemoryController):
         # PLP contributed and what SCUE's dummy counter sidesteps.
         hash_latency = self.hash_engine.charge(2, parallel=False)
         wpq_stall = self._persist_node(leaf, cycle)
+        if self.obs.enabled:
+            self.obs.instant(ev.EV_LEAF_PERSIST, ev.TRACK_CTL,
+                             scheme=self.name, leaf=leaf_index,
+                             cycles=fetch_latency + hash_latency + wpq_stall)
         return fetch_latency + hash_latency + wpq_stall
 
     def _flush_node(self, node: TreeNode, cycle: int) -> int:
@@ -57,6 +62,10 @@ class LazyController(SecureMemoryController):
         node.seal(self.mac, addr, parent_counter)
         self.hash_engine.charge(2, parallel=False)
         wpq_stall = self._persist_node(node, cycle)
+        if self.obs.enabled:
+            self.obs.instant(ev.EV_META_FLUSH, ev.TRACK_CTL,
+                             scheme=self.name, level=level, index=index,
+                             cycles=fetch_latency + wpq_stall)
         return fetch_latency + wpq_stall
 
     # ------------------------------------------------------------------

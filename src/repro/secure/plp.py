@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from repro.cme.counters import CounterBlock
 from repro.crash.recovery import counter_summing_reconstruction
+from repro.obs import events as ev
 from repro.secure.base import (
     RecoveryReport,
     SecureMemoryController,
@@ -40,8 +41,8 @@ class PLPController(SecureMemoryController):
     name = "plp"
     crash_consistent_root = True
 
-    def __init__(self, config) -> None:
-        super().__init__(config)
+    def __init__(self, config, recorder=None) -> None:
+        super().__init__(config, recorder)
         self._shadow_writes = self.stats.counter("shadow_writes")
 
     # ------------------------------------------------------------------
@@ -85,12 +86,23 @@ class PLPController(SecureMemoryController):
                 self.nvm.write_line(node_addr, node.to_bytes())
                 self._meta_writes.add()
                 self._shadow_writes.add()
+        if self.obs.enabled:
+            self.obs.instant(ev.EV_LEAF_PERSIST, ev.TRACK_CTL,
+                             scheme=self.name, leaf=leaf_index,
+                             branch_nodes=len(branch),
+                             cycles=fetch_latency + hash_latency + wpq_stall)
         return fetch_latency + hash_latency + wpq_stall
 
     def _flush_node(self, node: TreeNode, cycle: int) -> int:
         # Branch nodes are persisted (and marked clean) at every write;
         # a dirty eviction can only be a straggler with a current HMAC.
-        return self._persist_node(node, cycle)
+        stall = self._persist_node(node, cycle)
+        if self.obs.enabled:
+            level, index = self.store.coords_of(node)
+            self.obs.instant(ev.EV_META_FLUSH, ev.TRACK_CTL,
+                             scheme=self.name, level=level, index=index,
+                             cycles=stall)
+        return stall
 
     # ------------------------------------------------------------------
     def recover(self) -> RecoveryReport:

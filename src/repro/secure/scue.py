@@ -35,6 +35,7 @@ from repro.cme.counters import CounterBlock
 from repro.crash.anubis import AgitTracker, AsitTracker
 from repro.crash.recovery import counter_summing_reconstruction
 from repro.crash.star import StarTracker
+from repro.obs import events as ev
 from repro.secure.base import (
     REGISTER_UPDATE_CYCLES,
     RecoveryReport,
@@ -50,8 +51,8 @@ class SCUEController(SecureMemoryController):
     name = "scue"
     crash_consistent_root = True
 
-    def __init__(self, config) -> None:
-        super().__init__(config)
+    def __init__(self, config, recorder=None) -> None:
+        super().__init__(config, recorder)
         self.recovery_root = RootRegister(
             "recovery_root", self.amap.arity, self.amap.counter_bits)
         if config.recovery_tracker == "star":
@@ -102,6 +103,10 @@ class SCUEController(SecureMemoryController):
             self.recovery_root.add(self._root_slot_of_leaf(leaf_index),
                                    dummy_delta)
             self._shortcut_updates.add()
+            if self.obs.enabled:
+                self.obs.instant(ev.EV_ROOT_UPDATE, ev.TRACK_ROOT,
+                                 register="recovery_root", shortcut=True,
+                                 leaf=leaf_index)
             return REGISTER_UPDATE_CYCLES \
                 + self._osiris_writeback(leaf, leaf_index, dummy_delta,
                                          cycle)
@@ -123,6 +128,14 @@ class SCUEController(SecureMemoryController):
         #    hashes cost the write nothing (charge=False).
         self._update_parent_counter(0, leaf_index, set_to=dummy,
                                     bump_by=None, cycle=cycle, charge=False)
+        if self.obs.enabled:
+            self.obs.instant(ev.EV_ROOT_UPDATE, ev.TRACK_ROOT,
+                             register="recovery_root", shortcut=True,
+                             leaf=leaf_index)
+            self.obs.instant(ev.EV_LEAF_PERSIST, ev.TRACK_CTL,
+                             scheme=self.name, leaf=leaf_index,
+                             cycles=hash_latency + REGISTER_UPDATE_CYCLES
+                             + wpq_stall)
         return hash_latency + REGISTER_UPDATE_CYCLES + wpq_stall
 
     def _osiris_writeback(self, leaf: CounterBlock, leaf_index: int,
@@ -147,6 +160,11 @@ class SCUEController(SecureMemoryController):
         wpq_stall = self._persist_node(leaf, cycle)
         self._update_parent_counter(0, leaf_index, set_to=dummy,
                                     bump_by=None, cycle=cycle, charge=False)
+        if self.obs.enabled:
+            self.obs.instant(ev.EV_LEAF_PERSIST, ev.TRACK_CTL,
+                             scheme=self.name, leaf=leaf_index,
+                             osiris_forced=True,
+                             cycles=hash_latency + wpq_stall)
         return hash_latency + wpq_stall
 
     def _flush_node(self, node: TreeNode, cycle: int) -> int:
@@ -165,6 +183,10 @@ class SCUEController(SecureMemoryController):
         # nodes), again ordered-but-unbilled.
         self._update_parent_counter(level, index, set_to=dummy,
                                     bump_by=None, cycle=cycle, charge=False)
+        if self.obs.enabled:
+            self.obs.instant(ev.EV_META_FLUSH, ev.TRACK_CTL,
+                             scheme=self.name, level=level, index=index,
+                             cycles=wpq_stall)
         return wpq_stall
 
     # ------------------------------------------------------------------

@@ -26,7 +26,14 @@ from repro.mem.timing import PCMTiming, TimingModel
 
 @dataclass(frozen=True)
 class SystemConfig:
-    """Everything needed to build a :class:`repro.sim.system.System`."""
+    """Everything needed to build a :class:`repro.sim.system.System`.
+
+    Deliberately *not* here: the :mod:`repro.obs` trace recorder.  A
+    config is a pure, hashable experiment description — campaign cache
+    keys and worker IPC serialize it — so live objects like recorders
+    are passed to :class:`System`/``make_controller`` as constructor
+    arguments instead.
+    """
 
     scheme: str = "scue"
     data_capacity: int = 64 * 1024 * 1024

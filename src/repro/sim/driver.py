@@ -33,15 +33,18 @@ def run_workload(config: SystemConfig, trace: TraceSource,
                  workload_name: str = "workload",
                  warmup_accesses: int = 0,
                  max_accesses: int | None = None,
-                 system: System | None = None) -> RunResult:
+                 system: System | None = None,
+                 recorder=None) -> RunResult:
     """Run ``trace`` on a freshly built (or provided) system.
 
     ``warmup_accesses`` records are executed first, then statistics are
     reset so caches/WPQ state carries over but measurements start clean.
     ``max_accesses`` bounds the measured region (useful for unbounded
-    generators).
+    generators).  ``recorder`` (a :class:`repro.obs.TraceRecorder`)
+    enables event tracing on the freshly built system; it is ignored when
+    ``system`` is supplied (the caller already wired one in).
     """
-    sim = system or System(config)
+    sim = system or System(config, recorder=recorder)
     iterator = _as_iterator(trace)
     if warmup_accesses:
         sim.run(islice(iterator, warmup_accesses))

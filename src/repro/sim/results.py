@@ -33,6 +33,11 @@ class RunResult:
     nvm_meta_writes: int
     hashes: int
     stats: dict[str, float] = field(default_factory=dict, repr=False)
+    #: Per-component cycle attribution (repro.obs): sums to ``cycles``.
+    attribution: dict[str, int] = field(default_factory=dict, repr=False)
+    #: Latency histogram snapshots (``LatencyHistogram.to_dict`` form),
+    #: keyed by flattened stat path (e.g. ``controller.write_latency``).
+    histograms: dict[str, Any] = field(default_factory=dict, repr=False)
 
     # ------------------------------------------------------------------
     # Deterministic serialization: the campaign result cache stores runs

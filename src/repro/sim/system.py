@@ -28,6 +28,9 @@ from collections.abc import Iterable
 from repro.errors import AddressError
 from repro.mem.hierarchy import CacheHierarchy
 from repro.mem.trace import AccessType, MemoryAccess
+from repro.obs import events as ev
+from repro.obs.attribution import AttributionLedger, check_attribution
+from repro.obs.recorder import NULL_RECORDER
 from repro.secure import make_controller
 from repro.secure.base import RecoveryReport
 from repro.sim.config import SystemConfig
@@ -36,16 +39,27 @@ from repro.util.stats import StatGroup
 
 
 class System:
-    """One simulated machine running one workload."""
+    """One simulated machine running one workload.
 
-    def __init__(self, config: SystemConfig) -> None:
+    ``recorder`` is an optional :class:`repro.obs.TraceRecorder`; it is
+    threaded through the controller into the WPQ/NVM/hash engine rather
+    than stored in :class:`SystemConfig`, which stays a pure, hashable
+    experiment description (campaign cache keys depend on it).
+    """
+
+    def __init__(self, config: SystemConfig, recorder=None) -> None:
         self.config = config
-        self.controller = make_controller(config)
+        self.obs = recorder if recorder is not None else NULL_RECORDER
+        self.controller = make_controller(config, recorder=self.obs)
         self.stats = StatGroup("system")
         self.hierarchy = CacheHierarchy(config.hierarchy,
-                                        self.stats.child("cpu_caches"))
+                                        self.stats.child("cpu_caches"),
+                                        recorder=self.obs)
         self.cycle = 0
         self._cycle_at_reset = 0
+        #: Where every simulated cycle went; checked against ``cycles``
+        #: when a result is built (the sum must be exact).
+        self.attribution = AttributionLedger()
         self._instructions = self.stats.counter("instructions")
         self._loads = self.stats.counter("loads")
         self._stores = self.stats.counter("stores")
@@ -56,7 +70,9 @@ class System:
     # ------------------------------------------------------------------
     def execute(self, access: MemoryAccess) -> None:
         """Retire one trace record (gap instructions + the memory op)."""
+        attr = self.attribution.cycles
         self.cycle += access.gap + 1
+        attr["cpu"] += access.gap + 1
         self._instructions.add(access.gap + 1)
         line = self.controller.amap.line_of(access.addr)
         if line >= self.config.data_capacity:
@@ -66,9 +82,21 @@ class System:
             self._loads.add()
             result = self.hierarchy.load(line)
             if result.miss_to_memory:
+                start = self.cycle
                 outcome = self.controller.read_data(line, self.cycle)
                 self.cycle += outcome.latency
                 self._load_stalls.add(outcome.latency)
+                # latency == max(array, verify-chain) + flush: the
+                # overlapped max goes to whichever side dominated.
+                attr["read_flush"] += outcome.flush_cycles
+                overlapped = outcome.latency - outcome.flush_cycles
+                if outcome.counter_fetch_latency > outcome.array_latency:
+                    attr["read_verify"] += overlapped
+                else:
+                    attr["read_media"] += overlapped
+                if self.obs.enabled and outcome.latency:
+                    self.obs.span(ev.EV_READ, ev.TRACK_CPU, start,
+                                  outcome.latency, addr=line)
         elif access.kind is AccessType.WRITE:
             self._stores.add()
             result = self.hierarchy.store(line)
@@ -79,10 +107,20 @@ class System:
         else:
             self._persists.add()
             result = self.hierarchy.persist(line)
+            start = self.cycle
             outcome = self.controller.write_data(
                 line, access.data, self.cycle, persist=True)
             self.cycle += outcome.cpu_stall
             self._persist_stalls.add(outcome.cpu_stall)
+            # cpu_stall == fetch + overflow + scheme + flush + wpq_stall.
+            attr["write_fetch"] += outcome.fetch_latency
+            attr["write_overflow"] += outcome.overflow_cycles
+            attr["write_scheme"] += outcome.scheme_cycles
+            attr["write_flush"] += outcome.flush_cycles
+            attr["write_wpq"] += outcome.wpq_stall
+            if self.obs.enabled and outcome.cpu_stall:
+                self.obs.span(ev.EV_PERSIST, ev.TRACK_CPU, start,
+                              outcome.cpu_stall, addr=line)
         for writeback in result.writebacks:
             if writeback < self.config.data_capacity:
                 self.controller.write_data(writeback, None, self.cycle,
@@ -109,33 +147,51 @@ class System:
         self.controller.crash()
 
     def recover(self) -> RecoveryReport:
-        return self.controller.recover()
+        report = self.controller.recover()
+        if self.obs.enabled:
+            # Recovery runs outside the measured cycle stream; its span is
+            # sized from the report's wall-clock estimate at the 2 GHz
+            # clock of Table II.
+            dur = max(1, int(report.recovery_seconds * 2e9))
+            self.obs.span(ev.EV_RECOVERY, ev.TRACK_RECOVERY, self.cycle,
+                          dur, scheme=report.scheme, success=report.success,
+                          metadata_reads=report.metadata_reads)
+        return report
 
     # ------------------------------------------------------------------
     def reset_stats(self) -> None:
         """Zero all statistics (warm-up boundary); state is untouched."""
         self.stats.reset()
         self.controller.stats.reset()
+        self.attribution.reset()
         self._cycle_at_reset = self.cycle
 
     def result(self, workload: str = "") -> RunResult:
         ctl = self.controller
+        cycles = self.cycle - self._cycle_at_reset
+        attribution = self.attribution.to_dict()
+        check_attribution(attribution, cycles,
+                          context=f"{ctl.name}/{workload or 'workload'}")
+        histograms = {name: hist.to_dict() for name, hist
+                      in ctl.stats.histograms().items()}
         return RunResult(
             workload=workload,
             scheme=ctl.name,
-            cycles=self.cycle - self._cycle_at_reset,
+            cycles=cycles,
             instructions=self._instructions.value,
             loads=self._loads.value,
             stores=self._stores.value,
             persists=self._persists.value,
             load_stall_cycles=self._load_stalls.value,
             persist_stall_cycles=self._persist_stalls.value,
-            avg_write_latency=ctl.stats.mean("write_latency").mean,
-            avg_read_latency=ctl.stats.mean("read_latency").mean,
+            avg_write_latency=ctl.stats.histogram("write_latency").mean,
+            avg_read_latency=ctl.stats.histogram("read_latency").mean,
             nvm_data_reads=ctl.stats.counter("data_reads").value,
             nvm_data_writes=ctl.stats.counter("data_writes").value,
             nvm_meta_reads=ctl.stats.counter("meta_reads").value,
             nvm_meta_writes=ctl.stats.counter("meta_writes").value,
             hashes=ctl.hash_engine.stats.counter("hashes").value,
             stats={**self.stats.as_dict(), **ctl.stats_dict()},
+            attribution=attribution,
+            histograms=histograms,
         )

@@ -12,6 +12,8 @@ for critical-path costs instead of hard-coding latencies.
 from __future__ import annotations
 
 from repro.errors import ConfigError
+from repro.obs import events as ev
+from repro.obs.recorder import NULL_RECORDER
 from repro.util.crypto import KeyedMac
 from repro.util.stats import StatGroup
 
@@ -23,11 +25,13 @@ class HashEngine:
 
     def __init__(self, latency_cycles: int = DEFAULT_HASH_LATENCY,
                  key: bytes = b"repro-tree-key",
-                 stats: StatGroup | None = None) -> None:
+                 stats: StatGroup | None = None,
+                 recorder=None) -> None:
         if latency_cycles <= 0:
             raise ConfigError("hash latency must be positive")
         self.latency_cycles = latency_cycles
         self.mac = KeyedMac(key)
+        self.obs = recorder if recorder is not None else NULL_RECORDER
         group = stats or StatGroup("hash_engine")
         self.stats = group
         self._hashes = group.counter("hashes")
@@ -44,6 +48,9 @@ class HashEngine:
         cycles = self.latency_cycles if parallel \
             else self.latency_cycles * count
         self._busy_cycles.add(cycles)
+        if self.obs.enabled:
+            self.obs.instant(ev.EV_HMAC, ev.TRACK_HASH, count=count,
+                             parallel=parallel, cycles=cycles)
         return cycles
 
     def branch_hash_cycles(self, levels: int, parallel: bool = True) -> int:

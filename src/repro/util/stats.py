@@ -10,7 +10,9 @@ measured region, mirroring the paper's 10M-instruction warm-up).
 from __future__ import annotations
 
 from collections.abc import Iterator
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+from repro.obs.histogram import LatencyHistogram
 
 
 @dataclass
@@ -38,15 +40,16 @@ class WeightedMean:
     name: str
     count: int = 0
     total: float = 0.0
-    minimum: float = field(default=float("inf"))
-    maximum: float = field(default=float("-inf"))
+    # None (not +/-inf sentinels) when empty, so exports stay JSON-clean.
+    minimum: float | None = None
+    maximum: float | None = None
 
     def add(self, value: float, weight: int = 1) -> None:
         self.count += weight
         self.total += value * weight
-        if value < self.minimum:
+        if self.minimum is None or value < self.minimum:
             self.minimum = value
-        if value > self.maximum:
+        if self.maximum is None or value > self.maximum:
             self.maximum = value
 
     @property
@@ -56,8 +59,8 @@ class WeightedMean:
     def reset(self) -> None:
         self.count = 0
         self.total = 0.0
-        self.minimum = float("inf")
-        self.maximum = float("-inf")
+        self.minimum = None
+        self.maximum = None
 
 
 class StatGroup:
@@ -75,6 +78,7 @@ class StatGroup:
         self.name = name
         self._counters: dict[str, StatCounter] = {}
         self._means: dict[str, WeightedMean] = {}
+        self._histograms: dict[str, LatencyHistogram] = {}
         self._children: dict[str, StatGroup] = {}
 
     def counter(self, name: str) -> StatCounter:
@@ -88,6 +92,12 @@ class StatGroup:
         if name not in self._means:
             self._means[name] = WeightedMean(name)
         return self._means[name]
+
+    def histogram(self, name: str) -> LatencyHistogram:
+        """Create (or fetch) a latency histogram named ``name``."""
+        if name not in self._histograms:
+            self._histograms[name] = LatencyHistogram(name)
+        return self._histograms[name]
 
     def child(self, name: str) -> "StatGroup":
         """Create (or fetch) a nested group, e.g. per-level cache stats."""
@@ -107,6 +117,8 @@ class StatGroup:
             counter.reset()
         for mean in self._means.values():
             mean.reset()
+        for histogram in self._histograms.values():
+            histogram.reset()
         for childgroup in self._children.values():
             childgroup.reset()
 
@@ -119,8 +131,28 @@ class StatGroup:
         for mean in self._means.values():
             out[path + mean.name + ".mean"] = mean.mean
             out[path + mean.name + ".count"] = mean.count
+        for histogram in self._histograms.values():
+            out[path + histogram.name + ".count"] = histogram.count
+            out[path + histogram.name + ".mean"] = histogram.mean
+            for pct in ("p50", "p95", "p99"):
+                value = getattr(histogram, pct)
+                out[path + histogram.name + f".{pct}"] = \
+                    float(value) if value is not None else 0.0
+            maximum = histogram.maximum
+            out[path + histogram.name + ".max"] = \
+                float(maximum) if maximum is not None else 0.0
         for childgroup in self._children.values():
             out.update(childgroup.as_dict(path))
+        return out
+
+    def histograms(self, prefix: str = "") -> dict[str, LatencyHistogram]:
+        """Flatten to ``{"group.metric": LatencyHistogram, ...}``."""
+        path = f"{prefix}{self.name}."
+        out: dict[str, LatencyHistogram] = {}
+        for histogram in self._histograms.values():
+            out[path + histogram.name] = histogram
+        for childgroup in self._children.values():
+            out.update(childgroup.histograms(path))
         return out
 
     def __iter__(self) -> Iterator[StatCounter]:

@@ -1,0 +1,11 @@
+# reprolint-fixture-path: secure/bad_obs_unattributed.py
+"""Known-bad lint fixture: RPL006 (obs-unattributed-cycles) fires
+exactly once — the scheme method charges hash latency and persists a
+node without ever emitting an observability event."""
+
+
+class SilentScheme:
+    def _on_leaf_persist(self, leaf, cycle):
+        latency = self.hash_engine.charge(1)
+        stall = self._persist_node(leaf, cycle)
+        return latency + stall

@@ -36,3 +36,11 @@ class Counted:
 
     def record(self):
         self._events.add()
+
+
+class AttributedScheme:
+    def _flush_node(self, node, cycle):
+        stall = self._persist_node(node, cycle)
+        if self.obs.enabled:
+            self.obs.instant("meta_flush", "controller", cycles=stall)
+        return stall

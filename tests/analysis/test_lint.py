@@ -19,6 +19,7 @@ BAD = {
     "bad_float_cycles.py": "float-cycle-arith",
     "bad_bare_assert.py": "bare-assert",
     "bad_stat_counter.py": "stat-counter-discipline",
+    "bad_obs_unattributed.py": "obs-unattributed-cycles",
 }
 
 

@@ -86,6 +86,31 @@ class TestMatrixResult:
         assert matrix.workloads == ["alpha", "beta"]
         assert set(matrix.schemes()) == {"baseline", "scue", "plp"}
 
+    def test_merged_histograms_fold_across_workloads(self):
+        from repro.obs.histogram import LatencyHistogram
+
+        def hist_result(scheme, values):
+            hist = LatencyHistogram()
+            for value in values:
+                hist.add(value)
+            base = result(scheme, 1000, 500.0)
+            return RunResult(**{
+                **base.to_dict(),
+                "histograms": {"controller.write_latency":
+                               hist.to_dict()}})
+
+        m = MatrixResult()
+        m.add("alpha", "scue", hist_result("scue", [10, 20]))
+        m.add("beta", "scue", hist_result("scue", [30, 4000]))
+        merged = m.merged_histograms("scue")
+        snapshot = merged["controller.write_latency"]
+        assert snapshot["count"] == 4
+        assert snapshot["max"] == 4000
+        assert snapshot["p99"] >= 4000
+
+    def test_merged_histograms_missing_scheme_is_empty(self, matrix):
+        assert matrix.merged_histograms("nonexistent") == {}
+
 
 class TestGeomean:
     def test_basic(self):

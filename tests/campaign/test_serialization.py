@@ -21,7 +21,12 @@ def _result(**overrides) -> RunResult:
                 avg_write_latency=313.5, avg_read_latency=126.0,
                 nvm_data_reads=40, nvm_data_writes=30, nvm_meta_reads=20,
                 nvm_meta_writes=10, hashes=60,
-                stats={"system.loads": 100.0, "wpq.drains": 3.0})
+                stats={"system.loads": 100.0, "wpq.drains": 3.0},
+                attribution={"cpu": 600, "write_scheme": 400},
+                histograms={"controller.write_latency":
+                            {"count": 25, "total": 7838, "min": 100,
+                             "max": 500, "mean": 313.5, "p50": 255,
+                             "p95": 500, "p99": 500, "buckets": []}})
     base.update(overrides)
     return RunResult(**base)
 
@@ -94,6 +99,24 @@ class TestRunResultRoundTrip:
         restored = pickle.loads(pickle.dumps(result))
         assert restored == result
         assert restored.stats == result.stats
+
+    def test_observability_payload_round_trips(self):
+        import json
+        restored = RunResult.from_dict(
+            json.loads(json.dumps(_result().to_dict())))
+        assert restored.attribution["write_scheme"] == 400
+        assert restored.histograms[
+            "controller.write_latency"]["p99"] == 500
+
+    def test_pre_observability_payload_still_loads(self):
+        """Cache entries written before attribution/histograms existed
+        must deserialize (the fields default to empty dicts)."""
+        data = _result().to_dict()
+        del data["attribution"]
+        del data["histograms"]
+        restored = RunResult.from_dict(data)
+        assert restored.attribution == {}
+        assert restored.histograms == {}
 
 
 class TestNestedConfigs:

@@ -1,0 +1,177 @@
+"""Chrome-trace export + structural validation: B/E pairing, timestamp
+ordering, track metadata, and the attribution cross-check embedded in
+``otherData``."""
+
+import json
+
+import pytest
+
+from repro.obs import events as ev
+from repro.obs.attribution import AttributionLedger, check_attribution
+from repro.obs.export import (
+    attribution_report,
+    histogram_report,
+    save_chrome_trace,
+    to_chrome_trace,
+)
+from repro.obs.recorder import TraceRecorder
+from repro.obs.validate import validate_chrome_trace, validate_file
+from repro.errors import ObservabilityError
+
+
+def _recorder_with_traffic() -> TraceRecorder:
+    rec = TraceRecorder()
+    rec.span(ev.EV_READ, ev.TRACK_CPU, 0, 50, addr=0)
+    rec.instant(ev.EV_NVM_READ, ev.TRACK_NVM, ts=10, addr=0)
+    rec.span(ev.EV_PERSIST, ev.TRACK_CPU, 50, 100, addr=64)
+    rec.instant(ev.EV_WPQ_ENQUEUE, ev.TRACK_WPQ, ts=60, addr=64)
+    rec.instant(ev.EV_ROOT_UPDATE, ev.TRACK_ROOT, ts=80,
+                register="recovery_root")
+    return rec
+
+
+class TestChromeTraceStructure:
+    def test_validates_clean(self):
+        payload = to_chrome_trace(_recorder_with_traffic(),
+                                  scheme="scue", workload="test")
+        assert validate_chrome_trace(payload) == []
+
+    def test_process_and_thread_metadata(self):
+        payload = to_chrome_trace(_recorder_with_traffic(), scheme="scue")
+        meta = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta
+                 if e["name"] == "thread_name"}
+        assert names == {"cpu", "wpq", "nvm", "root"}
+        process = [e for e in meta if e["name"] == "process_name"]
+        assert "scue" in process[0]["args"]["name"]
+
+    def test_spans_expand_to_balanced_pairs(self):
+        payload = to_chrome_trace(_recorder_with_traffic())
+        begins = [e for e in payload["traceEvents"] if e["ph"] == "B"]
+        ends = [e for e in payload["traceEvents"] if e["ph"] == "E"]
+        assert len(begins) == len(ends) == 2
+
+    def test_timestamps_monotonic_in_file_order(self):
+        payload = to_chrome_trace(_recorder_with_traffic())
+        ts = [e["ts"] for e in payload["traceEvents"] if e["ph"] != "M"]
+        assert ts == sorted(ts)
+
+    def test_back_to_back_spans_close_before_opening(self):
+        # E at ts==50 must precede the next span's B at ts==50, or the
+        # viewer nests them.
+        payload = to_chrome_trace(_recorder_with_traffic())
+        at_50 = [e["ph"] for e in payload["traceEvents"]
+                 if e.get("ts") == 50]
+        assert at_50.index("E") < at_50.index("B")
+
+    def test_tids_are_stable_track_indices(self):
+        payload = to_chrome_trace(_recorder_with_traffic())
+        cpu_events = [e for e in payload["traceEvents"]
+                      if e.get("cat") == ev.TRACK_CPU]
+        assert {e["tid"] for e in cpu_events} == \
+            {ev.ALL_TRACKS.index(ev.TRACK_CPU)}
+
+    def test_other_data_carries_attribution(self):
+        payload = to_chrome_trace(
+            _recorder_with_traffic(),
+            attribution={"cpu": 60, "read_media": 40}, total_cycles=100)
+        assert payload["otherData"]["attribution"]["cpu"] == 60
+        assert payload["otherData"]["total_cycles"] == 100
+        assert validate_chrome_trace(payload) == []
+
+    def test_save_and_validate_file(self, tmp_path):
+        path = tmp_path / "trace.json"
+        save_chrome_trace(_recorder_with_traffic(), path, scheme="scue")
+        assert validate_file(path) == []
+        payload = json.loads(path.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+
+
+class TestValidatorCatchesCorruption:
+    def _payload(self):
+        return to_chrome_trace(_recorder_with_traffic())
+
+    def test_empty_trace_rejected(self):
+        assert validate_chrome_trace({"traceEvents": []})
+
+    def test_unbalanced_begin_detected(self):
+        payload = self._payload()
+        payload["traceEvents"] = [
+            e for e in payload["traceEvents"] if e["ph"] != "E"]
+        assert any("unclosed" in problem
+                   for problem in validate_chrome_trace(payload))
+
+    def test_orphan_end_detected(self):
+        payload = self._payload()
+        payload["traceEvents"] = [
+            e for e in payload["traceEvents"] if e["ph"] != "B"]
+        assert any("empty stack" in problem
+                   for problem in validate_chrome_trace(payload))
+
+    def test_non_monotonic_ts_detected(self):
+        payload = self._payload()
+        events = [e for e in payload["traceEvents"] if e["ph"] != "M"]
+        events[0], events[-1] = events[-1], events[0]
+        payload["traceEvents"] = events
+        assert any("monotonic" in problem
+                   for problem in validate_chrome_trace(payload))
+
+    def test_attribution_mismatch_detected(self):
+        payload = to_chrome_trace(_recorder_with_traffic(),
+                                  attribution={"cpu": 1}, total_cycles=2)
+        assert any("attribution" in problem
+                   for problem in validate_chrome_trace(payload))
+
+    def test_unreadable_file(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("{not json")
+        assert validate_file(path)
+
+
+class TestAttribution:
+    def test_ledger_charges_and_totals(self):
+        ledger = AttributionLedger()
+        ledger.charge("cpu", 10)
+        ledger.charge("write_wpq", 5)
+        assert ledger.total == 15
+        assert ledger.to_dict()["cpu"] == 10
+
+    def test_unknown_component_rejected(self):
+        with pytest.raises(KeyError):
+            AttributionLedger().charge("made_up", 1)
+
+    def test_reset(self):
+        ledger = AttributionLedger()
+        ledger.charge("recovery", 3)
+        ledger.reset()
+        assert ledger.total == 0
+
+    def test_check_passes_on_exact_sum(self):
+        check_attribution({"cpu": 6, "read_media": 4}, 10)
+
+    def test_check_raises_on_gap(self):
+        with pytest.raises(ObservabilityError, match="does not sum"):
+            check_attribution({"cpu": 6}, 10, context="scue/test")
+
+    def test_check_raises_on_negative(self):
+        with pytest.raises(ObservabilityError, match="negative"):
+            check_attribution({"cpu": 12, "read_media": -2}, 10)
+
+
+class TestTextReports:
+    def test_attribution_report_marks_exact_sum_ok(self):
+        text = attribution_report({"cpu": 60, "read_media": 40}, 100)
+        assert "OK" in text
+        assert "MISMATCH" not in text
+        assert "cpu" in text
+
+    def test_attribution_report_flags_mismatch(self):
+        assert "MISMATCH" in attribution_report({"cpu": 1}, 100)
+
+    def test_histogram_report_lists_metrics(self):
+        text = histogram_report({
+            "controller.write_latency":
+                {"count": 3, "mean": 10.0, "p50": 8, "p95": 15,
+                 "p99": 15, "max": 15}})
+        assert "controller.write_latency" in text
+        assert "p99" in text

@@ -1,0 +1,94 @@
+"""TraceRecorder/NullRecorder semantics: event capture, the carried
+``now`` timestamp, ring-buffer eviction, and the null default's
+zero-allocation contract."""
+
+from repro.obs import events as ev
+from repro.obs.recorder import NULL_RECORDER, NullRecorder, TraceRecorder
+
+
+class TestNullRecorder:
+    def test_disabled_and_inert(self):
+        null = NullRecorder()
+        assert null.enabled is False
+        null.set_now(100)
+        null.instant("x", "cpu")
+        null.span("y", "cpu", 0, 10)
+        assert len(null) == 0
+        assert null.now == 0
+
+    def test_shared_instance(self):
+        assert NULL_RECORDER.enabled is False
+        assert isinstance(NULL_RECORDER, NullRecorder)
+
+    def test_enabled_is_a_class_attribute(self):
+        # The hot-path guard reads `enabled` without instance dict
+        # lookups; it must live on the class.
+        assert "enabled" in NullRecorder.__dict__
+        assert "enabled" in TraceRecorder.__dict__
+
+
+class TestTraceRecorder:
+    def test_instant_uses_carried_now(self):
+        rec = TraceRecorder()
+        rec.set_now(55)
+        rec.instant(ev.EV_NVM_READ, ev.TRACK_NVM, addr=64)
+        (event,) = rec.events
+        assert event.ts == 55
+        assert event.args == {"addr": 64}
+        assert not event.is_span
+
+    def test_explicit_ts_overrides_now(self):
+        rec = TraceRecorder()
+        rec.set_now(55)
+        rec.instant(ev.EV_WPQ_DRAIN, ev.TRACK_WPQ, ts=40)
+        assert rec.events[0].ts == 40
+
+    def test_span_records_duration(self):
+        rec = TraceRecorder()
+        rec.span(ev.EV_READ, ev.TRACK_CPU, 10, 90, addr=0)
+        (event,) = rec.events
+        assert event.is_span
+        assert event.dur == 90
+
+    def test_seq_is_monotonic(self):
+        rec = TraceRecorder()
+        for _ in range(5):
+            rec.instant("a", "cpu")
+        seqs = [event.seq for event in rec]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == 5
+
+    def test_link_ids_are_unique(self):
+        rec = TraceRecorder()
+        assert rec.link() != rec.link()
+
+    def test_clear(self):
+        rec = TraceRecorder()
+        rec.instant("a", "cpu")
+        rec.clear()
+        assert len(rec) == 0
+
+
+class TestRingBuffer:
+    def test_keeps_most_recent_events(self):
+        rec = TraceRecorder(capacity=3)
+        for i in range(10):
+            rec.instant("a", "cpu", ts=i)
+        assert len(rec) == 3
+        assert [event.ts for event in rec] == [7, 8, 9]
+
+    def test_eviction_drops_whole_spans(self):
+        # Spans are single records until export: a ring evicting one can
+        # never strand a B without its E.
+        rec = TraceRecorder(capacity=2)
+        rec.span("persist", ev.TRACK_CPU, 0, 10)
+        rec.span("persist", ev.TRACK_CPU, 10, 10)
+        rec.span("persist", ev.TRACK_CPU, 20, 10)
+        assert all(event.is_span for event in rec)
+        assert len(rec) == 2
+
+    def test_unbounded_by_default(self):
+        rec = TraceRecorder()
+        for i in range(1000):
+            rec.instant("a", "cpu", ts=i)
+        assert len(rec) == 1000

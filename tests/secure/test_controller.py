@@ -114,7 +114,7 @@ class TestMetadataConsistencyUnderPressure:
 class TestStats:
     def test_write_latency_recorded(self, controller):
         controller.write_data(0, None, cycle=0)
-        assert controller.stats.mean("write_latency").count == 1
+        assert controller.stats.histogram("write_latency").count == 1
 
     def test_region_classified_counts(self, controller):
         controller.write_data(0, None, cycle=0)

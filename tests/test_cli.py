@@ -76,3 +76,68 @@ class TestRecordReplay:
         assert main(["record", "--workload", "array", "--operations",
                      "30", "--capacity", str(1024 * 1024),
                      "-o", trace_file, "--compress"]) == 0
+
+
+class TestTrace:
+    def test_trace_writes_valid_chrome_json(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.validate import validate_chrome_trace
+
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", "--workload", "queue", *FAST,
+                     "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "perfetto" in out.lower()
+        assert "OK" in out              # attribution sums exactly
+        assert "MISMATCH" not in out
+        payload = json.loads(out_path.read_text())
+        assert validate_chrome_trace(payload) == []
+        assert payload["otherData"]["total_cycles"] > 0
+
+    def test_trace_ring_mode_bounds_events(self, tmp_path, capsys):
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", "--workload", "queue", *FAST,
+                     "--ring", "50", "--out", str(out_path)]) == 0
+        assert "wrote 50 events" in capsys.readouterr().out
+
+    def test_trace_result_json(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "trace.json"
+        result_path = tmp_path / "result.json"
+        assert main(["trace", "--workload", "queue", *FAST,
+                     "--out", str(out_path),
+                     "--result-json", str(result_path)]) == 0
+        data = json.loads(result_path.read_text())
+        assert data["scheme"] == "scue"
+        assert sum(data["attribution"].values()) == data["cycles"]
+
+
+class TestStatsDiff:
+    def _result_json(self, tmp_path, scheme):
+        path = tmp_path / f"{scheme}.json"
+        assert main(["run", "--scheme", scheme, "--workload", "queue",
+                     *FAST, "--json", str(path)]) == 0
+        return str(path)
+
+    def test_diff_two_schemes(self, tmp_path, capsys):
+        a = self._result_json(tmp_path, "scue")
+        b = self._result_json(tmp_path, "plp")
+        capsys.readouterr()
+        assert main(["stats", "diff", a, b]) == 0
+        out = capsys.readouterr().out
+        assert "scue/queue" in out
+        assert "plp/queue" in out
+        assert "write_scheme" in out
+        assert "attribution" in out
+
+    def test_diff_rejects_non_result_json(self, tmp_path):
+        import json
+
+        from repro.errors import ObservabilityError
+
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(json.dumps({"not": "a result"}))
+        with pytest.raises(ObservabilityError):
+            main(["stats", "diff", str(bogus), str(bogus)])

@@ -1,5 +1,7 @@
 """Statistics plumbing."""
 
+import json
+
 from repro.util.stats import StatCounter, StatGroup, WeightedMean
 
 
@@ -40,12 +42,25 @@ class TestWeightedMean:
     def test_empty_mean_is_zero(self):
         assert WeightedMean("m").mean == 0.0
 
+    def test_empty_min_max_are_none_not_inf(self):
+        """Regression: an empty mean used to carry +/-inf sentinels for
+        min/max, which leak into exported JSON as the non-standard
+        ``Infinity`` token and break strict parsers downstream."""
+        mean = WeightedMean("m")
+        assert mean.minimum is None
+        assert mean.maximum is None
+        encoded = json.dumps({"min": mean.minimum, "max": mean.maximum})
+        assert "Infinity" not in encoded
+        assert json.loads(encoded) == {"min": None, "max": None}
+
     def test_reset(self):
         mean = WeightedMean("m")
         mean.add(5)
         mean.reset()
         assert mean.count == 0
         assert mean.mean == 0.0
+        assert mean.minimum is None
+        assert mean.maximum is None
 
 
 class TestStatGroup:
@@ -87,3 +102,32 @@ class TestStatGroup:
         group.counter("a")
         group.counter("b")
         assert {c.name for c in group} == {"a", "b"}
+
+
+class TestStatGroupHistograms:
+    def test_histogram_is_memoised(self):
+        group = StatGroup("g")
+        assert group.histogram("lat") is group.histogram("lat")
+
+    def test_histogram_summary_in_dict(self):
+        group = StatGroup("g")
+        group.histogram("lat").add(100)
+        flat = group.as_dict()
+        assert flat["g.lat.count"] == 1
+        assert flat["g.lat.mean"] == 100.0
+        assert flat["g.lat.p99"] == 100.0
+        assert flat["g.lat.max"] == 100.0
+
+    def test_histograms_flattener_recurses_children(self):
+        group = StatGroup("top")
+        group.histogram("a").add(1)
+        group.child("inner").histogram("b").add(2)
+        flat = group.histograms()
+        assert set(flat) == {"top.a", "top.inner.b"}
+        assert flat["top.inner.b"].count == 1
+
+    def test_reset_clears_histograms(self):
+        group = StatGroup("g")
+        group.histogram("lat").add(9)
+        group.reset()
+        assert group.histogram("lat").count == 0
