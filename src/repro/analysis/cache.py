@@ -1,0 +1,174 @@
+"""Content-hash incremental cache for the lint front-end.
+
+Results are cached at two granularities:
+
+* **per file** — the flat (single-module) rules' violations, keyed by
+  the file's content hash; editing one file invalidates one entry;
+* **per project** — the interprocedural rules' violations, keyed by a
+  digest over every scanned file's ``(relpath, sha)`` pair; editing any
+  file re-runs the (cheap, seconds-scale) project phase while the flat
+  phase still hits per-file entries.
+
+Both are guarded by an *engine fingerprint* hashed over the source of
+the :mod:`repro.analysis` package itself: upgrading a rule or the
+engine silently discards stale results.  Cached violations are stored
+post-suppression (the suppression comments live in the hashed content,
+so the pairing is stable).
+
+The cache is a single JSON file (default: ``.repro-analysis-cache.json``
+next to the baseline) and is ignored entirely when a rule selection is
+active — selections change what a "result" means.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.rules import Violation, get_rule
+
+_FORMAT = 1
+
+
+def _engine_fingerprint() -> str:
+    """Hash of the analysis package's own source files."""
+    digest = hashlib.sha256()
+    package_dir = Path(__file__).resolve().parent
+    for path in sorted(package_dir.glob("*.py")):
+        digest.update(path.name.encode())
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+def file_sha(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()[:16]
+
+
+def project_digest(entries: list[tuple[str, str]]) -> str:
+    """Digest over every scanned file: any edit anywhere changes it."""
+    digest = hashlib.sha256()
+    for relpath, sha in sorted(entries):
+        digest.update(f"{relpath}={sha}\n".encode())
+    return digest.hexdigest()[:16]
+
+
+def _dump_violation(violation: Violation) -> dict:
+    return {
+        "rule": violation.rule.name,
+        "path": violation.path,
+        "line": violation.line,
+        "column": violation.column,
+        "message": violation.message,
+        "snippet": violation.snippet,
+    }
+
+
+def _load_violation(data: dict) -> Violation:
+    return Violation(rule=get_rule(data["rule"]), path=data["path"],
+                     line=data["line"], column=data["column"],
+                     message=data["message"], snippet=data["snippet"])
+
+
+@dataclass
+class CacheStats:
+    """What the warm-vs-cold report line is built from."""
+
+    files_total: int = 0
+    files_hit: int = 0
+    project_hit: bool = False
+    project_ran: bool = False
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.files_total:
+            return 0.0
+        return self.files_hit / self.files_total
+
+    def describe(self) -> str:
+        pct = int(round(self.hit_rate * 100))
+        project = "reused" if self.project_hit else (
+            "recomputed" if self.project_ran else "skipped")
+        return (f"incremental cache: hit rate {pct}% "
+                f"({self.files_hit}/{self.files_total} files), "
+                f"project phase {project}")
+
+
+class AnalysisCache:
+    """Load/store for the on-disk cache file."""
+
+    def __init__(self, path: Path) -> None:
+        self.path = Path(path)
+        self.engine = _engine_fingerprint()
+        self._files: dict[str, dict] = {}
+        self._project: dict | None = None
+        self._dirty = False
+        self.stats = CacheStats()
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            raw = json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            return
+        if not isinstance(raw, dict) or raw.get("format") != _FORMAT \
+                or raw.get("engine") != self.engine:
+            return  # engine or format changed: start cold
+        files = raw.get("files")
+        if isinstance(files, dict):
+            self._files = files
+        project = raw.get("project")
+        if isinstance(project, dict):
+            self._project = project
+
+    # ------------------------------------------------------------------
+    def get_file(self, relpath: str, sha: str) -> list[Violation] | None:
+        entry = self._files.get(relpath)
+        if entry is None or entry.get("sha") != sha:
+            return None
+        try:
+            return [_load_violation(v) for v in entry["violations"]]
+        except (KeyError, TypeError):
+            return None
+
+    def put_file(self, relpath: str, sha: str,
+                 violations: list[Violation]) -> None:
+        self._files[relpath] = {
+            "sha": sha,
+            "violations": [_dump_violation(v) for v in violations]}
+        self._dirty = True
+
+    def get_project(self, digest: str) -> list[Violation] | None:
+        entry = self._project
+        if entry is None or entry.get("digest") != digest:
+            return None
+        try:
+            return [_load_violation(v) for v in entry["violations"]]
+        except (KeyError, TypeError):
+            return None
+
+    def put_project(self, digest: str,
+                    violations: list[Violation]) -> None:
+        self._project = {
+            "digest": digest,
+            "violations": [_dump_violation(v) for v in violations]}
+        self._dirty = True
+
+    def prune(self, live_relpaths: set[str]) -> None:
+        """Drop entries for files that no longer exist."""
+        dead = set(self._files) - live_relpaths
+        for relpath in dead:
+            del self._files[relpath]
+            self._dirty = True
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        payload = {"format": _FORMAT, "engine": self.engine,
+                   "files": self._files, "project": self._project}
+        try:
+            self.path.write_text(json.dumps(payload))
+        except OSError:
+            return  # read-only checkout: caching is best-effort
+        self._dirty = False

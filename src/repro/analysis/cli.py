@@ -6,27 +6,39 @@
     python -m repro.analysis --strict          # also fail on stale
                                                # baseline entries
     python -m repro.analysis --format json     # machine-readable
+    python -m repro.analysis --sarif out.sarif # SARIF 2.1.0 log for
+                                               # code scanning
+    python -m repro.analysis --jobs 4          # parallel flat phase
     python -m repro.analysis --write-baseline  # accept current findings
+    python -m repro.analysis --update-baseline # regenerate + report diff
     python -m repro.analysis --list-rules      # what is enforced & why
 
 Exit code 0 means every finding is either absent or explicitly
 baselined; 1 means new violations (or, under ``--strict``, a stale
 baseline).  Designed to run in CI next to the test suite.
+
+Repeat runs are incremental: per-file results are cached by content
+hash in ``.repro-analysis-cache.json`` at the repo root (disable with
+``--no-cache``; automatically off while ``--select`` or multiple scan
+roots are active).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
 from pathlib import Path
 
 from repro.analysis.baseline import Baseline
+from repro.analysis.cache import AnalysisCache
 from repro.analysis.lint import Linter
 from repro.analysis.report import LintReport, rules_text
 from repro.errors import ConfigError
 
 BASELINE_NAME = "analysis-baseline.txt"
+CACHE_NAME = ".repro-analysis-cache.json"
 
 
 def default_scan_root() -> Path:
@@ -56,6 +68,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "entries")
     parser.add_argument("--format", choices=("text", "json"),
                         default="text")
+    parser.add_argument("--sarif", type=Path, default=None,
+                        metavar="PATH",
+                        help="also write a SARIF 2.1.0 log to PATH")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="lint files with N worker processes "
+                             "(default: 1)")
     parser.add_argument("--baseline", type=Path, default=None,
                         help=f"baseline file (default: {BASELINE_NAME} "
                              "next to pyproject.toml)")
@@ -64,6 +82,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--write-baseline", action="store_true",
                         help="accept all current findings into the "
                              "baseline file and exit 0")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="regenerate the baseline file and report "
+                             "what changed (idempotent: an unchanged "
+                             "tree rewrites it byte-identically)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the incremental result cache")
     parser.add_argument("--select", action="append", default=None,
                         metavar="RULE",
                         help="run only this rule (repeatable; name or "
@@ -85,6 +109,33 @@ def resolve_baseline_path(args: argparse.Namespace,
     return repo_root / BASELINE_NAME
 
 
+def _resolve_cache(args: argparse.Namespace,
+                   scan_root: Path) -> AnalysisCache | None:
+    """The cache is keyed to the default whole-package scan: explicit
+    scan roots or an active rule selection would cross-contaminate it
+    (saving a run over a different tree prunes everyone else's
+    entries), so those runs go cold."""
+    if args.no_cache or args.select is not None or args.paths:
+        return None
+    repo_root = find_repo_root(scan_root)
+    if repo_root is None:
+        return None
+    return AnalysisCache(repo_root / CACHE_NAME)
+
+
+def _sarif_uri_prefix(scan_root: Path) -> str:
+    """Scan root relative to the repo root, so SARIF URIs resolve from
+    the checkout root as code scanning expects."""
+    resolved = Path(scan_root).resolve()
+    repo_root = find_repo_root(resolved)
+    if repo_root is None or resolved == repo_root:
+        return ""
+    try:
+        return resolved.relative_to(repo_root).as_posix()
+    except ValueError:
+        return ""
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.list_rules:
@@ -97,18 +148,20 @@ def main(argv: Sequence[str] | None = None) -> int:
             return 2
 
     scan_root = args.paths[0] if args.paths else default_scan_root()
+    cache = _resolve_cache(args, Path(scan_root))
     try:
-        linter = Linter(scan_root, select=args.select)
+        linter = Linter(scan_root, select=args.select, cache=cache,
+                        jobs=args.jobs)
     except ConfigError as exc:
         print(str(exc), file=sys.stderr)
         return 2
     files: list[Path] = []
     try:
-        if args.paths:
+        if args.paths and len(args.paths) > 1:
             # Multiple roots: lint each, relpaths computed per root.
             violations = []
             for root in args.paths:
-                sub = Linter(root, select=args.select)
+                sub = Linter(root, select=args.select, jobs=args.jobs)
                 sub_files = list(sub.iter_files())
                 files.extend(sub_files)
                 violations.extend(sub.run(sub_files))
@@ -124,16 +177,34 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 2
 
     baseline_path = resolve_baseline_path(args, Path(scan_root))
-    if args.write_baseline:
+    if args.write_baseline or args.update_baseline:
         if baseline_path is None:
             print("no baseline location found (need pyproject.toml or "
                   "--baseline)", file=sys.stderr)
             return 2
-        Baseline.from_violations(violations).save(baseline_path)
-        print(f"wrote {len(violations)} entr(ies) to {baseline_path}")
+        fresh = Baseline.from_violations(violations)
+        if args.update_baseline:
+            old = Baseline.load(baseline_path) \
+                if baseline_path.is_file() else Baseline()
+            old_keys = {(e.rule, e.path, e.fingerprint)
+                        for e in old.entries}
+            new_keys = {(e.rule, e.path, e.fingerprint)
+                        for e in fresh.entries}
+            added = len(new_keys - old_keys)
+            removed = len(old_keys - new_keys)
+            fresh.save(baseline_path)
+            print(f"baseline updated: {len(fresh.entries)} entr(ies) "
+                  f"(+{added} added, -{removed} removed) at "
+                  f"{baseline_path}")
+        else:
+            fresh.save(baseline_path)
+            print(f"wrote {len(violations)} entr(ies) to "
+                  f"{baseline_path}")
         return 0
 
     report = LintReport(files_checked=len(files))
+    if linter.cache_stats is not None:
+        report.cache_note = linter.cache_stats.describe()
     if baseline_path is not None and baseline_path.is_file():
         new, baselined, stale = \
             Baseline.load(baseline_path).split(violations)
@@ -142,6 +213,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         report.stale_baseline = stale
     else:
         report.violations = violations
+
+    if args.sarif is not None:
+        from repro.analysis.sarif import to_sarif
+        log = to_sarif(report, uri_prefix=_sarif_uri_prefix(scan_root))
+        args.sarif.write_text(json.dumps(log, indent=2) + "\n")
 
     if args.format == "json":
         print(report.as_json())

@@ -1,16 +1,26 @@
 """reprolint — the AST lint enforcing simulator-domain invariants.
 
-Each check is a :class:`LintRule` subclass scoped to the package paths
-where its invariant applies.  Rules are deliberately *semantic*, not
-stylistic: every one of them protects a property the paper's evaluation
-depends on (see the rationales in :mod:`repro.analysis.rules`).
+Two kinds of checks coexist:
 
-Suppression: append ``# reprolint: disable=<rule-name>[,<rule-name>]``
-to the offending line (``disable=all`` silences every rule for that
-line).  Fixture files under test control can also pin the path used for
-rule scoping with a first-line ``# reprolint-fixture-path: <relpath>``
-comment, so known-bad snippets exercise path-scoped rules without
-living inside the package.
+* **flat rules** (:class:`LintRule`) — single-module AST scans, exactly
+  as in the original lint: RPL003–RPL006 plus the direct-discard half
+  of RPL002;
+* **project rules** (:class:`ProjectRule`) — path-sensitive checks that
+  run once over the whole scanned tree with a
+  :class:`~repro.analysis.callgraph.ProjectIndex` in hand: the
+  interprocedural RPL001/RPL002 upgrades and the protocol checkers
+  RPL007/RPL008 built on the CFG + dataflow engine
+  (:mod:`repro.analysis.cfg` / :mod:`repro.analysis.dataflow` /
+  :mod:`repro.analysis.protocol`).
+
+Both kinds produce the same :class:`~repro.analysis.rules.Violation`
+records, honour the same ``# reprolint: disable=<rule>`` suppression
+comments and share the fingerprint baseline unchanged.
+
+The front-end is incremental: flat results are cached per file by
+content hash, project results by a whole-tree digest (see
+:mod:`repro.analysis.cache`), and cache misses can be fanned out over a
+process pool (``jobs > 1``).
 """
 
 from __future__ import annotations
@@ -20,6 +30,18 @@ import re
 from collections.abc import Iterable, Iterator
 from pathlib import Path
 
+from repro.analysis.cache import (
+    AnalysisCache,
+    CacheStats,
+    file_sha,
+    project_digest,
+)
+from repro.analysis.callgraph import FunctionInfo, ProjectIndex
+from repro.analysis.dataflow import Facts, ForwardAnalysis
+from repro.analysis.protocol import (
+    check_attribution_escape,
+    check_protocols,
+)
 from repro.analysis.rules import ALL_RULES, RuleInfo, Violation, get_rule
 
 _SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*disable=([\w\-, ]+)")
@@ -29,9 +51,10 @@ _FIXTURE_PATH_RE = re.compile(r"#\s*reprolint-fixture-path:\s*(\S+)")
 class ParsedModule:
     """One source file, parsed once and shared by every rule."""
 
-    def __init__(self, path: Path, relpath: str) -> None:
+    def __init__(self, path: Path, relpath: str,
+                 source: str | None = None) -> None:
         self.path = path
-        self.source = path.read_text()
+        self.source = path.read_text() if source is None else source
         self.lines = self.source.splitlines()
         self.tree = ast.parse(self.source, filename=str(path))
         self.relpath = relpath
@@ -113,34 +136,205 @@ class LintRule:
         raise NotImplementedError
 
 
-# ======================================================================
-# RPL001 — every persist attributable to ADR semantics
-# ======================================================================
-class NvmDirectStoreRule(LintRule):
-    """``write_line``/``poke_line`` calls outside the device, the typed
-    store, the crash machinery and the CME re-encryption burst must be
-    preceded — in the same function — by a WPQ ``enqueue``, so every
-    persist is attributable to ADR semantics."""
-
-    name = "nvm-direct-store"
-    exclude = ("mem/", "tree/store.py", "crash/", "cme/encryption.py",
-               "analysis/")
-
-    _STORE_CALLS = ("write_line", "poke_line")
+class ProjectRule(LintRule):
+    """A rule that needs the whole scanned tree and the call graph."""
 
     def check(self, mod: ParsedModule) -> Iterator[Violation]:
-        # Attribute every call to its innermost enclosing function (or
-        # the module scope) so "preceded by an enqueue" is judged per
-        # scope, in statement order.
+        raise NotImplementedError("project rules run via check_project")
+
+    def check_project(self, modules: list[ParsedModule],
+                      index: ProjectIndex) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    @staticmethod
+    def by_relpath(modules: list[ParsedModule]
+                   ) -> dict[str, ParsedModule]:
+        return {mod.relpath: mod for mod in modules}
+
+    def violation_at(self, mods: dict[str, ParsedModule], relpath: str,
+                     line: int, column: int, message: str) -> Violation:
+        mod = mods.get(relpath)
+        snippet = mod.snippet(line) if mod is not None else ""
+        return Violation(rule=self.info, path=relpath, line=line,
+                         column=column, message=message, snippet=snippet)
+
+
+# ======================================================================
+# RPL001 — every persist attributable to ADR semantics (interprocedural)
+# ======================================================================
+class NvmDirectStoreRule(ProjectRule):
+    """A counted ``write_line`` must be covered by a WPQ ``enqueue`` on
+    every static path — in the same function or in every caller leading
+    to it.  The upgrade from the flat rule: an enqueue performed by the
+    caller (``_persist_node`` enqueues, ``SITStore.save`` stores) now
+    satisfies the rule, so ``tree/store.py`` no longer needs a blanket
+    exclusion; conversely a *branch* that reaches the store without the
+    enqueue is flagged even when the happy path enqueues.
+
+    ``poke_line`` is no longer a tracked store: poke paths are the
+    deliberate crash-injection surface (the runtime sanitizer leaves
+    them unhooked for the same reason).  Call sites that falsify a
+    parameter guard protecting the store (``save(node, counted=False)``
+    against ``if counted: write_line``) are exempt — the store cannot
+    execute on that edge."""
+
+    name = "nvm-direct-store"
+    exclude = ("mem/", "crash/", "analysis/")
+
+    _STORE_CALLS = ("write_line",)
+    _ENQ = "enq"
+
+    def check_project(self, modules: list[ParsedModule],
+                      index: ProjectIndex) -> Iterator[Violation]:
+        mods = self.by_relpath(modules)
+        self._analyses: dict[str, ForwardAnalysis] = {}
+        self._always_enq: dict[str, bool] = {}
+        self._stmt_maps: dict[str, dict[int, ast.AST]] = {}
+        self._index = index
+        for fn in index.functions.values():
+            if fn.relpath not in mods or not self.applies(fn.relpath):
+                continue
+            cfg = index.cfg(fn)
+            stores = [(stmt, call) for _, _, stmt in cfg.nodes()
+                      for call in self._stores_in(stmt)]
+            if not stores:
+                continue
+            analysis = self._enq_analysis(fn)
+            for stmt, call in stores:
+                facts = analysis.facts_before(stmt)
+                if facts is None:  # unreachable
+                    continue
+                if self._ENQ in facts or self._gens_enq(stmt, fn):
+                    continue
+                if self._covered_by_callers(fn, call):
+                    continue
+                yield self.violation_at(
+                    mods, fn.relpath, call.lineno, call.col_offset + 1,
+                    f"direct NVM store '{_dotted(call.func)}' is not "
+                    "covered by a wpq.enqueue on every path — neither "
+                    f"'{fn.name}' nor its callers enqueue before this "
+                    "store, so the persist is invisible to the ADR "
+                    "crash model")
+        for mod in modules:
+            if self.applies(mod.relpath):
+                yield from self._unindexed_scopes(mod, index)
+
+    # -- store/enqueue detection ---------------------------------------
+    def _stores_in(self, stmt: ast.AST) -> list[ast.Call]:
+        return [node for node in ast.walk(stmt)
+                if isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._STORE_CALLS]
+
+    def _gens_enq(self, stmt: ast.AST, fn: FunctionInfo) -> bool:
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Attribute) and \
+                    node.func.attr == "enqueue":
+                return True
+            res = self._index.resolve_call(node, fn)
+            if res.exact and len(res.targets) == 1 and \
+                    self._always_enqueues(res.targets[0]):
+                return True
+        return False
+
+    def _always_enqueues(self, fn: FunctionInfo) -> bool:
+        """Does every path through ``fn`` perform an enqueue?"""
+        cached = self._always_enq.get(fn.qualname)
+        if cached is not None:
+            return cached
+        # Provisional False breaks recursion cycles (a recursive helper
+        # is conservatively assumed not to enqueue on every path).
+        self._always_enq[fn.qualname] = False
+        exit_facts = self._enq_analysis(fn).facts_at_exit()
+        result = exit_facts is not None and self._ENQ in exit_facts
+        self._always_enq[fn.qualname] = result
+        return result
+
+    def _enq_analysis(self, fn: FunctionInfo) -> ForwardAnalysis:
+        got = self._analyses.get(fn.qualname)
+        if got is None:
+            def flow(facts: Facts, node: ast.AST) -> Facts:
+                if self._gens_enq(node, fn):
+                    return facts | {self._ENQ}
+                return facts
+            got = ForwardAnalysis(self._index.cfg(fn), flow, must=True)
+            self._analyses[fn.qualname] = got
+        return got
+
+    # -- caller credit ---------------------------------------------------
+    def _stmt_map(self, fn: FunctionInfo) -> dict[int, ast.AST]:
+        """id(any AST node) -> the CFG leaf statement containing it."""
+        got = self._stmt_maps.get(fn.qualname)
+        if got is None:
+            got = {}
+            for _, _, stmt in self._index.cfg(fn).nodes():
+                for sub in ast.walk(stmt):
+                    got[id(sub)] = stmt
+            self._stmt_maps[fn.qualname] = got
+        return got
+
+    def _covered_by_callers(self, fn: FunctionInfo,
+                            store: ast.Call) -> bool:
+        guards = _param_guards(fn, store)
+        callers = self._index.callers_of(fn)
+        if not callers:
+            return False
+        for caller, call in callers:
+            if not self.applies(caller.relpath):
+                continue  # exempt domain (crash injection, devices)
+            if guards and _site_falsifies(call, guards, fn.params):
+                continue  # this edge cannot reach the store
+            if not self._site_has_enqueue(caller, call, {fn.qualname}):
+                return False
+        return True
+
+    def _site_has_enqueue(self, caller: FunctionInfo, call: ast.Call,
+                          visited: set[str]) -> bool:
+        stmt = self._stmt_map(caller).get(id(call))
+        if stmt is None:
+            return True  # call inside a nested def: out of scope
+        facts = self._enq_analysis(caller).facts_before(stmt)
+        if facts is None:
+            return True  # unreachable call site
+        if self._ENQ in facts or self._gens_enq(stmt, caller):
+            # The stmt's own enqueue-gen covers helper chains like
+            # "stall = enqueue(...) + helper_that_stores(...)".
+            return True
+        return self._entry_credited(caller, visited)
+
+    def _entry_credited(self, fn: FunctionInfo,
+                        visited: set[str]) -> bool:
+        """Every exact call path into ``fn`` carries an enqueue."""
+        if fn.qualname in visited:
+            return False
+        visited = visited | {fn.qualname}
+        callers = self._index.callers_of(fn)
+        if not callers:
+            return False
+        return all(
+            not self.applies(caller.relpath)
+            or self._site_has_enqueue(caller, call, visited)
+            for caller, call in callers)
+
+    # -- fallback for code outside indexed functions ---------------------
+    def _unindexed_scopes(self, mod: ParsedModule,
+                          index: ProjectIndex) -> Iterator[Violation]:
+        """Module-level / nested-function stores keep the original flat
+        'enqueue earlier in the same scope' check."""
+        indexed = {id(fn.node) for fn in index.functions.values()
+                   if fn.relpath == mod.relpath}
         scopes: dict[int, dict[str, list[ast.Call]]] = {}
 
-        def visit(node: ast.AST, scope_id: int) -> None:
+        def visit(node: ast.AST, scope_id: int, skip: bool) -> None:
             for child in ast.iter_child_nodes(node):
-                child_scope = scope_id
+                child_scope, child_skip = scope_id, skip
                 if isinstance(child, (ast.FunctionDef,
                                       ast.AsyncFunctionDef)):
                     child_scope = id(child)
-                if isinstance(child, ast.Call) and \
+                    child_skip = id(child) in indexed
+                if not child_skip and isinstance(child, ast.Call) and \
                         isinstance(child.func, ast.Attribute):
                     attr = child.func.attr
                     bucket = scopes.setdefault(
@@ -149,9 +343,9 @@ class NvmDirectStoreRule(LintRule):
                         bucket["enqueue"].append(child)
                     elif attr in self._STORE_CALLS:
                         bucket["store"].append(child)
-                visit(child, child_scope)
+                visit(child, child_scope, child_skip)
 
-        visit(mod.tree, id(mod.tree))
+        visit(mod.tree, id(mod.tree), False)
         for bucket in scopes.values():
             enqueue_lines = [c.lineno for c in bucket["enqueue"]]
             first_enqueue = min(enqueue_lines) if enqueue_lines else None
@@ -162,16 +356,70 @@ class NvmDirectStoreRule(LintRule):
                 yield self.violation(
                     mod, call,
                     f"direct NVM store '{_dotted(call.func)}' with no "
-                    "preceding wpq.enqueue in this function — the "
-                    "persist is invisible to the ADR crash model")
+                    "preceding wpq.enqueue in this scope — the persist "
+                    "is invisible to the ADR crash model")
+
+
+def _param_guards(fn: FunctionInfo,
+                  target: ast.AST) -> list[tuple[str, bool]]:
+    """Enclosing ``if <param>:`` / ``if not <param>:`` guards of
+    ``target``: (param name, truth value required to reach it)."""
+    parents: dict[int, ast.AST] = {}
+    for node in ast.walk(fn.node):
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = node
+    params = set(fn.params)
+    guards: list[tuple[str, bool]] = []
+    current: ast.AST = target
+    while id(current) in parents:
+        parent = parents[id(current)]
+        if isinstance(parent, ast.If):
+            in_body = any(current is stmt or any(
+                sub is current for sub in ast.walk(stmt))
+                for stmt in parent.body)
+            in_else = not in_body and any(current is stmt or any(
+                sub is current for sub in ast.walk(stmt))
+                for stmt in parent.orelse)
+            test = parent.test
+            name, positive = "", True
+            if isinstance(test, ast.Name):
+                name = test.id
+            elif isinstance(test, ast.UnaryOp) and \
+                    isinstance(test.op, ast.Not) and \
+                    isinstance(test.operand, ast.Name):
+                name, positive = test.operand.id, False
+            if name in params and (in_body or in_else):
+                guards.append((name, positive if in_body else not positive))
+        current = parent
+    return guards
+
+
+def _site_falsifies(call: ast.Call, guards: list[tuple[str, bool]],
+                    params: list[str]) -> bool:
+    """Does this call site pass a literal argument contradicting a guard
+    the store sits under?"""
+    offset = 1 if params and params[0] in ("self", "cls") else 0
+    for param, needed in guards:
+        value: ast.expr | None = None
+        for kw in call.keywords:
+            if kw.arg == param:
+                value = kw.value
+        if value is None and param in params:
+            pos = params.index(param) - offset
+            if 0 <= pos < len(call.args):
+                value = call.args[pos]
+        if isinstance(value, ast.Constant) and \
+                bool(value.value) != needed:
+            return True
+    return False
 
 
 # ======================================================================
 # RPL002 — no dropped verification results
 # ======================================================================
 class UncheckedVerifyRule(LintRule):
-    """A ``verify``/``matches`` call whose boolean result is discarded
-    is a verification that can never fail."""
+    """Flat half: a ``verify``/``matches`` call whose boolean result is
+    discarded right where it is made."""
 
     name = "unchecked-verify"
     paths = ("secure/", "tree/", "crash/", "cme/")
@@ -191,6 +439,136 @@ class UncheckedVerifyRule(LintRule):
                     f"result of '{_dotted(value.func)}(...)' is "
                     "discarded — a verification that cannot fail is a "
                     "silent security hole")
+
+
+class UncheckedVerifyProjectRule(ProjectRule):
+    """Interprocedural half of RPL002: (a) discarding the result of a
+    call whose callee *returns* a verification result is as much a
+    dropped check as discarding ``verify()`` itself; (b) a verify
+    result assigned to a local that is never consulted on some path to
+    return is a check that silently cannot fail on that path."""
+
+    name = "unchecked-verify"
+    paths = ("secure/", "tree/", "crash/", "cme/")
+
+    _VERIFY_CALLS = ("verify", "matches")
+
+    def check_project(self, modules: list[ParsedModule],
+                      index: ProjectIndex) -> Iterator[Violation]:
+        mods = self.by_relpath(modules)
+        self._index = index
+        self._returns_verify_memo: dict[str, bool] = {}
+        for fn in index.functions.values():
+            if fn.relpath not in mods or not self.applies(fn.relpath):
+                continue
+            cfg = index.cfg(fn)
+            yield from self._discarded_callee_results(fn, cfg, mods)
+            yield from self._unconsumed_results(fn, cfg, mods)
+
+    # -- (a) Expr-discard of a verify-returning callee -------------------
+    def _discarded_callee_results(self, fn: FunctionInfo, cfg,
+                                  mods) -> Iterator[Violation]:
+        for _, _, stmt in cfg.nodes():
+            if not (isinstance(stmt, ast.Expr)
+                    and isinstance(stmt.value, ast.Call)):
+                continue
+            call = stmt.value
+            if isinstance(call.func, ast.Attribute) and \
+                    call.func.attr in self._VERIFY_CALLS:
+                continue  # the flat rule reports direct discards
+            res = self._index.resolve_call(call, fn)
+            if res.exact and len(res.targets) == 1 and \
+                    self._returns_verify(res.targets[0]):
+                yield self.violation_at(
+                    mods, fn.relpath, stmt.lineno, stmt.col_offset + 1,
+                    f"result of '{_dotted(call.func)}(...)' is "
+                    f"discarded — '{res.targets[0].name}' returns a "
+                    "verification result, so dropping it silences the "
+                    "check across the call boundary")
+
+    def _returns_verify(self, fn: FunctionInfo, _depth: int = 0) -> bool:
+        cached = self._returns_verify_memo.get(fn.qualname)
+        if cached is not None:
+            return cached
+        if _depth > 3:
+            return False
+        self._returns_verify_memo[fn.qualname] = False  # cycle guard
+        assigned: set[str] = set()
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Assign) and \
+                    len(node.targets) == 1 and \
+                    isinstance(node.targets[0], ast.Name) and \
+                    self._is_verify_call(node.value):
+                assigned.add(node.targets[0].id)
+        result = False
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Return) or node.value is None:
+                continue
+            value = node.value
+            if self._is_verify_call(value):
+                result = True
+                break
+            if isinstance(value, ast.Name) and value.id in assigned:
+                result = True
+                break
+            if isinstance(value, ast.Call):
+                res = self._index.resolve_call(value, fn)
+                if res.exact and len(res.targets) == 1 and \
+                        self._returns_verify(res.targets[0], _depth + 1):
+                    result = True
+                    break
+        self._returns_verify_memo[fn.qualname] = result
+        return result
+
+    def _is_verify_call(self, value: ast.expr) -> bool:
+        return (isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Attribute)
+                and value.func.attr in self._VERIFY_CALLS)
+
+    # -- (b) assigned-but-never-consulted results ------------------------
+    def _unconsumed_results(self, fn: FunctionInfo, cfg,
+                            mods) -> Iterator[Violation]:
+        index = self._index
+
+        def fact_for(name: str, node: ast.AST) -> str:
+            return f"unconsumed|{name}|{node.lineno}|{node.col_offset}"
+
+        def flow(facts: Facts, node: ast.AST) -> Facts:
+            reads = {sub.id for sub in ast.walk(node)
+                     if isinstance(sub, ast.Name)
+                     and isinstance(sub.ctx, ast.Load)}
+            if reads:
+                facts = frozenset(f for f in facts
+                                  if f.split("|")[1] not in reads)
+            if isinstance(node, ast.Assign) and \
+                    len(node.targets) == 1 and \
+                    isinstance(node.targets[0], ast.Name):
+                name = node.targets[0].id
+                facts = frozenset(f for f in facts
+                                  if f.split("|")[1] != name)
+                if name != "_" and self._value_is_verify(node.value, fn):
+                    facts = facts | {fact_for(name, node)}
+            return facts
+
+        analysis = ForwardAnalysis(cfg, flow, must=False)
+        exit_facts = analysis.facts_at_exit() or frozenset()
+        for fact in sorted(exit_facts):
+            _, name, lineno, col = fact.split("|")
+            yield self.violation_at(
+                mods, fn.relpath, int(lineno), int(col) + 1,
+                f"verification result '{name}' is assigned but never "
+                "consulted on some path to return — on that path the "
+                "check cannot fail")
+
+    def _value_is_verify(self, value: ast.expr,
+                         fn: FunctionInfo) -> bool:
+        if self._is_verify_call(value):
+            return True
+        if isinstance(value, ast.Call):
+            res = self._index.resolve_call(value, fn)
+            return (res.exact and len(res.targets) == 1
+                    and self._returns_verify(res.targets[0]))
+        return False
 
 
 # ======================================================================
@@ -356,8 +734,46 @@ class ObsUnattributedCyclesRule(LintRule):
                         "to the trace/attribution report")
 
 
-_RULE_CLASSES: tuple[type[LintRule], ...] = (
-    NvmDirectStoreRule,
+# ======================================================================
+# RPL007 — persist-protocol conformance
+# ======================================================================
+class PersistProtocolRule(ProjectRule):
+    """Every scheme's declared persist-ordering obligations, proven on
+    all static paths (the engine lives in
+    :mod:`repro.analysis.protocol`)."""
+
+    name = "persist-protocol"
+    paths = ("secure/",)
+
+    def check_project(self, modules: list[ParsedModule],
+                      index: ProjectIndex) -> Iterator[Violation]:
+        mods = self.by_relpath(modules)
+        for finding in check_protocols(index):
+            if not self.applies(finding.relpath):
+                continue
+            yield self.violation_at(mods, finding.relpath, finding.line,
+                                    finding.column, finding.message)
+
+
+# ======================================================================
+# RPL008 — exception-unsafe cycle attribution
+# ======================================================================
+class ExceptionUnsafeAttributionRule(ProjectRule):
+    """A raising statement between an AttributionLedger charge and the
+    obs emit it funds (engine in :mod:`repro.analysis.protocol`)."""
+
+    name = "exception-unsafe-attribution"
+    paths = ("sim/",)
+
+    def check_project(self, modules: list[ParsedModule],
+                      index: ProjectIndex) -> Iterator[Violation]:
+        mods = self.by_relpath(modules)
+        for finding in check_attribution_escape(index, self.paths):
+            yield self.violation_at(mods, finding.relpath, finding.line,
+                                    finding.column, finding.message)
+
+
+_FLAT_RULE_CLASSES: tuple[type[LintRule], ...] = (
     UncheckedVerifyRule,
     FloatCycleArithRule,
     BareAssertRule,
@@ -365,22 +781,70 @@ _RULE_CLASSES: tuple[type[LintRule], ...] = (
     ObsUnattributedCyclesRule,
 )
 
-# Every registered RuleInfo must have an implementation and vice versa.
-if {cls.name for cls in _RULE_CLASSES} != {r.name for r in ALL_RULES}:
+_PROJECT_RULE_CLASSES: tuple[type[ProjectRule], ...] = (
+    NvmDirectStoreRule,
+    UncheckedVerifyProjectRule,
+    PersistProtocolRule,
+    ExceptionUnsafeAttributionRule,
+)
+
+# Every registered RuleInfo must have an implementation and vice versa
+# (RPL002 deliberately has both a flat and a project half).
+_IMPLEMENTED = {cls.name for cls in _FLAT_RULE_CLASSES} | \
+    {cls.name for cls in _PROJECT_RULE_CLASSES}
+if _IMPLEMENTED != {r.name for r in ALL_RULES}:
     raise RuntimeError("lint rule registry out of sync with rules.py")
 
 
+def _run_flat_rules(mod: ParsedModule,
+                    wanted: set[str] | None) -> list[Violation]:
+    violations: list[Violation] = []
+    for cls in _FLAT_RULE_CLASSES:
+        if wanted is not None and cls.name not in wanted:
+            continue
+        rule = cls()
+        if not rule.applies(mod.relpath):
+            continue
+        for violation in rule.check(mod):
+            if not mod.suppressed(violation.line, rule.name):
+                violations.append(violation)
+    return violations
+
+
+def _flat_worker(job: tuple[str, str, tuple[str, ...] | None]
+                 ) -> list[dict]:
+    """Process-pool entry: lint one file with the flat rules."""
+    path_str, relpath, selected = job
+    wanted = set(selected) if selected is not None else None
+    mod = ParsedModule(Path(path_str), relpath)
+    return [v.as_dict() for v in _run_flat_rules(mod, wanted)]
+
+
+def _violation_from_dict(data: dict) -> Violation:
+    return Violation(rule=get_rule(data["rule"]), path=data["path"],
+                     line=data["line"], column=data["column"],
+                     message=data["message"], snippet=data["snippet"])
+
+
 class Linter:
-    """Walk a tree of Python files and run every (selected) rule."""
+    """Walk a tree of Python files and run every (selected) rule.
+
+    ``cache`` (an :class:`~repro.analysis.cache.AnalysisCache`) makes
+    repeat runs incremental; it is bypassed while a rule selection is
+    active.  ``jobs > 1`` fans the flat per-file phase out over a
+    process pool; the project phase is one shared pass either way.
+    """
 
     def __init__(self, root: Path,
-                 select: Iterable[str] | None = None) -> None:
+                 select: Iterable[str] | None = None,
+                 cache: AnalysisCache | None = None,
+                 jobs: int = 1) -> None:
         self.root = Path(root)
-        wanted = None if select is None else {
+        self._wanted: set[str] | None = None if select is None else {
             get_rule(token).name for token in select}
-        self.rules: list[LintRule] = [
-            cls() for cls in _RULE_CLASSES
-            if wanted is None or cls.name in wanted]
+        self.cache = cache if select is None else None
+        self.jobs = max(1, int(jobs))
+        self.cache_stats: CacheStats | None = None
 
     def iter_files(self) -> Iterator[Path]:
         if self.root.is_file():
@@ -397,15 +861,96 @@ class Linter:
         except ValueError:
             return path.name
 
+    # ------------------------------------------------------------------
+    def _project_rules(self) -> list[ProjectRule]:
+        return [cls() for cls in _PROJECT_RULE_CLASSES
+                if self._wanted is None or cls.name in self._wanted]
+
     def run(self, files: Iterable[Path] | None = None) -> list[Violation]:
-        violations: list[Violation] = []
-        for path in (files if files is not None else self.iter_files()):
-            mod = ParsedModule(Path(path), self.relpath_of(Path(path)))
-            for rule in self.rules:
-                if not rule.applies(mod.relpath):
-                    continue
-                for violation in rule.check(mod):
-                    if not mod.suppressed(violation.line, rule.name):
-                        violations.append(violation)
+        paths = [Path(p) for p in
+                 (files if files is not None else self.iter_files())]
+        entries: list[tuple[Path, str, bytes, str]] = []
+        for path in paths:
+            data = path.read_bytes()
+            entries.append((path, self.relpath_of(path), data,
+                            file_sha(data)))
+        cache = self.cache
+        stats = cache.stats if cache is not None else CacheStats()
+        stats.files_total = len(entries)
+
+        mods: dict[str, ParsedModule] = {}
+
+        def parse(path: Path, relpath: str, data: bytes) -> ParsedModule:
+            mod = ParsedModule(path, relpath, source=data.decode())
+            mods[mod.relpath] = mod
+            return mod
+
+        # -- flat phase -------------------------------------------------
+        flat: list[Violation] = []
+        misses: list[tuple[Path, str, bytes, str]] = []
+        for path, relpath, data, sha in entries:
+            hit = cache.get_file(relpath, sha) if cache else None
+            if hit is not None:
+                stats.files_hit += 1
+                flat.extend(hit)
+            else:
+                misses.append((path, relpath, data, sha))
+        if self.jobs > 1 and len(misses) > 1:
+            from concurrent.futures import ProcessPoolExecutor
+            jobs = [(str(path), relpath,
+                     tuple(self._wanted) if self._wanted else None)
+                    for path, relpath, _, _ in misses]
+            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                results = list(pool.map(_flat_worker, jobs))
+            for (path, relpath, data, sha), dicts in zip(misses, results):
+                violations = [_violation_from_dict(d) for d in dicts]
+                flat.extend(violations)
+                if cache:
+                    cache.put_file(relpath, sha, violations)
+        else:
+            for path, relpath, data, sha in misses:
+                mod = parse(path, relpath, data)
+                violations = _run_flat_rules(mod, self._wanted)
+                flat.extend(violations)
+                if cache:
+                    cache.put_file(relpath, sha, violations)
+
+        # -- project phase ----------------------------------------------
+        project: list[Violation] = []
+        project_rules = self._project_rules()
+        if project_rules and entries:
+            digest = project_digest([(relpath, sha)
+                                     for _, relpath, _, sha in entries])
+            cached = cache.get_project(digest) if cache else None
+            if cached is not None:
+                stats.project_hit = True
+                project = cached
+            else:
+                stats.project_ran = True
+                ordered: list[ParsedModule] = []
+                for path, relpath, data, _ in entries:
+                    mod = mods.get(relpath)
+                    if mod is None or mod.path != path:
+                        mod = parse(path, relpath, data)
+                    ordered.append(mod)
+                index = ProjectIndex([(m.relpath, m.tree)
+                                      for m in ordered])
+                by_pin = {m.relpath: m for m in ordered}
+                for rule in project_rules:
+                    for violation in rule.check_project(ordered, index):
+                        mod = by_pin.get(violation.path)
+                        if mod is not None and \
+                                mod.suppressed(violation.line, rule.name):
+                            continue
+                        project.append(violation)
+                if cache:
+                    cache.put_project(digest, project)
+
+        if cache:
+            cache.prune({relpath for _, relpath, _, _ in entries})
+            cache.save()
+        self.cache_stats = stats if cache else None
+
+        violations = flat + project
         violations.sort(key=lambda v: (v.path, v.line, v.rule.id))
         return violations

@@ -17,6 +17,9 @@ class LintReport:
     baselined: list[Violation] = field(default_factory=list)
     stale_baseline: list[BaselineEntry] = field(default_factory=list)
     files_checked: int = 0
+    #: One-line incremental-cache summary (CacheStats.describe()), or
+    #: empty when caching was disabled for this run.
+    cache_note: str = ""
 
     @property
     def clean(self) -> bool:
@@ -50,6 +53,8 @@ class LintReport:
             f"{len(self.baselined)} baselined, "
             f"{len(self.stale_baseline)} stale baseline entr(ies) in "
             f"{self.files_checked} file(s)")
+        if self.cache_note:
+            lines.append(self.cache_note)
         return "\n".join(lines)
 
     def as_json(self) -> str:
@@ -60,6 +65,7 @@ class LintReport:
         return json.dumps({
             "clean": self.clean,
             "files_checked": self.files_checked,
+            "cache": self.cache_note or None,
             "violations": [v.as_dict() for v in self.violations],
             "baselined": [v.as_dict() for v in self.baselined],
             "stale_baseline": [

@@ -33,10 +33,13 @@ ALL_RULES: tuple[RuleInfo, ...] = (
         summary="NVM store mutation not attributable to the WPQ / "
                 "crash-injection APIs",
         rationale="The WPQ is the ADR persistence domain (Table II): a "
-                  "write_line/poke_line call with no preceding "
-                  "wpq.enqueue in the same function is a persist the "
-                  "crash model cannot see, so crash injection would "
-                  "silently disagree with the timing model.",
+                  "write_line call not covered by a wpq.enqueue on "
+                  "every static path — in the same function or in "
+                  "every caller leading to it — is a persist the crash "
+                  "model cannot see, so crash injection would silently "
+                  "disagree with the timing model.  (poke_line is the "
+                  "deliberate crash-injection backdoor and is exempt, "
+                  "matching the runtime sanitizer.)",
     ),
     RuleInfo(
         id="RPL002",
@@ -88,6 +91,37 @@ ALL_RULES: tuple[RuleInfo, ...] = (
                   "trace event naming where the cycles went.  A silent "
                   "charge shows up as an unexplained gap in the "
                   "Perfetto timeline and the flame report.",
+    ),
+    RuleInfo(
+        id="RPL007",
+        name="persist-protocol",
+        summary="scheme violates its declared persist-ordering "
+                "protocol on some static path",
+        rationale="Each secure-memory scheme declares ordering "
+                  "obligations derived from the paper's crash-"
+                  "consistency argument — SCUE must update the "
+                  "recovery root before the shortcut leaf persist "
+                  "(§IV-A2), the eager family must persist leaves "
+                  "before tree ancestors (Fig 6a/6b).  The checker "
+                  "proves the obligation on every static path through "
+                  "the anchor method and its helpers; a single "
+                  "uncovered branch is a crash window the runtime "
+                  "sanitizer can only catch if a workload happens to "
+                  "drive that branch.",
+    ),
+    RuleInfo(
+        id="RPL008",
+        name="exception-unsafe-attribution",
+        summary="exception path can escape between a ledger charge "
+                "and its observability emit",
+        rationale="The attribution invariant (charged cycles == "
+                  "emitted cycles) must hold even when an access "
+                  "raises: a call that may raise between an "
+                  "AttributionLedger charge and the obs emit that "
+                  "funds it leaves the ledger ahead of the trace, so "
+                  "the flame report no longer sums to total cycles.  "
+                  "Wrap the charge-emit window in try/finally or emit "
+                  "before the raising call.",
     ),
 )
 

@@ -1,0 +1,100 @@
+"""SARIF 2.1.0 export for reprolint findings.
+
+Produces a single-run SARIF log consumable by GitHub code scanning:
+every registered rule is described under ``tool.driver.rules`` (so the
+UI can show the paper-facing rationale), new findings become ``error``
+results, and baselined findings are included with an ``external``
+suppression so they render as acknowledged rather than vanishing.
+``partialFingerprints`` carries the same line-independent fingerprint
+the text baseline uses, letting code-scanning track a finding across
+unrelated edits exactly as ``analysis-baseline.txt`` does.
+"""
+
+from __future__ import annotations
+
+from posixpath import join as url_join
+
+from repro.analysis.report import LintReport
+from repro.analysis.rules import ALL_RULES, Violation
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+#: The fingerprint scheme name; bump the suffix if the recipe changes.
+FINGERPRINT_KEY = "reprolintFingerprint/v1"
+_TOOL_INFO_URI = "https://github.com/repro/sgx-integrity-tree-repro"
+
+_RULE_INDEX = {rule.name: i for i, rule in enumerate(ALL_RULES)}
+
+
+def _rule_descriptor(rule) -> dict:
+    return {
+        "id": rule.id,
+        "name": rule.name,
+        "shortDescription": {"text": rule.summary},
+        "fullDescription": {"text": rule.rationale},
+        "helpUri": _TOOL_INFO_URI,
+        "defaultConfiguration": {"level": "error"},
+    }
+
+
+def _result(violation: Violation, uri_prefix: str,
+            suppressed: bool) -> dict:
+    uri = url_join(uri_prefix, violation.path) if uri_prefix \
+        else violation.path
+    result = {
+        "ruleId": violation.rule.id,
+        "ruleIndex": _RULE_INDEX[violation.rule.name],
+        "level": "error",
+        "message": {"text": violation.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": uri,
+                                     "uriBaseId": "SRCROOT"},
+                "region": {
+                    "startLine": violation.line,
+                    "startColumn": violation.column,
+                    "snippet": {"text": violation.snippet},
+                },
+            },
+        }],
+        "partialFingerprints": {FINGERPRINT_KEY: violation.fingerprint},
+    }
+    if suppressed:
+        result["suppressions"] = [{
+            "kind": "external",
+            "justification": "accepted in analysis-baseline.txt",
+        }]
+    return result
+
+
+def to_sarif(report: LintReport, uri_prefix: str = "") -> dict:
+    """Convert a lint report into a SARIF 2.1.0 log dictionary.
+
+    ``uri_prefix`` is the scan root's path relative to the repository
+    root (e.g. ``src/repro``), so result URIs resolve from the repo
+    root as code scanning expects."""
+    results = [_result(v, uri_prefix, suppressed=False)
+               for v in report.violations]
+    results += [_result(v, uri_prefix, suppressed=True)
+                for v in report.baselined]
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "reprolint",
+                    "informationUri": _TOOL_INFO_URI,
+                    "version": "2.0.0",
+                    "rules": [_rule_descriptor(r) for r in ALL_RULES],
+                },
+            },
+            "columnKind": "unicodeCodePoints",
+            "originalUriBaseIds": {
+                "SRCROOT": {"description": {
+                    "text": "repository root"}},
+            },
+            "results": results,
+        }],
+    }

@@ -27,6 +27,7 @@ from repro.crash.attacks import (
     snapshot_leaf,
 )
 from repro.crash.injection import CrashPlan, run_with_crash
+from repro.errors import RecoveryError
 from repro.sim.config import SystemConfig
 from repro.sim.system import System
 from repro.workloads import ALL_WORKLOADS, make_workload
@@ -223,7 +224,8 @@ def fig13_recovery_time(cache_sizes: Sequence[int] = (
                                  operations=400, seed=seed)
         run_with_crash(system, workload.trace(), CrashPlan(600))
         report = system.recover()
-        assert report.success, report.detail
+        if not report.success:
+            raise RecoveryError(report.detail)
         functional[tracker] = report.metadata_reads
     return RecoveryFigure(table, stale, PAPER_FIG13, functional)
 

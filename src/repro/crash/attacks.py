@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cme.counters import CounterBlock, MINORS_PER_BLOCK
-from repro.errors import AddressError
+from repro.errors import AddressError, MetadataTypeError
 from repro.mem.address import AddressMap
 from repro.mem.nvm import NVMDevice
 from repro.tree.store import SITStore
@@ -71,7 +71,10 @@ def _shift_leaf_counter(store: SITStore, index: int, slot: int,
     if not 0 <= slot < MINORS_PER_BLOCK:
         raise AddressError(f"minor slot {slot} out of range")
     leaf = store.load(0, index, counted=False)
-    assert isinstance(leaf, CounterBlock)
+    if not isinstance(leaf, CounterBlock):
+        raise MetadataTypeError(
+            f"level-0 node {index} is {type(leaf).__name__}, expected "
+            "CounterBlock")
     shifted = leaf.minors[slot] + delta
     if shifted < 0:
         # An attacker can only write representable values; fold into the

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 from repro.cme.counters import CounterBlock
 from repro.crash.recovery import METADATA_FETCH_NS
+from repro.errors import MetadataTypeError
 from repro.tree.node import SITNode
 from repro.util.bitfield import checked_sum
 
@@ -99,7 +100,10 @@ def targeted_reconstruction(controller,
     for level, index in sorted(coord for coord in stale if coord[0] == 0):
         leaf = store.load(0, index, counted=False)
         result.metadata_reads += 1
-        assert isinstance(leaf, CounterBlock)
+        if not isinstance(leaf, CounterBlock):
+            raise MetadataTypeError(
+                f"level-0 node {index} is {type(leaf).__name__}, "
+                "expected CounterBlock")
         addr = amap.counter_block_addr(index)
         if not leaf.verify(mac, addr, leaf.dummy_counter(bits)):
             result.leaf_hmac_failures.append(index)

@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cme.counters import CounterBlock, MINOR_LIMIT, MINORS_PER_BLOCK
-from repro.errors import RecoveryError
+from repro.errors import MetadataTypeError, RecoveryError
 from repro.mem.address import CACHE_LINE_SIZE
 
 #: Default forced-writeback distance (the Osiris paper's sweet spot).
@@ -63,7 +63,10 @@ def recover_leaf_counters(controller, leaf_index: int, limit: int,
     """Recover one counter block's true counters from its stale media
     image plus the covered lines' data MACs."""
     leaf = controller.store.load(0, leaf_index, counted=False)
-    assert isinstance(leaf, CounterBlock)
+    if not isinstance(leaf, CounterBlock):
+        raise MetadataTypeError(
+            f"level-0 node {leaf_index} is {type(leaf).__name__}, "
+            "expected CounterBlock")
     report.metadata_reads += 1
     base = leaf_index * MINORS_PER_BLOCK * CACHE_LINE_SIZE
     for slot in range(MINORS_PER_BLOCK):

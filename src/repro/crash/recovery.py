@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cme.counters import CounterBlock
+from repro.errors import MetadataTypeError
 from repro.mem.address import AddressMap
 from repro.secure.roots import RootRegister
 from repro.tree.node import SITNode
@@ -91,7 +92,10 @@ def counter_summing_reconstruction(
     for index in range(amap.num_counter_blocks):
         leaf = store.load(0, index, counted=False)
         result.metadata_reads += 1
-        assert isinstance(leaf, CounterBlock)
+        if not isinstance(leaf, CounterBlock):
+            raise MetadataTypeError(
+                f"level-0 node {index} is {type(leaf).__name__}, "
+                "expected CounterBlock")
         addr = amap.counter_block_addr(index)
         if not leaf.verify(mac, addr, leaf.dummy_counter(bits)):
             result.leaf_hmac_failures.append(index)

@@ -83,7 +83,11 @@ class System:
             result = self.hierarchy.load(line)
             if result.miss_to_memory:
                 start = self.cycle
-                outcome = self.controller.read_data(line, self.cycle)
+                # An IntegrityError here is a detected attack: the run
+                # aborts, so the charged-but-unemitted cpu cycles never
+                # reach a report.
+                outcome = self.controller.read_data(  # reprolint: disable=exception-unsafe-attribution
+                    line, self.cycle)
                 self.cycle += outcome.latency
                 self._load_stalls.add(outcome.latency)
                 # latency == max(array, verify-chain) + flush: the
@@ -108,7 +112,9 @@ class System:
             self._persists.add()
             result = self.hierarchy.persist(line)
             start = self.cycle
-            outcome = self.controller.write_data(
+            # Same modelling intent as the read path: a raise aborts
+            # the simulation, no report is rendered from the ledger.
+            outcome = self.controller.write_data(  # reprolint: disable=exception-unsafe-attribution
                 line, access.data, self.cycle, persist=True)
             self.cycle += outcome.cpu_stall
             self._persist_stalls.add(outcome.cpu_stall)

@@ -1,0 +1,17 @@
+# reprolint-fixture-path: sim/bad_attribution_escape.py
+"""Known-bad lint fixture: RPL008 (exception-unsafe-attribution) fires
+exactly once — the decode helper may raise between the ledger charge
+and the obs emit it funds, leaving charged-but-unobserved cycles."""
+
+
+class TraceExecutor:
+    def _decode(self, record):
+        if record is None:
+            raise ValueError("empty trace record")
+        return record
+
+    def step(self, record):
+        attr = self.attribution.cycles
+        attr["cpu"] += 1
+        decoded = self._decode(record)
+        self.obs.instant("step", payload=decoded)

@@ -1,0 +1,16 @@
+# reprolint-fixture-path: secure/bad_protocol_order.py
+"""Known-bad lint fixture: RPL007 (persist-protocol) fires exactly
+once — an eager-family scheme persists a fetched parent before the
+leaf, violating the bottom-up obligation (Fig 6a/6b)."""
+
+
+class ParentFirstScheme:
+    name = "eager"
+
+    def _on_leaf_persist(self, leaf, leaf_index, dummy_delta, cycle):
+        parent, latency = self.fetch_node(1, leaf_index // 8)
+        stall = self._persist_node(parent, cycle)
+        stall += self._persist_node(leaf, cycle)
+        if self.obs.enabled:
+            self.obs.instant("leaf_persist", cycles=stall)
+        return latency + stall

@@ -1,0 +1,14 @@
+# reprolint-fixture-path: secure/bad_verify_in_callee.py
+"""Known-bad lint fixture: RPL002 (unchecked-verify) fires exactly
+once, interprocedurally — the helper returns a verification result and
+the caller throws it away.  No direct ``.verify`` discard exists, so
+the flat half of the rule sees nothing."""
+
+
+class CheckedFetch:
+    def _node_ok(self, node, mac, addr, counter):
+        return node.verify(mac, addr, counter)
+
+    def fetch(self, node, mac, addr, counter):
+        self._node_ok(node, mac, addr, counter)
+        return node

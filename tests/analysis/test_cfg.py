@@ -1,0 +1,213 @@
+"""CFG builder hard corners: hand-written expected edge lists for the
+shapes that break naive builders — try/finally with a return inside the
+try, while/else, nested with, match, and generator functions."""
+
+import ast
+import textwrap
+
+from repro.analysis.cfg import EDGE_KINDS, build_cfg
+
+
+def cfg_of(source):
+    source = textwrap.dedent(source)
+    func = ast.parse(source).body[0]
+    return build_cfg(func), source.splitlines()
+
+
+def edges(source):
+    cfg, lines = cfg_of(source)
+    return cfg.edge_list(lines)
+
+
+class TestTryFinally:
+    def test_return_inside_try_routes_through_finally(self):
+        got = edges("""
+        def f(x):
+            try:
+                a()
+                return 1
+            finally:
+                b()
+            c()
+        """)
+        assert got == [
+            # Normal entry into the try body, and the uncaught-raise
+            # path that still runs the finally.
+            ("<entry>", "a()", "fall"),
+            ("<entry>", "b()", "except"),
+            # The return routes through the finally chain...
+            ("a()", "b()", "return"),
+            # ...and the finally fans out to every continuation: the
+            # pending return, the pending raise, and (conservatively)
+            # the fall-through to the statement after the try.
+            ("b()", "<exit>", "finally"),
+            ("b()", "<raise>", "raise"),
+            ("b()", "c()", "finally"),
+            ("c()", "<exit>", "fall"),
+        ]
+
+    def test_except_handler_sees_pre_try_facts(self):
+        got = edges("""
+        def f():
+            try:
+                risky()
+            except ValueError:
+                handle()
+            after()
+        """)
+        # The handler edge leaves from the block BEFORE the try: the
+        # handler must not inherit facts established inside the body.
+        assert got == [
+            ("<entry>", "handle()", "except"),
+            ("<entry>", "risky()", "fall"),
+            ("after()", "<exit>", "fall"),
+            ("handle()", "after()", "fall"),
+            ("risky()", "after()", "fall"),
+        ]
+
+
+class TestWhile:
+    def test_while_else_runs_only_on_normal_exhaustion(self):
+        got = edges("""
+        def f(xs):
+            while cond():
+                body()
+            else:
+                tail()
+            after()
+        """)
+        assert got == [
+            ("<entry>", "while cond():", "fall"),
+            ("after()", "<exit>", "fall"),
+            ("body()", "while cond():", "loop"),
+            # else only via the false edge — never straight to after().
+            ("tail()", "after()", "fall"),
+            ("while cond():", "body()", "true"),
+            ("while cond():", "tail()", "false"),
+        ]
+
+    def test_while_true_has_no_false_edge(self):
+        got = edges("""
+        def f():
+            while True:
+                if done():
+                    break
+                step()
+            after()
+        """)
+        assert got == [
+            ("<entry>", "while True:", "fall"),
+            ("after()", "<exit>", "fall"),
+            ("if done():", "after()", "true"),   # the break edge
+            ("if done():", "step()", "false"),
+            ("step()", "while True:", "loop"),
+            ("while True:", "if done():", "true"),
+        ]
+        # Constant-test pruning: nothing leaves the header on "false".
+        assert not any(kind == "false" and src == "while True:"
+                       for src, _, kind in got)
+
+
+class TestWith:
+    def test_nested_with_is_straight_line(self):
+        cfg, lines = cfg_of("""
+        def f(p):
+            with open(p) as fh:
+                with lock:
+                    work(fh)
+            done()
+        """)
+        assert cfg.edge_list(lines) == [
+            ("with open(p) as fh:", "<exit>", "fall"),
+        ]
+        # Context expressions and optional vars are leaf statements of
+        # the single block, in execution order.
+        texts = [ast.dump(node) for _, _, node in cfg.nodes()]
+        assert len(texts) == 5  # open(p), fh, lock, work(fh), done()
+
+
+class TestMatch:
+    def test_wildcard_case_removes_the_no_match_edge(self):
+        got = edges("""
+        def f(v):
+            match v:
+                case 1:
+                    one()
+                case _:
+                    other()
+            after()
+        """)
+        assert got == [
+            ("after()", "<exit>", "fall"),
+            ("match v:", "one()", "case"),
+            ("match v:", "other()", "case"),
+            ("one()", "after()", "fall"),
+            ("other()", "after()", "fall"),
+        ]
+
+    def test_without_wildcard_the_subject_may_fall_through(self):
+        got = edges("""
+        def f(v):
+            match v:
+                case 1:
+                    one()
+            after()
+        """)
+        assert ("match v:", "after()", "no-match") in got
+
+
+class TestGenerators:
+    def test_yield_is_an_ordinary_expression(self):
+        got = edges("""
+        def f(xs):
+            for x in xs:
+                yield x
+            done()
+        """)
+        assert got == [
+            ("done()", "<exit>", "fall"),
+            ("for x in xs:", "done()", "exhausted"),
+            # iter-expr block and loop-target block share the line.
+            ("for x in xs:", "for x in xs:", "fall"),
+            ("for x in xs:", "yield x", "iter"),
+            ("yield x", "for x in xs:", "loop"),
+        ]
+
+
+class TestScoping:
+    def test_nested_defs_contribute_no_statements(self):
+        cfg, _ = cfg_of("""
+        def f():
+            a()
+            def inner():
+                hidden()
+            b()
+        """)
+        dumped = " ".join(ast.dump(node) for _, _, node in cfg.nodes())
+        assert "hidden" not in dumped
+        assert "'a'" in dumped and "'b'" in dumped
+
+    def test_every_edge_kind_is_registered(self):
+        sources = """
+        def f(x, xs):
+            for i in xs:
+                if i:
+                    continue
+                break
+            else:
+                pass
+            while x:
+                pass
+            try:
+                return 1
+            except ValueError:
+                raise
+            finally:
+                pass
+            match x:
+                case 1:
+                    pass
+        """
+        cfg, lines = cfg_of(sources)
+        for _, _, kind in cfg.edge_list(lines):
+            assert kind in EDGE_KINDS

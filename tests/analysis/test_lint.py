@@ -20,6 +20,9 @@ BAD = {
     "bad_bare_assert.py": "bare-assert",
     "bad_stat_counter.py": "stat-counter-discipline",
     "bad_obs_unattributed.py": "obs-unattributed-cycles",
+    "bad_protocol_order.py": "persist-protocol",
+    "bad_verify_in_callee.py": "unchecked-verify",
+    "bad_attribution_escape.py": "exception-unsafe-attribution",
 }
 
 
