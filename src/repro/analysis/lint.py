@@ -773,12 +773,85 @@ class ExceptionUnsafeAttributionRule(ProjectRule):
                                     finding.column, finding.message)
 
 
+# ======================================================================
+# RPL009 — no per-access allocation on the hot path
+# ======================================================================
+class HotPathAllocationRule(LintRule):
+    """Container/bytes construction inside a declared hot-path method.
+
+    The methods in :data:`HOT_FUNCTIONS` run once or more per simulated
+    memory access; an allocation there is multiplied by the whole
+    workload (docs/performance.md).  Cold branches that legitimately
+    allocate (overflow handling re-encrypts 64 lines anyway) are carried
+    in the baseline rather than suppressed inline, so any *new*
+    allocation still surfaces."""
+
+    name = "hot-path-allocation"
+    paths = ("secure/",)
+
+    #: The per-access call tree: the write/read entry points and the
+    #: fetch / bump / persist helpers they reach on every access.  A
+    #: declarative list (not call-graph discovery) so the rule's scope
+    #: is reviewable in one place and stable under refactors.
+    HOT_FUNCTIONS = frozenset({
+        "write_data", "read_data", "fetch_node", "_fetch_chain",
+        "_parent_counter_chain", "_bump_leaf", "_bump_parent",
+        "_update_parent_counter", "_on_leaf_persist", "_flush_node",
+        "_persist_node", "_mark_dirty", "_install",
+    })
+
+    _ALLOC_CALLS = frozenset({"list", "dict", "set", "bytearray"})
+
+    @staticmethod
+    def _is_bytes(node: ast.expr) -> bool:
+        return isinstance(node, ast.Constant) \
+            and isinstance(node.value, bytes)
+
+    def _describe(self, node: ast.AST) -> str | None:
+        if isinstance(node, ast.List):
+            return "list display"
+        if isinstance(node, ast.Dict):
+            return "dict display"
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp)):
+            return "comprehension"
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) \
+                    and node.func.id in self._ALLOC_CALLS:
+                return f"{node.func.id}() call"
+            if isinstance(node.func, ast.Attribute) \
+                    and node.func.attr == "join" \
+                    and self._is_bytes(node.func.value):
+                return "bytes join"
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add) \
+                and (self._is_bytes(node.left)
+                     or self._is_bytes(node.right)):
+            return "bytes concatenation"
+        return None
+
+    def check(self, mod: ParsedModule) -> Iterator[Violation]:
+        for func in ast.walk(mod.tree):
+            if not isinstance(func,
+                              (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    or func.name not in self.HOT_FUNCTIONS:
+                continue
+            for node in ast.walk(func):
+                what = self._describe(node)
+                if what is not None:
+                    yield self.violation(
+                        mod, node,
+                        f"{what} in hot-path method '{func.name}' "
+                        "allocates on every access — hoist to "
+                        "__init__, reuse a preallocated buffer, or "
+                        "memoize by content")
+
+
 _FLAT_RULE_CLASSES: tuple[type[LintRule], ...] = (
     UncheckedVerifyRule,
     FloatCycleArithRule,
     BareAssertRule,
     StatCounterDisciplineRule,
     ObsUnattributedCyclesRule,
+    HotPathAllocationRule,
 )
 
 _PROJECT_RULE_CLASSES: tuple[type[ProjectRule], ...] = (

@@ -123,6 +123,22 @@ ALL_RULES: tuple[RuleInfo, ...] = (
                   "Wrap the charge-emit window in try/finally or emit "
                   "before the raising call.",
     ),
+    RuleInfo(
+        id="RPL009",
+        name="hot-path-allocation",
+        summary="container or bytes allocation inside a per-access "
+                "hot-path method",
+        rationale="The declared hot-path methods run once or more per "
+                  "simulated memory access, so a list/dict display, a "
+                  "list()/dict() call or a bytes concatenation there "
+                  "is an allocation multiplied by the whole workload — "
+                  "exactly what dominated the profile before the "
+                  "hot-path overhaul (docs/performance.md).  Build "
+                  "containers at construction time, reuse "
+                  "preallocated buffers, or memoize by content; "
+                  "genuinely cold branches (overflow handling) belong "
+                  "in the baseline with a justification.",
+    ),
 )
 
 _BY_NAME = {rule.name: rule for rule in ALL_RULES}

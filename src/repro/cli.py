@@ -323,6 +323,34 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
 
 # ======================================================================
+# Performance regression harness (docs/performance.md)
+# ======================================================================
+def cmd_perf_run(args: argparse.Namespace) -> int:
+    from repro.perf import run_benchmarks, save_report
+
+    names = tuple(args.only.split(",")) if args.only else None
+    print(f"perf benchmarks ({'quick' if args.quick else 'full'} repeats)")
+    report = run_benchmarks(quick=args.quick, names=names, echo=print)
+    save_report(report, args.out)
+    print(f"wrote {args.out}")
+    return 0
+
+
+def cmd_perf_compare(args: argparse.Namespace) -> int:
+    from repro.perf import compare_reports, load_report
+
+    code, lines = compare_reports(
+        load_report(args.baseline), load_report(args.candidate),
+        threshold=args.threshold, advisory=args.advisory)
+    for line in lines:
+        print(line)
+    print(f"perf compare: {'FAIL' if code else 'OK'} "
+          f"(threshold {args.threshold:.0%}"
+          + (", advisory" if args.advisory else "") + ")")
+    return code
+
+
+# ======================================================================
 # Campaigns (docs/benchmarks.md)
 # ======================================================================
 def _campaign_spec(args: argparse.Namespace):
@@ -542,6 +570,33 @@ def build_parser() -> argparse.ArgumentParser:
                          help="drop a campaign's cache and manifest")
     pc.add_argument("dir", help="campaign directory")
     pc.set_defaults(func=cmd_campaign_clean)
+
+    p = sub.add_parser(
+        "perf",
+        help="hot-path microbenchmarks + regression gate "
+             "(docs/performance.md)")
+    p.add_argument("--quick", action="store_true",
+                   help="fewer timed repeats (CI smoke); workload sizes "
+                        "and result digests are unchanged")
+    p.add_argument("--out", default="BENCH_perf.json",
+                   help="report path (default BENCH_perf.json)")
+    p.add_argument("--only",
+                   help="comma-separated benchmark subset "
+                        "(e.g. access_loop,scheme:scue)")
+    p.set_defaults(func=cmd_perf_run)
+    perf_sub = p.add_subparsers(dest="perf_command")
+    pp = perf_sub.add_parser(
+        "compare",
+        help="gate a fresh report against a committed baseline")
+    pp.add_argument("baseline", help="committed baseline BENCH_perf.json")
+    pp.add_argument("candidate", nargs="?", default="BENCH_perf.json",
+                    help="fresh report (default BENCH_perf.json)")
+    pp.add_argument("--threshold", type=float, default=0.10,
+                    help="allowed throughput regression (default 0.10)")
+    pp.add_argument("--advisory", action="store_true",
+                    help="warn instead of failing on throughput "
+                         "regressions; digest mismatches still fail")
+    pp.set_defaults(func=cmd_perf_compare)
 
     p = sub.add_parser(
         "analyze",

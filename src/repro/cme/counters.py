@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import AddressError, ConfigError
 from repro.mem.address import CACHE_LINE_SIZE
-from repro.util.bitfield import BitPacker, BitUnpacker, checked_sum
+from repro.util.bitfield import checked_sum
 from repro.util.crypto import KeyedMac
 
 MINOR_BITS = 6
@@ -41,8 +41,28 @@ MAJOR_BITS = 64
 COUNTER_SUM_BITS = 56
 MINOR_LIMIT = 1 << MINOR_BITS
 
+_MAJOR_MASK = (1 << MAJOR_BITS) - 1
+_HMAC_MASK = (1 << 64) - 1
+#: Bits of (major + minors) counter payload in the 64 B image.
+_IMAGE_BITS = MAJOR_BITS + MINORS_PER_BLOCK * MINOR_BITS
+_IMAGE_BYTES = (_IMAGE_BITS + 7) // 8
 
-@dataclass(frozen=True)
+#: Raw-image parse memo for :meth:`CounterBlock.from_bytes`.  The access
+#: loop re-loads the same few thousand media images constantly; parsing is
+#: a pure function of the 64 raw bytes, so the field split is cached (the
+#: constructed block is always fresh — callers mutate blocks freely).
+_PARSE_MEMO: dict[bytes, tuple[int, tuple[int, ...], int]] = {}
+_PARSE_MEMO_LIMIT = 1 << 15
+
+#: Content-keyed counter-image memo: packing is a pure function of
+#: (major, minors), and each write packs the same state twice (once to
+#: MAC it at seal time, once to serialise it for media), so the second
+#: pack is a dict hit.  Any counter mutation changes the key.
+_IMAGE_MEMO: dict[tuple[int, tuple[int, ...]], bytes] = {}
+_IMAGE_MEMO_LIMIT = 1 << 15
+
+
+@dataclass(frozen=True, slots=True)
 class OverflowEvent:
     """Raised data for a minor-counter overflow: the caller (the secure
     memory controller) must re-encrypt all 64 covered data lines with the
@@ -56,7 +76,7 @@ class OverflowEvent:
     dummy_delta: int
 
 
-@dataclass
+@dataclass(slots=True)
 class CounterBlock:
     """One CME counter block == one SIT leaf node.
 
@@ -89,8 +109,8 @@ class CounterBlock:
         """The leaf's dummy counter: its total write count,
         ``major * 64 + sum(minors)`` modulo the tree's counter width
         (56-bit for the paper's 8-ary layout; see module docstring)."""
-        return checked_sum(
-            [self.major * MINORS_PER_BLOCK] + self.minors, bits)
+        return (self.major * MINORS_PER_BLOCK + sum(self.minors)) \
+            & ((1 << bits) - 1)
 
     def bump(self, slot: int) -> OverflowEvent | None:
         """Record one write to the data line in ``slot``.
@@ -102,10 +122,14 @@ class CounterBlock:
         if not 0 <= slot < MINORS_PER_BLOCK:
             raise AddressError(f"minor slot {slot} out of range")
         self.hmac_stale = True
-        before = self.dummy_counter()
-        self.minors[slot] += 1
-        if self.minors[slot] < MINOR_LIMIT:
+        bumped = self.minors[slot] + 1
+        if bumped < MINOR_LIMIT:
+            # No overflow: the dummy counter grows by exactly 1, no need
+            # to sum 64 minors twice to discover that.
+            self.minors[slot] = bumped
             return None
+        before = self.dummy_counter()
+        self.minors[slot] = bumped
         old_major = self.major
         self.major += 1
         self.minors = [0] * MINORS_PER_BLOCK
@@ -117,17 +141,49 @@ class CounterBlock:
     # Integrity
     # ------------------------------------------------------------------
     def _counter_image(self) -> bytes:
-        packer = BitPacker()
-        packer.add(self.major & ((1 << MAJOR_BITS) - 1), MAJOR_BITS)
+        # Direct shift-or packing of the (major, minors) fields — same
+        # little-endian layout BitPacker produced, an order of magnitude
+        # cheaper on the access path.  Field-width validation is kept: an
+        # oversized counter is model corruption and must not pack silently.
+        key = (self.major, tuple(self.minors))
+        image = _IMAGE_MEMO.get(key)
+        if image is not None:
+            return image
+        value = self.major & _MAJOR_MASK
+        shift = MAJOR_BITS
         for minor in self.minors:
-            packer.add(minor, MINOR_BITS)
-        return packer.to_bytes()
+            if minor < 0 or minor >> MINOR_BITS:
+                raise ConfigError(
+                    f"value {minor} does not fit in {MINOR_BITS} bits")
+            value |= minor << shift
+            shift += MINOR_BITS
+        image = value.to_bytes(_IMAGE_BYTES, "little")
+        if len(_IMAGE_MEMO) >= _IMAGE_MEMO_LIMIT:
+            _IMAGE_MEMO.clear()
+        _IMAGE_MEMO[key] = image
+        return image
 
     def compute_hmac(self, mac: KeyedMac, node_addr: int,
                      parent_counter: int) -> int:
         """HMAC over (address, all counters, parent counter) — the SIT node
-        MAC recipe of Fig 4 applied to the leaf layout."""
-        return mac.mac(node_addr, self._counter_image(), parent_counter)
+        MAC recipe of Fig 4 applied to the leaf layout.
+
+        Memoized by *content*: the key is the full counter state itself,
+        so a verify of an unchanged block is a dict hit while any counter
+        or address mutation forms a new key and recomputes — tampering can
+        never be answered from the cache.
+        """
+        memo = mac.memo
+        key = ("leaf", node_addr, self.major, tuple(self.minors),
+               parent_counter)
+        value = memo.get(key)
+        if value is None:
+            value = mac.mac_uncached(node_addr, self._counter_image(),
+                                     parent_counter)
+            if len(memo) >= mac.MEMO_LIMIT:
+                memo.clear()
+            memo[key] = value
+        return value
 
     def seal(self, mac: KeyedMac, node_addr: int, parent_counter: int) -> None:
         """Recompute and store the HMAC (done when the block is about to be
@@ -153,22 +209,30 @@ class CounterBlock:
     # Serialisation (the on-media 64 B image)
     # ------------------------------------------------------------------
     def to_bytes(self) -> bytes:
-        packer = BitPacker()
-        packer.add(self.major & ((1 << MAJOR_BITS) - 1), MAJOR_BITS)
-        for minor in self.minors:
-            packer.add(minor, MINOR_BITS)
-        packer.add(self.hmac, 64)
-        return packer.to_bytes(CACHE_LINE_SIZE)
+        if self.hmac < 0 or self.hmac >> 64:
+            raise ConfigError(
+                f"value {self.hmac} does not fit in 64 bits")
+        value = int.from_bytes(self._counter_image(), "little") \
+            | (self.hmac << _IMAGE_BITS)
+        return value.to_bytes(CACHE_LINE_SIZE, "little")
 
     @classmethod
     def from_bytes(cls, index: int, data: bytes) -> "CounterBlock":
         if len(data) != CACHE_LINE_SIZE:
             raise ConfigError("counter block image must be 64 bytes")
-        unpacker = BitUnpacker(data)
-        major = unpacker.take(MAJOR_BITS)
-        minors = unpacker.take_many(MINOR_BITS, MINORS_PER_BLOCK)
-        hmac = unpacker.take(64)
-        return cls(index=index, major=major, minors=minors, hmac=hmac)
+        parsed = _PARSE_MEMO.get(data)
+        if parsed is None:
+            value = int.from_bytes(data, "little")
+            major = value & _MAJOR_MASK
+            minors = tuple(
+                (value >> shift) & (MINOR_LIMIT - 1)
+                for shift in range(MAJOR_BITS, _IMAGE_BITS, MINOR_BITS))
+            hmac = (value >> _IMAGE_BITS) & _HMAC_MASK
+            if len(_PARSE_MEMO) >= _PARSE_MEMO_LIMIT:
+                _PARSE_MEMO.clear()
+            parsed = _PARSE_MEMO[bytes(data)] = (major, minors, hmac)
+        major, minors, hmac = parsed
+        return cls(index=index, major=major, minors=list(minors), hmac=hmac)
 
     def clone(self) -> "CounterBlock":
         """Deep copy (attack injection keeps pristine snapshots)."""

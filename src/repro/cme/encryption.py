@@ -25,6 +25,9 @@ from repro.util.stats import StatGroup
 class CMEEngine:
     """Counter-mode encryption over an :class:`AddressMap`-shaped NVM."""
 
+    #: Entry cap on the pad memo (64 B pads; ~4 MB at the cap).
+    _PAD_MEMO_LIMIT = 1 << 16
+
     def __init__(self, amap: AddressMap, key: bytes = b"repro-cme-key",
                  stats: StatGroup | None = None) -> None:
         self.amap = amap
@@ -34,10 +37,22 @@ class CMEEngine:
         self._encrypts = group.counter("encrypts")
         self._decrypts = group.counter("decrypts")
         self._reencrypted_lines = group.counter("reencrypted_lines")
+        # A pad is a pure function of (key, address, major, minor); the
+        # read path regenerates the same pad for every re-read of a line
+        # whose counters haven't moved, so memoize per engine (the key is
+        # fixed per engine and excluded from the memo key).
+        self._pads: dict[tuple[int, int, int], bytes] = {}
 
     # ------------------------------------------------------------------
     def _otp(self, data_line_addr: int, major: int, minor: int) -> bytes:
-        return make_otp(self._key, data_line_addr, major, minor)
+        key = (data_line_addr, major, minor)
+        pad = self._pads.get(key)
+        if pad is None:
+            pad = make_otp(self._key, data_line_addr, major, minor)
+            if len(self._pads) >= self._PAD_MEMO_LIMIT:
+                self._pads.clear()
+            self._pads[key] = pad
+        return pad
 
     def encrypt(self, data_line_addr: int, plaintext: bytes,
                 block: CounterBlock) -> bytes:

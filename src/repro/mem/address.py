@@ -79,13 +79,50 @@ class AddressMap:
             raise ConfigError(
                 "data_capacity must be a positive multiple of "
                 f"{block_bytes} bytes, got {self.data_capacity}")
-        needed = self._min_levels(self.num_counter_blocks)
+        leaves = self.data_capacity // block_bytes
+        needed = self._min_levels(leaves)
         if self.tree_levels is None:
             object.__setattr__(self, "tree_levels", needed)
         elif self.tree_levels < needed:
             raise ConfigError(
                 f"tree_levels={self.tree_levels} too small: "
-                f"{self.num_counter_blocks} leaves need >= {needed} levels")
+                f"{leaves} leaves need >= {needed} levels")
+        self._precompute()
+
+    def _precompute(self) -> None:
+        """Derive and freeze the whole geometry once.
+
+        Every translation below is on the simulator's per-access path;
+        recomputing level widths and region bases per call dominated the
+        address-translation profile, so the constructor computes them all
+        and the hot methods reduce to table lookups and one multiply.
+        The cached attributes are set via ``object.__setattr__`` (the
+        dataclass is frozen) and are *not* dataclass fields, so equality
+        and hashing still depend only on the declared geometry.
+        """
+        set_ = object.__setattr__
+        blocks = self.data_capacity // (CACHE_LINE_SIZE
+                                        * LINES_PER_COUNTER_BLOCK)
+        widths = [blocks]
+        for _ in range(1, self.tree_levels):
+            widths.append(-(-widths[-1] // self.arity))
+        widths.append(1)  # the on-chip root
+        # Cumulative node counts below each in-memory tree level, so
+        # tree_node_addr is O(1): offsets[level] == sum(widths[1:level]).
+        offsets = [0, 0]
+        for level in range(2, self.tree_levels):
+            offsets.append(offsets[-1] + widths[level - 1])
+        set_(self, "_widths", tuple(widths))
+        set_(self, "_tree_offsets", tuple(offsets))
+        set_(self, "_num_counter_blocks", blocks)
+        set_(self, "_num_tree_nodes", sum(widths[1:self.tree_levels]))
+        tree_base = self.data_capacity + blocks * CACHE_LINE_SIZE
+        set_(self, "_tree_base", tree_base)
+        set_(self, "_total_capacity",
+             tree_base + sum(widths[1:self.tree_levels]) * CACHE_LINE_SIZE)
+        # Interned branch chains, filled lazily per leaf (a fig10-quick
+        # run walks the same few thousand branches millions of times).
+        set_(self, "_branch_cache", {})
 
     @property
     def counter_bits(self) -> int:
@@ -111,7 +148,7 @@ class AddressMap:
 
     @property
     def num_counter_blocks(self) -> int:
-        return self.num_data_lines // LINES_PER_COUNTER_BLOCK
+        return self._num_counter_blocks
 
     def level_width(self, level: int) -> int:
         """Number of nodes at tree ``level`` (level 0 = counter blocks).
@@ -122,18 +159,13 @@ class AddressMap:
         if level < 0 or level > self.tree_levels:
             raise AddressError(f"level {level} out of range "
                                f"[0, {self.tree_levels}]")
-        if level == self.tree_levels:
-            return 1
-        width = self.num_counter_blocks
-        for _ in range(level):
-            width = -(-width // self.arity)  # ceil division
-        return width
+        return self._widths[level]
 
     @property
     def num_tree_nodes(self) -> int:
         """Total *in-memory* tree nodes: levels 1 .. tree_levels-1 (level 0
         is the counter region; the root never touches media)."""
-        return sum(self.level_width(lv) for lv in range(1, self.tree_levels))
+        return self._num_tree_nodes
 
     # ------------------------------------------------------------------
     # Region base addresses (line-granularity, bytes)
@@ -144,11 +176,11 @@ class AddressMap:
 
     @property
     def tree_base(self) -> int:
-        return self.counter_base + self.num_counter_blocks * CACHE_LINE_SIZE
+        return self._tree_base
 
     @property
     def total_capacity(self) -> int:
-        return self.tree_base + self.num_tree_nodes * CACHE_LINE_SIZE
+        return self._total_capacity
 
     # ------------------------------------------------------------------
     # Classification and translation
@@ -159,20 +191,21 @@ class AddressMap:
 
     def region_of(self, addr: int) -> Region:
         """Classify a byte address into its media region."""
-        if 0 <= addr < self.counter_base:
+        if 0 <= addr < self.data_capacity:
             return Region.DATA
-        if addr < self.tree_base:
+        if addr < self._tree_base:
             return Region.COUNTER
-        if addr < self.total_capacity:
+        if addr < self._total_capacity:
             return Region.TREE
         raise AddressError(f"address {addr:#x} beyond media "
-                           f"({self.total_capacity:#x})")
+                           f"({self._total_capacity:#x})")
 
     def data_line_index(self, addr: int) -> int:
         """Index of the data line containing byte address ``addr``."""
-        if self.region_of(addr) is not Region.DATA:
-            raise AddressError(f"{addr:#x} is not a data address")
-        return addr // CACHE_LINE_SIZE
+        if 0 <= addr < self.data_capacity:
+            return addr // CACHE_LINE_SIZE
+        self.region_of(addr)  # beyond-media addresses raise there
+        raise AddressError(f"{addr:#x} is not a data address")
 
     def counter_block_of_data(self, addr: int) -> int:
         """Index of the counter block covering data byte address ``addr``."""
@@ -184,9 +217,9 @@ class AddressMap:
 
     def counter_block_addr(self, block_index: int) -> int:
         """Media line address of counter block ``block_index``."""
-        if not 0 <= block_index < self.num_counter_blocks:
+        if not 0 <= block_index < self._num_counter_blocks:
             raise AddressError(f"counter block {block_index} out of range")
-        return self.counter_base + block_index * CACHE_LINE_SIZE
+        return self.data_capacity + block_index * CACHE_LINE_SIZE
 
     def counter_block_index(self, addr: int) -> int:
         """Inverse of :func:`counter_block_addr`."""
@@ -201,13 +234,13 @@ class AddressMap:
         the root has no media address and raises."""
         if level == 0:
             return self.counter_block_addr(index)
-        if level >= self.tree_levels:
+        if level < 0 or level >= self.tree_levels:
             raise AddressError("the root is on-chip and has no media address")
-        if not 0 <= index < self.level_width(level):
+        if not 0 <= index < self._widths[level]:
             raise AddressError(
                 f"node index {index} out of range at level {level}")
-        offset = sum(self.level_width(lv) for lv in range(1, level))
-        return self.tree_base + (offset + index) * CACHE_LINE_SIZE
+        return self._tree_base \
+            + (self._tree_offsets[level] + index) * CACHE_LINE_SIZE
 
     def tree_node_coords(self, addr: int) -> tuple[int, int]:
         """Inverse of :func:`tree_node_addr` for counter/tree addresses."""
@@ -245,12 +278,23 @@ class AddressMap:
         hi = min(lo + self.arity, self.level_width(level - 1))
         return [(level - 1, i) for i in range(lo, hi)]
 
-    def branch_coords(self, block_index: int) -> list[tuple[int, int]]:
+    def branch_coords(self, block_index: int) -> tuple[tuple[int, int], ...]:
         """Coordinates of every in-memory node on the branch from counter
-        block ``block_index`` up to (excluding) the root, leaf first."""
-        coords: list[tuple[int, int]] = [(0, block_index)]
-        level, index = 0, block_index
+        block ``block_index`` up to (excluding) the root, leaf first.
+
+        Chains are interned: the first request for a leaf computes its
+        branch, later requests return the same immutable tuple (branch
+        walks re-derive this on every access, so the memo removes a whole
+        per-access allocation chain).
+        """
+        cached = self._branch_cache.get(block_index)
+        if cached is not None:
+            return cached
+        coords = [(0, block_index)]
+        level, index, arity = 0, block_index, self.arity
         while level + 1 < self.tree_levels:
-            level, index = self.parent_coords(level, index)
+            level, index = level + 1, index // arity
             coords.append((level, index))
-        return coords
+        chain = tuple(coords)
+        self._branch_cache[block_index] = chain
+        return chain

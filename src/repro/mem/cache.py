@@ -22,10 +22,10 @@ from typing import Any
 
 from repro.errors import ConfigError
 from repro.mem.address import CACHE_LINE_SIZE
-from repro.util.stats import StatGroup
+from repro.util.stats import StatCounter, StatGroup
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheLine:
     """One resident line: its address, dirtiness, and optional payload."""
 
@@ -34,14 +34,41 @@ class CacheLine:
     payload: Any = None
 
 
-@dataclass
 class CacheStats:
-    """Hit/miss/writeback counters exposed by a cache instance."""
+    """Read-only view over a cache's :class:`StatGroup` counters.
 
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
-    writebacks: int = 0
+    The ``StatGroup`` counters are the single source of truth — the
+    cache increments them once per event and this view just reads their
+    values, so ``cache.stats.hits`` and the exported
+    ``metadata_cache.hits`` statistic can never diverge (they used to be
+    double bookkeeping: two counters incremented side by side).
+    """
+
+    __slots__ = ("_hits", "_misses", "_evictions", "_writebacks")
+
+    def __init__(self, hits: StatCounter, misses: StatCounter,
+                 evictions: StatCounter,
+                 writebacks: StatCounter) -> None:
+        self._hits = hits
+        self._misses = misses
+        self._evictions = evictions
+        self._writebacks = writebacks
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions.value
+
+    @property
+    def writebacks(self) -> int:
+        return self._writebacks.value
 
     @property
     def accesses(self) -> int:
@@ -94,12 +121,14 @@ class SetAssociativeCache:
         # move_to_end on touch.
         self._sets: list[OrderedDict[int, CacheLine]] = [
             OrderedDict() for _ in range(self.num_sets)]
-        self.stats = CacheStats()
         group = stats or StatGroup(name)
         self.stat_group = group
         self._hits = group.counter("hits")
         self._misses = group.counter("misses")
+        self._evictions = group.counter("evictions")
         self._writebacks = group.counter("writebacks")
+        self.stats = CacheStats(self._hits, self._misses,
+                                self._evictions, self._writebacks)
 
     # ------------------------------------------------------------------
     def _set_of(self, line_addr: int) -> OrderedDict[int, CacheLine]:
@@ -111,21 +140,23 @@ class SetAssociativeCache:
 
     def lookup(self, line_addr: int) -> CacheLine | None:
         """Access a line: updates LRU order and hit/miss statistics."""
-        cache_set = self._set_of(line_addr)
+        # _set_of is inlined here and in peek/insert: one call frame per
+        # cache probe is measurable across four caches per access.
+        cache_set = self._sets[(line_addr // self.line_size)
+                               % self.num_sets]
         line = cache_set.get(line_addr)
         if line is None:
-            self.stats.misses += 1
-            self._misses.add()
+            self._misses.value += 1
             return None
         cache_set.move_to_end(line_addr)
-        self.stats.hits += 1
-        self._hits.add()
+        self._hits.value += 1
         return line
 
     def peek(self, line_addr: int) -> CacheLine | None:
         """Fetch without touching LRU or statistics (crash flushing,
         debugging)."""
-        return self._set_of(line_addr).get(line_addr)
+        return self._sets[(line_addr // self.line_size)
+                          % self.num_sets].get(line_addr)
 
     def insert(self, line_addr: int, payload: Any = None,
                dirty: bool = False) -> CacheLine | None:
@@ -136,7 +167,8 @@ class SetAssociativeCache:
         dirty victim increments the writeback counter — the caller is
         responsible for actually persisting it.
         """
-        cache_set = self._set_of(line_addr)
+        cache_set = self._sets[(line_addr // self.line_size)
+                               % self.num_sets]
         existing = cache_set.get(line_addr)
         if existing is not None:
             existing.payload = payload if payload is not None \
@@ -147,10 +179,9 @@ class SetAssociativeCache:
         victim = None
         if not self.unbounded and len(cache_set) >= self.ways:
             _, victim = cache_set.popitem(last=False)
-            self.stats.evictions += 1
+            self._evictions.value += 1
             if victim.dirty:
-                self.stats.writebacks += 1
-                self._writebacks.add()
+                self._writebacks.value += 1
         cache_set[line_addr] = CacheLine(line_addr, dirty, payload)
         return victim
 

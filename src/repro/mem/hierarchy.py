@@ -48,7 +48,7 @@ class HierarchyConfig:
         return cls(**{k: int(v) for k, v in data.items()})
 
 
-@dataclass
+@dataclass(slots=True)
 class HierarchyResult:
     """Outcome of one access against the hierarchy.
 

@@ -69,7 +69,7 @@ class NVMDevice:
     def read_line(self, line_addr: int) -> bytes:
         """Read one 64 B line (functional; counts an array read)."""
         self._check(line_addr)
-        self._reads.add()
+        self._reads.value += 1
         hit = self._touch_row(line_addr)
         if self.obs.enabled:
             bank, _ = self._row_of(line_addr)
@@ -84,7 +84,7 @@ class NVMDevice:
             raise AddressError(
                 f"line writes must be {CACHE_LINE_SIZE} bytes, "
                 f"got {len(data)}")
-        self._writes.add()
+        self._writes.value += 1
         hit = self._touch_row(line_addr)
         if self.obs.enabled:
             bank, _ = self._row_of(line_addr)
@@ -127,9 +127,9 @@ class NVMDevice:
         hit = self._open_rows.get(bank) == row
         self._open_rows[bank] = row
         if hit:
-            self._row_hits.add()
+            self._row_hits.value += 1
         else:
-            self._row_misses.add()
+            self._row_misses.value += 1
         return hit
 
     def read_latency(self, line_addr: int) -> int:

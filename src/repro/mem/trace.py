@@ -24,7 +24,7 @@ class AccessType(Enum):
     PERSIST = "persist"      # store + clwb + sfence (forced to NVM now)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MemoryAccess:
     """One memory instruction in a workload trace.
 

@@ -25,7 +25,7 @@ from repro.obs.recorder import NULL_RECORDER
 from repro.util.stats import StatGroup
 
 
-@dataclass
+@dataclass(slots=True)
 class WPQEntry:
     """One queued write: target line and the cycle it entered the queue."""
 

@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEvent:
     """One recorded event.  ``dur`` is ``None`` for instants."""
 

@@ -1,0 +1,261 @@
+"""Deterministic microbenchmarks over the simulator's per-access path.
+
+Methodology
+-----------
+Every benchmark is *seed-deterministic*: the workload trace, the scheme
+behaviour and therefore the simulation result are identical from run to
+run, so each benchmark reports two independent things:
+
+* **throughput** — wall-clock accesses/sec, measured as one untimed
+  warmup run followed by ``repeats`` timed runs of which the *median*
+  wall time counts (best-of-N medians absorb scheduler noise without
+  rewarding a lucky outlier);
+* **a result digest** — sha256 over the canonical JSON of the
+  simulation result (via :func:`repro.bench.export.to_jsonable`, the
+  same serialisation the figure exports use).  The digest must never
+  change under a performance PR: byte-identical results are the
+  contract that makes hot-path optimization safe.
+
+The benchmark set:
+
+* ``access_loop`` — the raw :meth:`System.execute` loop: one SCUE
+  system at fig10-quick scale driven by a pregenerated trace.  This is
+  the number the ROADMAP's "runs as fast as the hardware allows" goal
+  is tracked by.
+* ``scheme:<name>`` — the same loop for every registered scheme, so a
+  regression in one scheme's policy hook is attributed to that scheme.
+* ``fig10_quick`` — end-to-end figure 10 at quick scale on a fixed
+  workload subset: trace generation + campaign plumbing + the matrix of
+  runs + ratio aggregation, i.e. what a user actually waits for.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import statistics
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.bench.export import to_jsonable
+from repro.bench.figures import fig10_execution_time
+from repro.bench.harness import BenchScale
+from repro.errors import ConfigError
+from repro.sim.system import System
+from repro.workloads import make_workload
+
+SCHEMA_VERSION = 1
+
+#: Schemes measured individually (every registered scheme, so policy-hook
+#: regressions are attributed to the scheme that caused them).
+PERF_SCHEMES = ("baseline", "lazy", "eager", "plp", "bmf-ideal", "scue")
+
+#: Fixed workload subset for the end-to-end figure benchmark — small
+#: enough to keep the harness interactive, mixed enough (dense array
+#: updates + pointer-chasing queue churn) to exercise both cache-friendly
+#: and cache-hostile branch walks.
+FIG10_WORKLOADS = ("array", "queue")
+
+#: Per-benchmark timed repeats (full / ``--quick``).  The warmup run is
+#: always extra and untimed.
+_REPEATS = {"access_loop": (5, 3), "scheme": (3, 1), "fig10_quick": (2, 1)}
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One benchmark's outcome (one row of ``BENCH_perf.json``)."""
+
+    name: str
+    accesses: int
+    wall_seconds: float
+    accesses_per_sec: float
+    digest: str
+    repeats: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "accesses": self.accesses,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "accesses_per_sec": round(self.accesses_per_sec, 1),
+            "digest": self.digest,
+            "repeats": self.repeats,
+        }
+
+
+def result_digest(value: Any) -> str:
+    """sha256 over the canonical JSON form of a simulation result."""
+    payload = json.dumps(to_jsonable(value), sort_keys=True,
+                         separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Benchmark bodies.  Each returns ``(accesses, digestable_result)``.
+# ----------------------------------------------------------------------
+def _run_scheme_once(scheme: str, scale: BenchScale,
+                     trace: list) -> tuple[int, Any]:
+    system = System(scale.config(scheme))
+    system.run(iter(trace))
+    return len(trace), system.result("perf")
+
+
+def _scheme_bench(scheme: str) -> Callable[[], tuple[int, Any]]:
+    scale = BenchScale.quick()
+    workload = make_workload("array", scale.data_capacity,
+                             scale.operations, seed=42)
+    trace = list(workload.trace())
+
+    def run() -> tuple[int, Any]:
+        return _run_scheme_once(scheme, scale, trace)
+
+    return run
+
+
+def _fig10_bench() -> Callable[[], tuple[int, Any]]:
+    scale = BenchScale.quick()
+    accesses = len(FIG10_WORKLOADS) * len(PERF_SCHEMES) * scale.operations
+
+    def run() -> tuple[int, Any]:
+        figure = fig10_execution_time(scale, workloads=FIG10_WORKLOADS,
+                                      seed=42)
+        # Digest the full per-cell results, not just the ratio table:
+        # a drift that cancels out in the ratios must still fail.
+        return accesses, {"figure": figure,
+                          "cells": figure.matrix.results}
+
+    return run
+
+
+def _benchmarks(names: tuple[str, ...] | None = None
+                ) -> list[tuple[str, str, Callable[[], tuple[int, Any]]]]:
+    """``(name, repeat_class, runner)`` for every selected benchmark."""
+    table: list[tuple[str, str, Callable[[], tuple[int, Any]]]] = [
+        ("access_loop", "access_loop", _scheme_bench("scue")),
+    ]
+    for scheme in PERF_SCHEMES:
+        table.append((f"scheme:{scheme}", "scheme", _scheme_bench(scheme)))
+    table.append(("fig10_quick", "fig10_quick", _fig10_bench()))
+    if names is not None:
+        known = {name for name, _, _ in table}
+        unknown = set(names) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown benchmark(s) {sorted(unknown)}; "
+                f"choose from {sorted(known)}")
+        table = [row for row in table if row[0] in names]
+    return table
+
+
+BENCH_NAMES: tuple[str, ...] = tuple(name for name, _, _ in _benchmarks())
+
+
+def run_benchmarks(quick: bool = False,
+                   names: tuple[str, ...] | None = None,
+                   echo: Callable[[str], None] | None = None
+                   ) -> dict[str, Any]:
+    """Run the benchmark set and return the ``BENCH_perf.json`` payload.
+
+    ``quick`` lowers the repeat counts (CI smoke mode) without touching
+    workload sizes, so digests stay comparable with full runs.
+    """
+    say = echo or (lambda line: None)
+    results: dict[str, dict[str, Any]] = {}
+    for name, repeat_class, runner in _benchmarks(names):
+        repeats = _REPEATS[repeat_class][1 if quick else 0]
+        accesses, result = runner()          # warmup, untimed
+        digest = result_digest(result)
+        walls: list[float] = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            accesses, result = runner()
+            walls.append(time.perf_counter() - start)
+            repeat_digest = result_digest(result)
+            if repeat_digest != digest:
+                raise ConfigError(
+                    f"benchmark {name!r} is non-deterministic: digest "
+                    f"{repeat_digest[:12]} != {digest[:12]} across repeats")
+        wall = statistics.median(walls)
+        bench = BenchResult(name, accesses, wall,
+                            accesses / wall if wall else 0.0,
+                            digest, repeats)
+        results[name] = bench.to_dict()
+        say(f"  {name:<18s} {bench.accesses_per_sec:>12,.0f} acc/s  "
+            f"({wall:.3f}s median of {repeats}, digest "
+            f"{digest[:12]})")
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "platform": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "machine": platform.machine(),
+        },
+        "benchmarks": results,
+    }
+
+
+# ----------------------------------------------------------------------
+# Persistence + comparison
+# ----------------------------------------------------------------------
+def save_report(report: dict[str, Any], path: str | Path) -> None:
+    Path(path).write_text(json.dumps(report, indent=2, sort_keys=True)
+                          + "\n")
+
+
+def load_report(path: str | Path) -> dict[str, Any]:
+    report = json.loads(Path(path).read_text())
+    version = report.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ConfigError(
+            f"{path}: unsupported perf schema version {version!r} "
+            f"(expected {SCHEMA_VERSION})")
+    if not isinstance(report.get("benchmarks"), dict):
+        raise ConfigError(f"{path}: missing 'benchmarks' table")
+    return report
+
+
+def compare_reports(baseline: dict[str, Any], candidate: dict[str, Any],
+                    threshold: float = 0.10,
+                    advisory: bool = False) -> tuple[int, list[str]]:
+    """Compare a fresh perf report against a committed baseline.
+
+    Returns ``(exit_code, report_lines)``.  A throughput drop larger
+    than ``threshold`` fails (or warns under ``advisory`` — CI boxes are
+    noisy); a **result-digest mismatch always fails**, advisory or not,
+    because it means the optimization changed simulation behaviour.
+    """
+    lines: list[str] = []
+    failed = False
+    base_benches = baseline["benchmarks"]
+    cand_benches = candidate["benchmarks"]
+    for name, base in sorted(base_benches.items()):
+        cand = cand_benches.get(name)
+        if cand is None:
+            lines.append(f"MISSING   {name}: not in candidate report")
+            failed = True
+            continue
+        if base["digest"] != cand["digest"]:
+            lines.append(
+                f"DIGEST    {name}: result digest changed "
+                f"({base['digest'][:12]} -> {cand['digest'][:12]}) — "
+                "simulation output is no longer byte-identical")
+            failed = True
+            continue
+        base_rate = base["accesses_per_sec"]
+        cand_rate = cand["accesses_per_sec"]
+        ratio = cand_rate / base_rate if base_rate else 0.0
+        status = "OK"
+        if ratio < 1.0 - threshold:
+            status = "ADVISORY" if advisory else "REGRESSED"
+            if not advisory:
+                failed = True
+        lines.append(
+            f"{status:<9s} {name}: {cand_rate:,.0f} acc/s vs "
+            f"{base_rate:,.0f} baseline ({ratio:.2f}x)")
+    extra = sorted(set(cand_benches) - set(base_benches))
+    for name in extra:
+        lines.append(f"NEW       {name}: no baseline entry (ignored)")
+    return (1 if failed else 0), lines

@@ -31,7 +31,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.cme.counters import CounterBlock, MINORS_PER_BLOCK
+from repro.cme.counters import CounterBlock, MINOR_LIMIT, MINORS_PER_BLOCK
 from repro.cme.encryption import CMEEngine
 from repro.errors import (
     IntegrityError,
@@ -74,7 +74,7 @@ def expect_node(node: "TreeNode", cls: type, context: str):
     return node
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadOutcome:
     """Result of a data read at the controller.
 
@@ -89,7 +89,7 @@ class ReadOutcome:
     flush_cycles: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WriteOutcome:
     """Result of a data write at the controller.
 
@@ -288,7 +288,7 @@ class SecureMemoryController(ABC):
             return buffered, latency, fetched
         latency = max(latency, self.nvm.read_latency(line))
         node = self.store.load(level, index)
-        self._meta_reads.add()
+        self._meta_reads.value += 1
         if not node.verify(self.mac, line, parent_counter):
             raise IntegrityError(
                 f"{self.name}: verification failed for tree node "
@@ -387,7 +387,7 @@ class SecureMemoryController(ABC):
             addr = self.store.node_addr(node.level, node.index)
         stall = self.wpq.enqueue(addr, cycle, metadata=True)
         self.store.save(node)
-        self._meta_writes.add()
+        self._meta_writes.value += 1
         self._mark_clean(node)
         return stall
 
@@ -474,6 +474,13 @@ class SecureMemoryController(ABC):
         re-encryption.  Returns ``(dummy_delta, extra_cycles)``."""
         slot = self.amap.minor_slot_of_data(line)
         bits = self.amap.counter_bits
+        if leaf.minors[slot] + 1 < MINOR_LIMIT:
+            # Fast path: a non-overflowing bump moves the dummy counter by
+            # exactly 1 (mod 2**bits), so skip the two 64-term sums and
+            # the minors snapshot the overflow path needs.
+            leaf.bump(slot)
+            self._mark_dirty(leaf)
+            return 1, 0
         before = leaf.dummy_counter(bits)
         old_minors = list(leaf.minors)
         old_major = leaf.major
@@ -512,7 +519,8 @@ class SecureMemoryController(ABC):
         the Fig 9 write-latency metric)."""
         line = self.amap.line_of(addr)
         self._op_cycle = cycle
-        self.obs.set_now(cycle)
+        if self.obs.enabled:
+            self.obs.set_now(cycle)
         payload = self._payload_for(line, data)
         leaf_index = self.amap.counter_block_of_data(line)
         leaf, fetch_latency = self.fetch_node(0, leaf_index)
@@ -524,7 +532,7 @@ class SecureMemoryController(ABC):
         scheme_cycles = self._on_leaf_persist(leaf, leaf_index, delta, cycle)
         wpq_stall = self.wpq.enqueue(line, cycle, metadata=False)
         self.nvm.write_line(line, ciphertext)
-        self._data_writes.add()
+        self._data_writes.value += 1
         flush_cycles = self.drain_pending(cycle)
         critical = fetch_latency + overflow_cycles + scheme_cycles \
             + flush_cycles
@@ -548,14 +556,15 @@ class SecureMemoryController(ABC):
         ECC-resident data MAC (speculatively, off the latency path)."""
         line = self.amap.line_of(addr)
         self._op_cycle = cycle
-        self.obs.set_now(cycle)
+        if self.obs.enabled:
+            self.obs.set_now(cycle)
         leaf_index = self.amap.counter_block_of_data(line)
         leaf, fetch_latency = self.fetch_node(0, leaf_index,
                                               speculative=True)
         expect_node(leaf, CounterBlock, f"{self.name}: data read")
         array_latency = self.nvm.read_latency(line)
         ciphertext = self.nvm.read_line(line)
-        self._data_reads.add()
+        self._data_reads.value += 1
         stored_mac = self.data_macs.get(line)
         if stored_mac is None:
             # Never-written line: fresh zeros, nothing to decrypt/verify.

@@ -65,6 +65,10 @@ class SCUEController(SecureMemoryController):
         else:
             self.tracker = None
         self._shortcut_updates = self.stats.counter("shortcut_root_updates")
+        #: Leaves per top-level subtree — the divisor of
+        #: :meth:`_root_slot_of_leaf`, precomputed off the per-write path.
+        self._top_subtree_leaves = \
+            self.amap.arity ** (self.amap.tree_levels - 1)
         #: Osiris-style relaxed counter persistence (§VII): bumps since
         #: the last forced write-back, per leaf.
         self._osiris_pending: dict[int, int] = {}
@@ -90,9 +94,7 @@ class SCUEController(SecureMemoryController):
         """Which Recovery_root counter covers this leaf: the index of the
         top-level subtree it belongs to (§IV-B2's "first 1/8 of the leaf
         level" example)."""
-        arity = self.amap.arity
-        return (leaf_index // arity ** (self.amap.tree_levels - 1)) \
-            % arity
+        return (leaf_index // self._top_subtree_leaves) % self.amap.arity
 
     def _on_leaf_persist(self, leaf: CounterBlock, leaf_index: int,
                          dummy_delta: int, cycle: int) -> int:
@@ -119,7 +121,7 @@ class SCUEController(SecureMemoryController):
         #    crash consistent from this point on.
         self.recovery_root.add(self._root_slot_of_leaf(leaf_index),
                                dummy_delta)
-        self._shortcut_updates.add()
+        self._shortcut_updates.value += 1
         # 3. Persist the leaf.
         wpq_stall = self._persist_node(leaf, cycle)
         # 4. Parent update off the critical path (§IV-A2): the branch is

@@ -66,20 +66,27 @@ class System:
         self._persists = self.stats.counter("persists")
         self._load_stalls = self.stats.counter("load_stall_cycles")
         self._persist_stalls = self.stats.counter("persist_stall_cycles")
+        # Hot-loop hoists: the address map is immutable and the data
+        # region bound is a config constant, so bind them once instead of
+        # three attribute hops per retired access.  (Controller methods
+        # are looked up per call — the sanitizer patches those seams.)
+        self._line_of = self.controller.amap.line_of
+        self._data_capacity = config.data_capacity
 
     # ------------------------------------------------------------------
     def execute(self, access: MemoryAccess) -> None:
         """Retire one trace record (gap instructions + the memory op)."""
         attr = self.attribution.cycles
-        self.cycle += access.gap + 1
-        attr["cpu"] += access.gap + 1
-        self._instructions.add(access.gap + 1)
-        line = self.controller.amap.line_of(access.addr)
-        if line >= self.config.data_capacity:
+        retired = access.gap + 1
+        self.cycle += retired
+        attr["cpu"] += retired
+        self._instructions.value += retired
+        line = self._line_of(access.addr)
+        if line >= self._data_capacity:
             raise AddressError(
                 f"trace address {access.addr:#x} beyond the data region")
         if access.kind is AccessType.READ:
-            self._loads.add()
+            self._loads.value += 1
             result = self.hierarchy.load(line)
             if result.miss_to_memory:
                 start = self.cycle
@@ -89,7 +96,7 @@ class System:
                 outcome = self.controller.read_data(  # reprolint: disable=exception-unsafe-attribution
                     line, self.cycle)
                 self.cycle += outcome.latency
-                self._load_stalls.add(outcome.latency)
+                self._load_stalls.value += outcome.latency
                 # latency == max(array, verify-chain) + flush: the
                 # overlapped max goes to whichever side dominated.
                 attr["read_flush"] += outcome.flush_cycles
@@ -102,14 +109,14 @@ class System:
                     self.obs.span(ev.EV_READ, ev.TRACK_CPU, start,
                                   outcome.latency, addr=line)
         elif access.kind is AccessType.WRITE:
-            self._stores.add()
+            self._stores.value += 1
             result = self.hierarchy.store(line)
             if access.data is not None:
                 # Remember the payload so the eventual writeback carries it.
                 self.controller._plaintexts[line] = \
                     self.controller._payload_for(line, access.data)
         else:
-            self._persists.add()
+            self._persists.value += 1
             result = self.hierarchy.persist(line)
             start = self.cycle
             # Same modelling intent as the read path: a raise aborts
@@ -117,7 +124,7 @@ class System:
             outcome = self.controller.write_data(  # reprolint: disable=exception-unsafe-attribution
                 line, access.data, self.cycle, persist=True)
             self.cycle += outcome.cpu_stall
-            self._persist_stalls.add(outcome.cpu_stall)
+            self._persist_stalls.value += outcome.cpu_stall
             # cpu_stall == fetch + overflow + scheme + flush + wpq_stall.
             attr["write_fetch"] += outcome.fetch_latency
             attr["write_overflow"] += outcome.overflow_cycles
@@ -128,7 +135,7 @@ class System:
                 self.obs.span(ev.EV_PERSIST, ev.TRACK_CPU, start,
                               outcome.cpu_stall, addr=line)
         for writeback in result.writebacks:
-            if writeback < self.config.data_capacity:
+            if writeback < self._data_capacity:
                 self.controller.write_data(writeback, None, self.cycle,
                                            persist=False)
         self.controller.tick(self.cycle)

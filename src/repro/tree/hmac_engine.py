@@ -44,10 +44,10 @@ class HashEngine:
         (BMT-style, each hash consumes the previous digest)."""
         if count <= 0:
             return 0
-        self._hashes.add(count)
+        self._hashes.value += count
         cycles = self.latency_cycles if parallel \
             else self.latency_cycles * count
-        self._busy_cycles.add(cycles)
+        self._busy_cycles.value += cycles
         if self.obs.enabled:
             self.obs.instant(ev.EV_HMAC, ev.TRACK_HASH, count=count,
                              parallel=parallel, cycles=cycles)

@@ -23,7 +23,6 @@ from dataclasses import dataclass, field
 from repro.errors import ConfigError
 from repro.mem.address import COUNTER_BITS_FOR_ARITY, CACHE_LINE_SIZE, \
     TREE_ARITY
-from repro.util.bitfield import BitPacker, BitUnpacker, checked_sum
 from repro.util.crypto import KeyedMac
 
 #: The paper's default layout: eight 56-bit counters.
@@ -31,8 +30,27 @@ COUNTER_BITS = COUNTER_BITS_FOR_ARITY[TREE_ARITY]
 HMAC_BITS = 64
 COUNTER_MASK = (1 << COUNTER_BITS) - 1
 
+#: Counter payload always fills 448 bits (arity x width == 448 for every
+#: supported layout), leaving exactly 64 bits for the HMAC.
+_IMAGE_BITS = 448
+_IMAGE_BYTES = _IMAGE_BITS // 8
+_HMAC_MASK = (1 << HMAC_BITS) - 1
 
-@dataclass
+#: Raw-image parse memo (see the counterpart in repro.cme.counters): the
+#: field split of a 64 B image is pure, so repeated loads of the same
+#: media bytes skip the bit slicing.  Keyed by (image, arity) since the
+#: same bytes mean different counters under a different layout.
+_PARSE_MEMO: dict[tuple[bytes, int], tuple[tuple[int, ...], int]] = {}
+_PARSE_MEMO_LIMIT = 1 << 15
+
+#: Content-keyed counter-image memo (see repro.cme.counters counterpart):
+#: seal + serialise pack the same state twice per flush; the second pack
+#: is a dict hit.  Keyed by the counters themselves plus their width.
+_IMAGE_MEMO: dict[tuple[int, tuple[int, ...]], bytes] = {}
+_IMAGE_MEMO_LIMIT = 1 << 15
+
+
+@dataclass(slots=True)
 class SITNode:
     """An intermediate SIT node: ``arity`` counters + a 64-bit HMAC.
 
@@ -89,7 +107,7 @@ class SITNode:
     def dummy_counter(self) -> int:
         """Sum of the node's counters modulo the counter width (Fig 7) —
         what the parent counter must equal under counter-summing."""
-        return checked_sum(self.counters, self.counter_bits)
+        return sum(self.counters) & ((1 << self.counter_bits) - 1)
 
     @property
     def is_blank(self) -> bool:
@@ -101,15 +119,46 @@ class SITNode:
     # Integrity
     # ------------------------------------------------------------------
     def _counter_image(self) -> bytes:
-        packer = BitPacker()
+        # Direct shift-or packing (BitPacker-compatible layout, far
+        # cheaper); width validation kept — oversized counters are model
+        # corruption and must not pack silently.
+        bits = self.counter_bits
+        key = (bits, tuple(self.counters))
+        image = _IMAGE_MEMO.get(key)
+        if image is not None:
+            return image
+        value = 0
+        shift = 0
         for counter in self.counters:
-            packer.add(counter, self.counter_bits)
-        return packer.to_bytes()
+            if counter < 0 or counter >> bits:
+                raise ConfigError(
+                    f"value {counter} does not fit in {bits} bits")
+            value |= counter << shift
+            shift += bits
+        image = value.to_bytes(_IMAGE_BYTES, "little")
+        if len(_IMAGE_MEMO) >= _IMAGE_MEMO_LIMIT:
+            _IMAGE_MEMO.clear()
+        _IMAGE_MEMO[key] = image
+        return image
 
     def compute_hmac(self, mac: KeyedMac, node_addr: int,
                      parent_counter: int) -> int:
-        """HMAC(address || counters || parent counter) per Fig 4."""
-        return mac.mac(node_addr, self._counter_image(), parent_counter)
+        """HMAC(address || counters || parent counter) per Fig 4.
+
+        Content-keyed memo: the key is the node's full counter state, so
+        an unchanged node verifies from the cache while any mutation (by
+        the scheme or by attack injection) forms a new key and recomputes.
+        """
+        memo = mac.memo
+        key = ("sit", node_addr, tuple(self.counters), parent_counter)
+        value = memo.get(key)
+        if value is None:
+            value = mac.mac_uncached(node_addr, self._counter_image(),
+                                     parent_counter)
+            if len(memo) >= mac.MEMO_LIMIT:
+                memo.clear()
+            memo[key] = value
+        return value
 
     def seal(self, mac: KeyedMac, node_addr: int, parent_counter: int) -> None:
         self.hmac = self.compute_hmac(mac, node_addr, parent_counter)
@@ -125,11 +174,12 @@ class SITNode:
     # Serialisation
     # ------------------------------------------------------------------
     def to_bytes(self) -> bytes:
-        packer = BitPacker()
-        for counter in self.counters:
-            packer.add(counter, self.counter_bits)
-        packer.add(self.hmac, HMAC_BITS)
-        return packer.to_bytes(CACHE_LINE_SIZE)
+        if self.hmac < 0 or self.hmac >> HMAC_BITS:
+            raise ConfigError(
+                f"value {self.hmac} does not fit in {HMAC_BITS} bits")
+        value = int.from_bytes(self._counter_image(), "little") \
+            | (self.hmac << _IMAGE_BITS)
+        return value.to_bytes(CACHE_LINE_SIZE, "little")
 
     @classmethod
     def from_bytes(cls, level: int, index: int, data: bytes,
@@ -137,11 +187,20 @@ class SITNode:
         if len(data) != CACHE_LINE_SIZE:
             raise ConfigError("SIT node image must be 64 bytes")
         bits = COUNTER_BITS_FOR_ARITY[arity]
-        unpacker = BitUnpacker(data)
-        counters = unpacker.take_many(bits, arity)
-        hmac = unpacker.take(HMAC_BITS)
-        return cls(level=level, index=index, counters=counters, hmac=hmac,
-                   arity=arity, counter_bits=bits)
+        memo_key = (bytes(data), arity)
+        parsed = _PARSE_MEMO.get(memo_key)
+        if parsed is None:
+            value = int.from_bytes(data, "little")
+            mask = (1 << bits) - 1
+            counters = tuple((value >> shift) & mask
+                             for shift in range(0, _IMAGE_BITS, bits))
+            hmac = (value >> _IMAGE_BITS) & _HMAC_MASK
+            if len(_PARSE_MEMO) >= _PARSE_MEMO_LIMIT:
+                _PARSE_MEMO.clear()
+            parsed = _PARSE_MEMO[memo_key] = (counters, hmac)
+        counters, hmac = parsed
+        return cls(level=level, index=index, counters=list(counters),
+                   hmac=hmac, arity=arity, counter_bits=bits)
 
     def clone(self) -> "SITNode":
         return SITNode(self.level, self.index, list(self.counters),

@@ -27,8 +27,13 @@ class SITStore:
     def __init__(self, nvm: NVMDevice, amap: AddressMap) -> None:
         self.nvm = nvm
         self.amap = amap
+        # node_addr is pure delegation on the per-access path; binding the
+        # translator once drops a call frame per node-address lookup.
+        self.node_addr = amap.tree_node_addr
 
     def node_addr(self, level: int, index: int) -> int:
+        """Media address of node ``(level, index)`` (bound directly to
+        :meth:`AddressMap.tree_node_addr` in ``__init__``)."""
         return self.amap.tree_node_addr(level, index)
 
     def load(self, level: int, index: int, counted: bool = True) -> TreeNode:

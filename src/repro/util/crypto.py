@@ -29,11 +29,22 @@ class KeyedMac:
     a MAC over modified counters.
     """
 
+    #: Entry cap on the content-keyed memo; the table is dropped wholesale
+    #: when full (simple, and refill cost is one recomputation per entry).
+    MEMO_LIMIT = 1 << 17
+
     def __init__(self, key: bytes = b"repro-secret-key") -> None:
         if not key:
             raise ValueError("MAC key must be non-empty")
         # blake2b keys are capped at 64 bytes.
         self._key = hashlib.blake2b(key, digest_size=32).digest()
+        #: Content-keyed digest memo.  A MAC is a pure function of the key
+        #: and the input parts, so caching by the *parts themselves* is
+        #: sound: any mutation of the hashed content produces a different
+        #: memo key and recomputes — a tampered node can never inherit a
+        #: cached MAC (docs/performance.md).  Node code also parks
+        #: structured keys here (tagged tuples) to skip image packing.
+        self.memo: dict[tuple, int] = {}
 
     def mac(self, *parts: bytes | int) -> int:
         """Compute the 64-bit MAC over the concatenation of ``parts``.
@@ -43,6 +54,20 @@ class KeyedMac:
         layouts.  Returns the MAC as an unsigned 64-bit integer (the form
         stored in node images).
         """
+        memo = self.memo
+        value = memo.get(parts)
+        if value is not None:
+            return value
+        value = self.mac_uncached(*parts)
+        if len(memo) >= self.MEMO_LIMIT:
+            memo.clear()
+        memo[parts] = value
+        return value
+
+    def mac_uncached(self, *parts: bytes | int) -> int:
+        """:meth:`mac` without the memo — for callers (node HMACs) that
+        keep their own content-keyed memo and would otherwise populate
+        both tables on every miss."""
         h = hashlib.blake2b(key=self._key, digest_size=MAC_BYTES)
         for part in parts:
             if isinstance(part, int):
@@ -56,6 +81,12 @@ class KeyedMac:
         return self.mac(*parts).to_bytes(MAC_BYTES, "little")
 
 
+#: Derived-key cache for :func:`make_otp`: one blake2b per distinct user
+#: key instead of one per pad.  Keys are config constants, so this stays
+#: a handful of entries for the life of the process.
+_DERIVED_KEYS: dict[bytes, bytes] = {}
+
+
 def make_otp(key: bytes, line_addr: int, major: int, minor: int) -> bytes:
     """Generate the 64-byte one-time pad for counter-mode encryption.
 
@@ -64,18 +95,18 @@ def make_otp(key: bytes, line_addr: int, major: int, minor: int) -> bytes:
     security argument only needs pads to be unique per (address, counter)
     pair and unpredictable without the key — both hold here.
     """
-    h = hashlib.blake2b(key=hashlib.blake2b(key, digest_size=32).digest(),
-                        digest_size=32)
+    derived = _DERIVED_KEYS.get(key)
+    if derived is None:
+        derived = hashlib.blake2b(key, digest_size=32).digest()
+        _DERIVED_KEYS[key] = derived
+    h = hashlib.blake2b(key=derived, digest_size=32)
     h.update(line_addr.to_bytes(8, "little"))
     h.update(major.to_bytes(8, "little"))
     h.update(minor.to_bytes(2, "little"))
     seed = h.digest()
-    # Expand 32 -> 64 bytes with two counter-indexed blocks.
-    out = b"".join(
-        hashlib.blake2b(seed + bytes([i]), digest_size=32).digest()
-        for i in range(2)
-    )
-    return out[:OTP_BYTES]
+    # Expand 32 -> 64 bytes (== OTP_BYTES) with two counter-indexed blocks.
+    return hashlib.blake2b(seed + b"\x00", digest_size=32).digest() \
+        + hashlib.blake2b(seed + b"\x01", digest_size=32).digest()
 
 
 def xor_bytes(a: bytes, b: bytes) -> bytes:

@@ -1,0 +1,13 @@
+# reprolint-fixture-path: secure/bad_hot_path_alloc.py
+"""Known-bad lint fixture: RPL009 (hot-path-allocation) fires exactly
+once — a list display built inside a per-access hot-path method."""
+
+
+class LeakyScheme:
+    def _fetch_chain(self, block_index):
+        coords = [(0, block_index)]
+        return coords
+
+    def cold_setup(self, block_index):
+        # Same construction outside the hot-function list: not flagged.
+        return [(0, block_index)]

@@ -23,6 +23,7 @@ BAD = {
     "bad_protocol_order.py": "persist-protocol",
     "bad_verify_in_callee.py": "unchecked-verify",
     "bad_attribution_escape.py": "exception-unsafe-attribution",
+    "bad_hot_path_alloc.py": "hot-path-allocation",
 }
 
 

@@ -102,6 +102,44 @@ class TestEviction:
         assert cache.invalidate(0) is None
 
 
+class TestStatsSingleSource:
+    """``cache.stats`` is a read-only view over the ``StatGroup``
+    counters — there is no second set of attributes to fall out of sync
+    (the legacy double bookkeeping this replaced)."""
+
+    def test_view_equals_stat_group_after_traffic(self):
+        cache = small_cache(ways=2, sets=2)
+        for round_ in range(3):
+            for addr in range(0, 64 * 8, 64):
+                cache.lookup(addr)
+                cache.insert(addr, dirty=(round_ == 0))
+        exported = cache.stat_group.as_dict()
+        prefix = cache.stat_group.name
+        assert cache.stats.hits == exported[f"{prefix}.hits"]
+        assert cache.stats.misses == exported[f"{prefix}.misses"]
+        assert cache.stats.evictions == exported[f"{prefix}.evictions"]
+        assert cache.stats.writebacks == exported[f"{prefix}.writebacks"]
+        assert cache.stats.accesses \
+            == exported[f"{prefix}.hits"] + exported[f"{prefix}.misses"]
+
+    def test_external_counter_bump_is_visible_in_view(self):
+        """Mutating the StatGroup counter (the single source of truth) is
+        immediately visible through the view — proof there is no copy."""
+        cache = small_cache()
+        cache.stat_group.counter("hits").add(5)
+        assert cache.stats.hits == 5
+
+    def test_to_dict_snapshot(self):
+        cache = small_cache()
+        cache.lookup(0)          # miss
+        cache.insert(0)
+        cache.lookup(0)          # hit
+        snapshot = cache.stats.to_dict()
+        assert snapshot["hits"] == 1
+        assert snapshot["misses"] == 1
+        assert snapshot["hit_rate"] == 0.5
+
+
 class TestBulkOperations:
     def test_drop_all_returns_everything(self):
         cache = small_cache(ways=2, sets=2)

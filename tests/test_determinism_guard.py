@@ -1,0 +1,57 @@
+"""Golden-digest determinism guard for the hot-path optimizations.
+
+These digests were captured on the pre-optimization tree (before the MAC
+memos, branch-chain interning and allocation-free packing landed) over
+the exact fig10-quick recipe, with the persist-ordering sanitizer
+attached.  They are the PR's byte-identical contract in executable form:
+if any optimization — present or future — changes the simulated
+behaviour by even one counter value, the exported ``RunResult`` JSON
+changes and this test fails.
+
+Recompute a digest (only after deliberately changing simulation
+semantics!) with the ``fig10_quick_digest`` helper below.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.analysis.sanitizer import attach_sanitizer
+from repro.bench.export import to_jsonable
+from repro.bench.harness import BenchScale
+from repro.sim.system import System
+from repro.workloads import make_workload
+
+#: sha256 over the canonical JSON of ``System.result`` for fig10-quick
+#: (array workload, seed 42), captured before the optimization layers.
+GOLDEN = {
+    "scue":
+        "02502bebfc68649f032b37c59563706df9e4daa5a56a2a7d4fbd90418c3af3e0",
+    "eager":
+        "8b556ac50af1aa20c7dc2fd249057e1a328e73d17e91aaaebc6d60ff5d270d2f",
+}
+
+
+def fig10_quick_digest(scheme: str) -> str:
+    scale = BenchScale.quick()
+    system = System(scale.config(scheme))
+    # The sanitizer hooks the controller's persist seams; running with it
+    # attached also proves the optimizations kept those seams patchable.
+    attach_sanitizer(system.controller)
+    workload = make_workload("array", scale.data_capacity,
+                             scale.operations, seed=42)
+    system.run(workload.trace())
+    payload = json.dumps(to_jsonable(system.result("array")),
+                         sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@pytest.mark.parametrize("scheme", sorted(GOLDEN))
+def test_fig10_quick_result_matches_pre_optimization_golden(scheme):
+    assert fig10_quick_digest(scheme) == GOLDEN[scheme]
+
+
+def test_digest_is_stable_across_runs_in_one_process():
+    """Warm memos (second run) must not change the exported result."""
+    assert fig10_quick_digest("scue") == fig10_quick_digest("scue")
