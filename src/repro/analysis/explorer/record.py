@@ -1,0 +1,283 @@
+"""Persist-event capture for the crash-state explorer.
+
+:class:`ExplorationRecorder` attaches to a live controller the same way
+the PR-1 persist-order sanitizer does — saving the original bound
+methods and shadowing them with instance attributes — and records every
+event the crash model needs:
+
+* ``nvm.write_line`` — the durable payload of each line persist,
+* ``wpq.enqueue`` — queue admissions (kept for accounting; the ADR model
+  treats admission as persistence, so they carry no ordering weight),
+* ``running_root.add/set`` and ``recovery_root.add/set`` — the
+  register-file side of root crash consistency,
+* ``write_data`` brackets (one store-side *operation*) and
+  ``_flush_node`` brackets (one cache eviction), which become the
+  atomic persist units of the model.
+
+Data-line MAC/plaintext shadows are captured at *operation end*, not at
+``write_line`` time: the minor-counter overflow path rewrites covered
+lines first and refreshes their MACs afterwards, so only the op-end
+values are consistent with the final ciphertext.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from repro.mem.address import Region
+from repro.secure import make_controller
+
+KIND_LINE = "line"
+KIND_ENQUEUE = "enqueue"
+KIND_REG_ADD = "reg_add"
+KIND_REG_SET = "reg_set"
+
+#: Cycle gap between driven operations in :func:`record_writes` — wide
+#: enough that eager-family delayed root updates land before the next
+#: operation begins (and are absorbed into its persist unit) instead of
+#: splitting an operation in half.
+_OP_GAP = 50_000
+#: Final settle tick: far enough out that every scheduled root update
+#: has landed, so the recording ends with the tree fully settled and
+#: the trailing landings form their own (excludable) persist units —
+#: eager's root crash window, in model form.
+_SETTLE = 10 ** 9
+
+
+@dataclass
+class PersistEvent:
+    """One observed persist-side event.
+
+    ``op``/``flush`` are bracket ids (or -1): which ``write_data``
+    operation and which outermost ``_flush_node`` eviction the event
+    occurred inside.  ``data_mac``/``plaintext`` are the controller's
+    op-end shadows for DATA-region line writes, used to rebuild the
+    read-check state of a materialized crash image.
+    """
+
+    seq: int
+    kind: str
+    addr: int = -1
+    payload: bytes = b""
+    register: str = ""
+    slot: int = -1
+    value: int = 0
+    op: int = -1
+    flush: int = -1
+    data_mac: int | None = None
+    plaintext: bytes | None = None
+
+
+@dataclass
+class Recording:
+    """A complete persist-event stream plus everything needed to rebuild
+    pre-run state: the baseline NVM image and root-register snapshots at
+    attach time, the config, and a factory that builds a fresh controller
+    for crash-state materialization."""
+
+    scheme: str
+    events: list[PersistEvent]
+    baseline_lines: dict[int, bytes]
+    baseline_roots: dict[str, list[int]]
+    config: Any
+    factory: Callable[[], Any]
+    counter_bits: int = 56
+
+
+class ExplorationRecorder:
+    """Wraps a controller's persist seams (see :mod:`.seams`) and logs
+    :class:`PersistEvent` records until :meth:`detach`."""
+
+    def __init__(self, controller: Any) -> None:
+        self.controller = controller
+        self.events: list[PersistEvent] = []
+        self.baseline_lines: dict[int, bytes] = {}
+        self.baseline_roots: dict[str, list[int]] = {}
+        self._originals: list[tuple[Any, str, Any]] = []
+        self._seq = 0
+        self._op = -1
+        self._next_op = 0
+        self._op_events: list[PersistEvent] = []
+        self._flush = -1
+        self._next_flush = 0
+        self._flush_depth = 0
+
+    # ------------------------------------------------------------------
+    def attach(self) -> None:
+        ctl = self.controller
+        if self._originals:
+            raise RuntimeError("recorder already attached")
+        self.baseline_lines = dict(ctl.nvm._lines)
+        self.baseline_roots = {"running_root": ctl.running_root.snapshot()}
+        recovery = getattr(ctl, "recovery_root", None)
+        if recovery is not None:
+            self.baseline_roots["recovery_root"] = recovery.snapshot()
+
+        self._wrap(ctl, "write_data", self._make_write_data)
+        self._wrap(ctl, "_flush_node", self._make_flush_node)
+        self._wrap(ctl.wpq, "enqueue", self._make_enqueue)
+        self._wrap(ctl.nvm, "write_line", self._make_write_line)
+        self._wrap_register(ctl.running_root)
+        if recovery is not None:
+            self._wrap_register(recovery)
+
+    def detach(self) -> None:
+        for obj, attr, original in reversed(self._originals):
+            setattr(obj, attr, original)
+        self._originals.clear()
+
+    # ------------------------------------------------------------------
+    def _wrap(self, obj: Any, attr: str, maker: Callable[[Any], Any]) -> None:
+        original = getattr(obj, attr)
+        self._originals.append((obj, attr, original))
+        setattr(obj, attr, maker(original))
+
+    def _wrap_register(self, register: Any) -> None:
+        name = register.name
+        orig_add = register.add
+        orig_set = register.set
+        self._originals.append((register, "add", orig_add))
+        self._originals.append((register, "set", orig_set))
+
+        def add(slot: int, delta: int = 1) -> None:
+            self._record(KIND_REG_ADD, register=name, slot=slot, value=delta)
+            return orig_add(slot, delta)
+
+        def set_(slot: int, value: int) -> None:
+            self._record(KIND_REG_SET, register=name, slot=slot, value=value)
+            return orig_set(slot, value)
+
+        register.add = add
+        register.set = set_
+
+    def _make_write_data(self, original: Callable) -> Callable:
+        def write_data(addr: int, data: bytes | None, cycle: int,
+                       persist: bool = True):
+            fresh = self._op < 0
+            if fresh:
+                self._op = self._next_op
+                self._next_op += 1
+                self._op_events = []
+            try:
+                return original(addr, data, cycle, persist)
+            finally:
+                if fresh:
+                    self._end_op()
+        return write_data
+
+    def _end_op(self) -> None:
+        ctl = self.controller
+        region_of = ctl.amap.region_of
+        for event in self._op_events:
+            if event.kind == KIND_LINE and \
+                    region_of(event.addr) is Region.DATA:
+                event.data_mac = ctl.data_macs.get(event.addr)
+                event.plaintext = ctl._plaintexts.get(event.addr)
+        self._op = -1
+        self._op_events = []
+
+    def _make_flush_node(self, original: Callable) -> Callable:
+        def flush_node(node: Any, cycle: int):
+            self._flush_depth += 1
+            if self._flush_depth == 1:
+                self._flush = self._next_flush
+                self._next_flush += 1
+            try:
+                return original(node, cycle)
+            finally:
+                self._flush_depth -= 1
+                if self._flush_depth == 0:
+                    self._flush = -1
+        return flush_node
+
+    def _make_enqueue(self, original: Callable) -> Callable:
+        def enqueue(addr: int, cycle: int, metadata: bool = False):
+            self._record(KIND_ENQUEUE, addr=addr)
+            return original(addr, cycle, metadata=metadata)
+        return enqueue
+
+    def _make_write_line(self, original: Callable) -> Callable:
+        def write_line(line_addr: int, data: bytes):
+            self._record(KIND_LINE, addr=line_addr, payload=bytes(data))
+            return original(line_addr, data)
+        return write_line
+
+    def _record(self, kind: str, **fields_: Any) -> PersistEvent:
+        event = PersistEvent(seq=self._seq, kind=kind, op=self._op,
+                             flush=self._flush, **fields_)
+        self._seq += 1
+        self.events.append(event)
+        if self._op >= 0:
+            self._op_events.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    def recording(self, config: Any,
+                  factory: Callable[[], Any] | None = None) -> Recording:
+        amap = self.controller.amap
+        return Recording(
+            scheme=self.controller.name,
+            events=self.events,
+            baseline_lines=self.baseline_lines,
+            baseline_roots=self.baseline_roots,
+            config=config,
+            factory=factory or materialization_factory(config),
+            counter_bits=amap.counter_bits,
+        )
+
+
+def materialization_factory(config: Any) -> Callable[[], Any]:
+    """Default controller factory for crash-state materialization.
+
+    Recovery trackers (STAR/AGIT/ASIT) are in-memory observers whose
+    shadow structures the explorer does not replay; materialized states
+    strip them so recovery takes the tracker-free (counter-summing)
+    path.  The persist stream itself is identical either way — see
+    docs/crash-exploration.md for the documented simplification.
+    """
+    if getattr(config, "recovery_tracker", "none") != "none":
+        config = config.with_(recovery_tracker="none")
+    return lambda: make_controller(config)
+
+
+# ----------------------------------------------------------------------
+def record_writes(config: Any, line_addrs: Sequence[int],
+                  factory: Callable[[], Any] | None = None,
+                  *, start_cycle: int = 1_000,
+                  gap: int = _OP_GAP) -> Recording:
+    """Drive persistent stores at ``line_addrs`` directly through a
+    fresh controller and return the :class:`Recording`.
+
+    The generous inter-op gap lets delayed root updates (eager family)
+    land between operations; the final settle tick flushes the rest as
+    trailing stand-alone units — the scheme's crash window, which cut
+    enumeration can then include or exclude.
+    """
+    make = factory or materialization_factory(config)
+    controller = make()
+    recorder = ExplorationRecorder(controller)
+    recorder.attach()
+    try:
+        cycle = start_cycle
+        for addr in line_addrs:
+            controller.write_data(addr, None, cycle, persist=True)
+            cycle += gap
+        controller.tick(cycle + _SETTLE)
+    finally:
+        recorder.detach()
+    return recorder.recording(config, make)
+
+
+def record_system_run(system: Any, trace: Iterable[Any],
+                      factory: Callable[[], Any] | None = None) -> Recording:
+    """Record a full :class:`repro.sim.system.System` workload run."""
+    recorder = ExplorationRecorder(system.controller)
+    recorder.attach()
+    try:
+        system.run(trace)
+        system.controller.tick(system.cycle + _SETTLE)
+    finally:
+        recorder.detach()
+    return recorder.recording(system.config, factory)

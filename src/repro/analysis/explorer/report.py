@@ -1,0 +1,104 @@
+"""Violation reporting for the crash-state explorer.
+
+Oracle verdicts become :class:`~repro.analysis.rules.Violation` records
+under two explorer-owned rules (REX001 ``missed-detection``, REX002
+``false-abort``) and flow through the existing SARIF exporter — the
+exporter's rule table extends itself with any non-reprolint rules it
+meets, so explorer findings and lint findings share one output format.
+The synthetic path ``explore://<row>/<workload>`` names the scheme row,
+the line number is the crash boundary (newest persist-unit index + 1),
+and the snippet column carries the canonical state hash so a finding
+can be replayed against the exact crash image.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.explorer.shards import ExplorationResult, ShardResult
+from repro.analysis.report import LintReport
+from repro.analysis.rules import RuleInfo, Violation
+from repro.analysis.sarif import to_sarif
+
+REX_MISSED_DETECTION = RuleInfo(
+    id="REX001",
+    name="missed-detection",
+    summary="recovery succeeded on a crash state that fails verification",
+    rationale=(
+        "The two-sided crash oracle found a reachable persist-order cut "
+        "where the scheme's recovery path reports success although the "
+        "durable image is inconsistent or a subsequent integrity attack "
+        "goes undetected — the exact failure class the paper's root "
+        "crash-consistency argument (§IV) must exclude."),
+)
+
+REX_FALSE_ABORT = RuleInfo(
+    id="REX002",
+    name="false-abort",
+    summary="recovery failed on a spec-consistent crash state",
+    rationale=(
+        "A scheme that claims root crash consistency at every persist "
+        "boundary (crash_consistent_root) refused to recover a state "
+        "its own protocol spec permits — availability loss the paper's "
+        "design explicitly avoids (§IV-A)."),
+)
+
+EXPLORER_RULES = (REX_MISSED_DETECTION, REX_FALSE_ABORT)
+
+
+def _verdict_violation(label: str, workload: str,
+                       verdict: dict) -> Violation:
+    rule = REX_MISSED_DETECTION if verdict.get("missed_detection") \
+        else REX_FALSE_ABORT
+    return Violation(
+        rule=rule,
+        path=f"explore://{label}/{workload}",
+        line=int(verdict.get("boundary", 0)) + 1,
+        column=1,
+        message=verdict.get("detail", ""),
+        snippet=verdict.get("state_hash", ""),
+    )
+
+
+def violations_report(result: ExplorationResult) -> LintReport:
+    """All oracle violations as a :class:`LintReport` (SARIF-ready)."""
+    violations = []
+    for label, parts in sorted(result.shards.items()):
+        for part in parts:
+            for verdict in part.violations:
+                violations.append(
+                    _verdict_violation(label, result.workload, verdict))
+    violations.sort(key=lambda v: (v.path, v.line, v.rule.name))
+    return LintReport(violations=violations,
+                      files_checked=len(result.shards))
+
+
+def exploration_sarif(result: ExplorationResult) -> dict:
+    """SARIF 2.1.0 log of the exploration's violations."""
+    return to_sarif(violations_report(result))
+
+
+def text_matrix(result: ExplorationResult) -> str:
+    """The per-scheme summary matrix printed by ``explore run/report``."""
+    header = (f"{'scheme':<12} {'units':>5} {'cuts':>7} {'states':>7} "
+              f"{'pruned':>7} {'recovered':>9} {'failed':>7} "
+              f"{'missed':>7} {'false-abort':>11}")
+    rows = [header, "-" * len(header)]
+    for label in sorted(result.shards):
+        merged = result.merged(label)
+        missed = sum(1 for v in merged.violations
+                     if v.get("missed_detection"))
+        aborts = sum(1 for v in merged.violations if v.get("false_abort"))
+        rows.append(
+            f"{label:<12} {merged.units:>5} {merged.cuts:>7} "
+            f"{merged.unique_states:>7} {merged.pruned_duplicates:>7} "
+            f"{merged.recovered:>9} {merged.recovery_failures:>7} "
+            f"{missed:>7} {aborts:>11}")
+    verdict = "OK: no oracle violations" if result.violation_count == 0 \
+        else f"FAIL: {result.violation_count} oracle violation(s)"
+    rows.append(verdict)
+    return "\n".join(rows)
+
+
+def single_row_result(label: str, workload: str,
+                      shard: ShardResult) -> ExplorationResult:
+    """Wrap one shard as a result (test and ad-hoc reporting helper)."""
+    return ExplorationResult(workload=workload, shards={label: [shard]})

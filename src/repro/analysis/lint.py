@@ -38,6 +38,7 @@ from repro.analysis.cache import (
 )
 from repro.analysis.callgraph import FunctionInfo, ProjectIndex
 from repro.analysis.dataflow import Facts, ForwardAnalysis
+from repro.analysis.explorer.seams import EXPLORED_ROOT_REGISTERS
 from repro.analysis.protocol import (
     check_attribution_escape,
     check_protocols,
@@ -782,9 +783,9 @@ class HotPathAllocationRule(LintRule):
     The methods in :data:`HOT_FUNCTIONS` run once or more per simulated
     memory access; an allocation there is multiplied by the whole
     workload (docs/performance.md).  Cold branches that legitimately
-    allocate (overflow handling re-encrypts 64 lines anyway) are carried
-    in the baseline rather than suppressed inline, so any *new*
-    allocation still surfaces."""
+    allocate (overflow handling re-encrypts 64 lines anyway) carry an
+    inline ``# reprolint: disable=hot-path-allocation`` next to the
+    justified line, so any *new* allocation still surfaces."""
 
     name = "hot-path-allocation"
     paths = ("secure/",)
@@ -845,6 +846,50 @@ class HotPathAllocationRule(LintRule):
                         "memoize by content")
 
 
+# ======================================================================
+# RPL010 — every metadata persist path is an explorer event seam
+# ======================================================================
+class UnexploredPersistBoundaryRule(LintRule):
+    """A scheme persisting metadata where the crash-state explorer
+    cannot see it (docs/crash-exploration.md).
+
+    Two escapes exist: ``poke_line`` (the uncounted media path — legal
+    for recovery code, which runs *after* a crash, but a runtime persist
+    routed through it never reaches the recorder's ``write_line`` seam)
+    and a ``RootRegister`` constructed under a name missing from
+    :data:`repro.analysis.explorer.seams.EXPLORED_ROOT_REGISTERS`
+    (durable register state the explorer would neither snapshot nor
+    replay).  ``secure/`` holds no recovery code — the recovery walk
+    lives in ``crash/`` — so every hit here is runtime persist logic."""
+
+    name = "unexplored-persist-boundary"
+    paths = ("secure/",)
+
+    def check(self, mod: ParsedModule) -> Iterator[Violation]:
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Attribute) \
+                    and node.func.attr == "poke_line":
+                yield self.violation(
+                    mod, node,
+                    "poke_line bypasses the explorer's write_line seam; "
+                    "persist through the WPQ/write_line path or move "
+                    "this to the recovery walk in crash/")
+            elif isinstance(node.func, ast.Name) \
+                    and node.func.id == "RootRegister" \
+                    and node.args \
+                    and isinstance(node.args[0], ast.Constant) \
+                    and isinstance(node.args[0].value, str) \
+                    and node.args[0].value not in EXPLORED_ROOT_REGISTERS:
+                yield self.violation(
+                    mod, node,
+                    f"root register {node.args[0].value!r} is not an "
+                    "explorer seam; add it to repro.analysis.explorer."
+                    "seams.EXPLORED_ROOT_REGISTERS so crash exploration "
+                    "snapshots and replays it")
+
+
 _FLAT_RULE_CLASSES: tuple[type[LintRule], ...] = (
     UncheckedVerifyRule,
     FloatCycleArithRule,
@@ -852,6 +897,7 @@ _FLAT_RULE_CLASSES: tuple[type[LintRule], ...] = (
     StatCounterDisciplineRule,
     ObsUnattributedCyclesRule,
     HotPathAllocationRule,
+    UnexploredPersistBoundaryRule,
 )
 
 _PROJECT_RULE_CLASSES: tuple[type[ProjectRule], ...] = (

@@ -139,6 +139,24 @@ ALL_RULES: tuple[RuleInfo, ...] = (
                   "genuinely cold branches (overflow handling) belong "
                   "in the baseline with a justification.",
     ),
+    RuleInfo(
+        id="RPL010",
+        name="unexplored-persist-boundary",
+        summary="scheme persists metadata outside the crash explorer's "
+                "registered event seams",
+        rationale="The crash-state model checker "
+                  "(docs/crash-exploration.md) can only enumerate "
+                  "crash cuts over persists it observes: wpq.enqueue, "
+                  "nvm.write_line, _flush_node brackets and the "
+                  "registered root registers.  A scheme that writes "
+                  "metadata through poke_line (the uncounted path) or "
+                  "holds root state in an unregistered RootRegister "
+                  "creates durable state the explorer never replays, "
+                  "so its crash space is silently under-verified.  "
+                  "Route runtime persists through write_line/the WPQ, "
+                  "or register the new seam in "
+                  "repro.analysis.explorer.seams.",
+    ),
 )
 
 _BY_NAME = {rule.name: rule for rule in ALL_RULES}

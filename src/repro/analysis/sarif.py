@@ -24,7 +24,17 @@ SARIF_SCHEMA_URI = ("https://raw.githubusercontent.com/oasis-tcs/"
 FINGERPRINT_KEY = "reprolintFingerprint/v1"
 _TOOL_INFO_URI = "https://github.com/repro/sgx-integrity-tree-repro"
 
-_RULE_INDEX = {rule.name: i for i, rule in enumerate(ALL_RULES)}
+def _rules_table(report: LintReport) -> tuple[list, dict[str, int]]:
+    """The run's rule table: every registered reprolint rule, extended
+    with any foreign rules (e.g. the crash explorer's REX rules) that
+    appear among the report's findings, plus a name -> index map."""
+    rules = list(ALL_RULES)
+    index = {rule.name: i for i, rule in enumerate(rules)}
+    for violation in (*report.violations, *report.baselined):
+        if violation.rule.name not in index:
+            index[violation.rule.name] = len(rules)
+            rules.append(violation.rule)
+    return rules, index
 
 
 def _rule_descriptor(rule) -> dict:
@@ -39,12 +49,12 @@ def _rule_descriptor(rule) -> dict:
 
 
 def _result(violation: Violation, uri_prefix: str,
-            suppressed: bool) -> dict:
+            suppressed: bool, rule_index: dict[str, int]) -> dict:
     uri = url_join(uri_prefix, violation.path) if uri_prefix \
         else violation.path
     result = {
         "ruleId": violation.rule.id,
-        "ruleIndex": _RULE_INDEX[violation.rule.name],
+        "ruleIndex": rule_index[violation.rule.name],
         "level": "error",
         "message": {"text": violation.message},
         "locations": [{
@@ -74,9 +84,12 @@ def to_sarif(report: LintReport, uri_prefix: str = "") -> dict:
     ``uri_prefix`` is the scan root's path relative to the repository
     root (e.g. ``src/repro``), so result URIs resolve from the repo
     root as code scanning expects."""
-    results = [_result(v, uri_prefix, suppressed=False)
+    rules, rule_index = _rules_table(report)
+    results = [_result(v, uri_prefix, suppressed=False,
+                       rule_index=rule_index)
                for v in report.violations]
-    results += [_result(v, uri_prefix, suppressed=True)
+    results += [_result(v, uri_prefix, suppressed=True,
+                        rule_index=rule_index)
                 for v in report.baselined]
     return {
         "$schema": SARIF_SCHEMA_URI,
@@ -87,7 +100,7 @@ def to_sarif(report: LintReport, uri_prefix: str = "") -> dict:
                     "name": "reprolint",
                     "informationUri": _TOOL_INFO_URI,
                     "version": "2.0.0",
-                    "rules": [_rule_descriptor(r) for r in ALL_RULES],
+                    "rules": [_rule_descriptor(r) for r in rules],
                 },
             },
             "columnKind": "unicodeCodePoints",

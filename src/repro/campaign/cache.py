@@ -25,6 +25,7 @@ import hashlib
 import json
 import os
 import tempfile
+from collections.abc import Callable
 from contextlib import suppress
 from pathlib import Path
 from typing import Any
@@ -50,12 +51,31 @@ def cell_key(cell: CellSpec) -> str:
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
+def _fsync_dir(directory: Path) -> None:
+    """Best-effort durability for a directory-entry change."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        with suppress(OSError):
+            os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 class ResultCache:
     """The on-disk store; all methods tolerate concurrent writers."""
 
-    def __init__(self, root: str | Path) -> None:
+    def __init__(self, root: str | Path,
+                 decode: Callable[[dict], Any] = RunResult.from_dict) -> None:
         self.root = Path(root)
         self.objects = self.root / "objects"
+        # How to revive a stored ``result`` payload.  Campaigns that run
+        # a custom cell_fn (e.g. the crash explorer's shard cells) pass
+        # their own decoder; anything it raises on schema drift follows
+        # the same evict-and-recompute path as RunResult.from_dict.
+        self._decode = decode
 
     # ------------------------------------------------------------------
     def path_for(self, key: str) -> Path:
@@ -69,7 +89,7 @@ class ResultCache:
             payload = json.loads(path.read_text())
             if payload["key"] != key:
                 raise ValueError("cache entry key mismatch")
-            return RunResult.from_dict(payload["result"])
+            return self._decode(payload["result"])
         except FileNotFoundError:
             return None
         except (OSError, ValueError, KeyError, TypeError):
@@ -101,12 +121,19 @@ class ResultCache:
         return path
 
     def evict(self, key: str) -> bool:
-        """Drop one entry (corruption recovery); True if it existed."""
+        """Drop one entry (corruption recovery); True if it existed.
+
+        The parent directory is fsynced after the unlink: eviction is
+        the torn-entry recovery path, and without the directory sync a
+        second crash could resurrect the corrupt entry after the cell
+        was recomputed against the evicted state."""
+        path = self.path_for(key)
         try:
-            self.path_for(key).unlink()
-            return True
+            path.unlink()
         except OSError:
             return False
+        _fsync_dir(path.parent)
+        return True
 
     def clear(self) -> int:
         """Delete every object; returns how many were removed."""

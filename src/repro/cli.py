@@ -450,6 +450,89 @@ def cmd_campaign_clean(args: argparse.Namespace) -> int:
     return 0
 
 
+def _explore_config(args: argparse.Namespace) -> SystemConfig:
+    return SystemConfig(
+        scheme="scue", data_capacity=args.capacity,
+        tree_levels=args.tree_levels, tree_arity=args.tree_arity,
+        metadata_cache_size=args.metadata_cache, check_data=True)
+
+
+def _explore_print(result, base, sarif_path) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.analysis.explorer import exploration_sarif, text_matrix
+
+    counts = result.campaign.manifest.counts()
+    total = len(result.campaign.manifest.cells)
+    print(f"explore directory: {base}")
+    print(f"shards    : {total}")
+    print(f"cache hits: {counts['cached']}/{total}")
+    print(f"computed  : {counts['done']}")
+    print(f"failed    : {counts['failed']}")
+    print(text_matrix(result))
+    if sarif_path:
+        Path(sarif_path).write_text(
+            _json.dumps(exploration_sarif(result), indent=2) + "\n")
+        print(f"sarif     : {sarif_path}")
+    for record in result.campaign.manifest.failures():
+        print(f"  FAILED {record.cell_id}: "
+              f"{record.error.strip().splitlines()[-1]}")
+    return 0 if result.ok else 1
+
+
+def cmd_explore_run(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.analysis.explorer import exploration_cache, run_exploration
+    from repro.campaign import ProgressReporter
+
+    base = Path(args.dir or Path(".repro-explore") / args.workload)
+    base.mkdir(parents=True, exist_ok=True)
+    config = _explore_config(args)
+    schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
+    params = {
+        "workload": args.workload, "operations": args.operations,
+        "seed": args.seed, "schemes": schemes,
+        "shard_units": args.shard_units, "max_lag": args.max_lag,
+        "config": config.to_dict(),
+    }
+    (base / "exploration.json").write_text(
+        _json.dumps(params, indent=2, sort_keys=True) + "\n")
+    result = run_exploration(
+        config, args.workload, args.operations, seed=args.seed,
+        schemes=schemes, shard_units=args.shard_units,
+        max_lag=args.max_lag, jobs=args.jobs,
+        cache=exploration_cache(base / "cache"),
+        manifest_path=base / "manifest.json",
+        progress=ProgressReporter())
+    return _explore_print(result, base, args.sarif)
+
+
+def cmd_explore_report(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.analysis.explorer import exploration_cache, run_exploration
+
+    base = Path(args.dir)
+    try:
+        params = _json.loads((base / "exploration.json").read_text())
+    except FileNotFoundError:
+        print(f"no exploration.json in {base}; run "
+              f"'repro-sim explore run --dir {base}' first")
+        return 1
+    config = SystemConfig.from_dict(params["config"])
+    result = run_exploration(
+        config, params["workload"], params["operations"],
+        seed=params["seed"], schemes=params["schemes"],
+        shard_units=params["shard_units"], max_lag=params["max_lag"],
+        jobs=1, cache=exploration_cache(base / "cache"),
+        manifest_path=base / "manifest.json")
+    return _explore_print(result, base, args.sarif)
+
+
 # ======================================================================
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -570,6 +653,57 @@ def build_parser() -> argparse.ArgumentParser:
                          help="drop a campaign's cache and manifest")
     pc.add_argument("dir", help="campaign directory")
     pc.set_defaults(func=cmd_campaign_clean)
+
+    p = sub.add_parser(
+        "explore",
+        help="exhaustive crash-state model checking "
+             "(docs/crash-exploration.md)")
+    esub = p.add_subparsers(dest="explore_command", required=True)
+
+    pe = esub.add_parser("run", help="run (or resume) an exploration")
+    pe.add_argument("--workload", default="array",
+                    choices=sorted(ALL_WORKLOADS))
+    pe.add_argument("--operations", type=int, default=6,
+                    help="trace length; the state space is exponential "
+                         "in persist units, keep this small")
+    pe.add_argument("--seed", type=int, default=42)
+    pe.add_argument("--schemes", default="scue,eager",
+                    help="comma-separated rows: scue, eager, scue+asit, "
+                         "or any scheme name")
+    pe.add_argument("--capacity", type=int, default=64 * 1024,
+                    help="data region bytes (default 64 KB: a 16-leaf, "
+                         "two-branch tree)")
+    pe.add_argument("--tree-levels", type=int, default=2)
+    pe.add_argument("--tree-arity", type=int, default=8,
+                    choices=(8, 16, 32))
+    pe.add_argument("--metadata-cache", type=int, default=64 * 1024)
+    pe.add_argument("--shard-units", type=int, default=8,
+                    help="boundary-range width per campaign cell")
+    pe.add_argument("--max-lag", type=int, default=None,
+                    help="cap on in-flight older persists per cut "
+                         "(depth bound; default unbounded)")
+    pe.add_argument("-j", "--jobs", type=int, default=1)
+    pe.add_argument("--dir", default=None,
+                    help="exploration directory (cache + manifest); "
+                         "default .repro-explore/<workload>")
+    pe.add_argument("--sarif", default=None,
+                    help="also write violations as a SARIF 2.1.0 log")
+    pe.set_defaults(func=cmd_explore_run)
+
+    ps = esub.add_parser("status",
+                         help="inspect an exploration's shard manifest")
+    ps.add_argument("dir", help="exploration directory")
+    ps.add_argument("--cells", action="store_true",
+                    help="list every shard, not just the summary")
+    ps.set_defaults(func=cmd_campaign_status)
+
+    pp = esub.add_parser(
+        "report",
+        help="rebuild the matrix + SARIF from cached shards")
+    pp.add_argument("dir", help="exploration directory")
+    pp.add_argument("--sarif", default=None,
+                    help="also write violations as a SARIF 2.1.0 log")
+    pp.set_defaults(func=cmd_explore_report)
 
     p = sub.add_parser(
         "perf",

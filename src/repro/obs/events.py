@@ -24,17 +24,21 @@ TRACK_WPQ = "wpq"            # write-pending-queue enqueue/drain/stall
 TRACK_NVM = "nvm"            # NVM device reads/writes, bank busy
 TRACK_ROOT = "root"          # on-chip root register updates
 TRACK_RECOVERY = "recovery"  # recovery phases; sequential spans
+TRACK_EXPLORE = "explore"    # crash-state explorer progress
 
 ALL_TRACKS = (TRACK_CPU, TRACK_CTL, TRACK_VERIFY, TRACK_HASH,
-              TRACK_WPQ, TRACK_NVM, TRACK_ROOT, TRACK_RECOVERY)
+              TRACK_WPQ, TRACK_NVM, TRACK_ROOT, TRACK_RECOVERY,
+              TRACK_EXPLORE)
 
 # --- span names (ph B/E pairs) ---------------------------------------------
 EV_READ = "read"                    # CPU stalled on a demand read miss
 EV_PERSIST = "persist"              # CPU stalled on a persist (clwb+fence)
 EV_RECOVERY = "recovery"            # whole recovery pass
 EV_RECOVERY_PHASE = "recovery_phase"  # one phase of it (scan, rebuild, ...)
+EV_EXPLORE = "explore"              # one explorer boundary-range shard
 
-SPAN_EVENTS = (EV_READ, EV_PERSIST, EV_RECOVERY, EV_RECOVERY_PHASE)
+SPAN_EVENTS = (EV_READ, EV_PERSIST, EV_RECOVERY, EV_RECOVERY_PHASE,
+               EV_EXPLORE)
 
 # --- instant names ----------------------------------------------------------
 EV_WRITE_OP = "write_op"            # controller write_data (persist or wb)
@@ -52,11 +56,14 @@ EV_NVM_WRITE = "nvm_write"
 EV_ROOT_UPDATE = "root_update"      # running/recovery root register write
 EV_LLC_WRITEBACK = "llc_writeback"  # dirty line evicted out of L3
 EV_CRASH = "crash"                  # power failure injected
+EV_EXPLORE_STATE = "explore_state"  # one crash state verified
+EV_EXPLORE_PRUNED = "explore_pruned"  # a cut pruned before verification
 
 INSTANT_EVENTS = (EV_WRITE_OP, EV_READ_OP, EV_VERIFY_HOP, EV_HMAC,
                   EV_OVERFLOW, EV_LEAF_PERSIST, EV_META_FLUSH,
                   EV_WPQ_ENQUEUE, EV_WPQ_STALL, EV_WPQ_DRAIN,
                   EV_NVM_READ, EV_NVM_WRITE, EV_ROOT_UPDATE,
-                  EV_LLC_WRITEBACK, EV_CRASH)
+                  EV_LLC_WRITEBACK, EV_CRASH, EV_EXPLORE_STATE,
+                  EV_EXPLORE_PRUNED)
 
 ALL_EVENTS = SPAN_EVENTS + INSTANT_EVENTS

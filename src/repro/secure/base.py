@@ -482,7 +482,8 @@ class SecureMemoryController(ABC):
             self._mark_dirty(leaf)
             return 1, 0
         before = leaf.dummy_counter(bits)
-        old_minors = list(leaf.minors)
+        # Overflow path: re-encrypting 64 lines dwarfs one copy.
+        old_minors = list(leaf.minors)  # reprolint: disable=hot-path-allocation
         old_major = leaf.major
         event = leaf.bump(slot)
         self._mark_dirty(leaf)

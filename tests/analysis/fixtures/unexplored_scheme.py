@@ -1,0 +1,35 @@
+# reprolint-fixture-path: secure/unexplored_scheme.py
+"""RPL010 fixture: a scheme that persists metadata where the crash
+explorer cannot see it — a runtime ``poke_line`` (bypasses the
+``write_line`` seam) and a shadow root register the recorder neither
+snapshots nor replays.  The clean variant routes everything through
+registered seams and must not be flagged."""
+
+from repro.secure.roots import RootRegister
+from repro.secure.scue import SCUEController
+
+
+class ShadowRootScheme(SCUEController):
+    """Holds root state in an unregistered register (RPL010 x1) and
+    sneaks node images to media through poke_line (RPL010 x1)."""
+
+    def __init__(self, config):
+        super().__init__(config)
+        self.shadow_root = RootRegister("shadow_root", self.amap.arity,
+                                        self.amap.counter_bits)
+
+    def _on_leaf_persist(self, leaf, leaf_index, dummy_delta, cycle):
+        slot = self._root_slot_of_leaf(leaf_index)
+        self.shadow_root.add(slot, dummy_delta)
+        addr = self.amap.counter_block_addr(leaf_index)
+        self.nvm.poke_line(addr, leaf.to_bytes())  # invisible persist
+        return super()._on_leaf_persist(leaf, leaf_index, dummy_delta,
+                                        cycle)
+
+
+class SeamRespectingScheme(SCUEController):
+    """Control group: persists only through registered seams."""
+
+    def _on_leaf_persist(self, leaf, leaf_index, dummy_delta, cycle):
+        return super()._on_leaf_persist(leaf, leaf_index, dummy_delta,
+                                        cycle)

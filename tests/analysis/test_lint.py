@@ -51,6 +51,38 @@ class TestKnownGoodFixture:
         assert lint_file(FIXTURES / "good_clean.py") == []
 
 
+class TestUnexploredPersistBoundary:
+    """RPL010 flags persistence the crash explorer cannot observe.  The
+    fixture fires twice (a shadow root register and a poke_line), so it
+    cannot ride in the exactly-once BAD map above."""
+
+    def test_fixture_fires_twice(self):
+        violations = lint_file(FIXTURES / "unexplored_scheme.py")
+        assert [v.rule.name for v in violations] == \
+            ["unexplored-persist-boundary"] * 2
+        register, poke = sorted(violations, key=lambda v: v.line)
+        assert "shadow_root" in register.message
+        assert "poke_line" in poke.message
+
+    def test_select_isolates_the_rule(self):
+        violations = lint_file(FIXTURES / "unexplored_scheme.py",
+                               select=("RPL010",))
+        assert len(violations) == 2
+
+    def test_registered_seams_stay_clean(self, tmp_path):
+        path = tmp_path / "clean_scheme.py"
+        path.write_text(
+            "# reprolint-fixture-path: secure/clean_scheme.py\n"
+            "from repro.secure.roots import RootRegister\n\n\n"
+            "class Ok:\n"
+            "    def __init__(self):\n"
+            "        self.running_root = RootRegister(\n"
+            "            'running_root', 8, 56)\n"
+            "        self.recovery_root = RootRegister(\n"
+            "            'recovery_root', 8, 56)\n")
+        assert lint_file(path, select=("RPL010",)) == []
+
+
 class TestSuppression:
     def test_disable_comment_silences_the_rule(self, tmp_path):
         path = tmp_path / "suppressed.py"

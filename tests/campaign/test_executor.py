@@ -119,6 +119,24 @@ class TestCache:
         payload = json.loads(victim.read_text())  # repaired in place
         assert payload["key"] == cell_key(spec.cells[0])
 
+    def test_torn_entry_resume_recomputes_exactly_once(self, tmp_path,
+                                                       scratch):
+        # Crash-mid-write resume: a truncated entry costs one recompute
+        # for its cell only; a further resume is then all cache hits.
+        spec = fake_spec(3)
+        cache = ResultCache(tmp_path / "cache")
+        run_campaign(spec, cache=cache, cell_fn=tracking_cell)
+        victim = cache.path_for(cell_key(spec.cells[1]))
+        text = victim.read_text()
+        victim.write_text(text[:len(text) // 2])
+        resumed = run_campaign(spec, cache=cache, cell_fn=tracking_cell)
+        assert resumed.ok
+        assert [r.status for r in resumed.manifest.cells] == \
+            ["cached", "done", "cached"]
+        third = run_campaign(spec, cache=cache, cell_fn=tracking_cell)
+        assert third.manifest.counts()["cached"] == 3
+        assert [invocations(cell) for cell in spec] == [1, 2, 1]
+
 
 class TestParallel:
     def test_matches_serial_with_real_cells(self):

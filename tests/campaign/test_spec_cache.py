@@ -148,3 +148,34 @@ class TestResultCache:
         assert cache.clear() == 3
         assert len(cache) == 0
         assert cache.evict(cell_key(cells[0])) is False
+
+    def test_torn_entry_evicted_not_fatal(self, tmp_path):
+        # A kill -9 can leave a prefix of the JSON behind (the rename
+        # is atomic, but a torn page after a crash is not): the reader
+        # must treat it exactly like garbage — evict and recompute.
+        cache = ResultCache(tmp_path)
+        cell = fake_cells(1)[0]
+        path = cache.put(cell, make_result(cell))
+        text = path.read_text()
+        path.write_text(text[:len(text) // 2])
+        assert cache.get(cell) is None
+        assert not path.exists()
+        # The eviction is idempotent and the cache stays usable.
+        assert cache.evict(cell_key(cell)) is False
+        cache.put(cell, make_result(cell))
+        assert cache.get(cell) is not None
+
+    def test_custom_decoder_round_trip(self, tmp_path):
+        # Non-RunResult payloads (e.g. explorer shards) plug in their
+        # own decoder; the default decode must not be baked into get().
+        from repro.analysis.explorer.shards import ShardResult
+
+        cache = ResultCache(tmp_path, decode=ShardResult.from_dict)
+        cell = fake_cells(1)[0]
+        shard = ShardResult(scheme="scue", workload="array", lo=0, hi=4,
+                            units=6, cuts=5, unique_states=5,
+                            recovered=5, state_hashes=["aa", "bb"])
+        cache.put(cell, shard)
+        cached = cache.get(cell)
+        assert isinstance(cached, ShardResult)
+        assert cached.to_dict() == shard.to_dict()
