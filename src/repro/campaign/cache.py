@@ -17,6 +17,22 @@ campaign can never leave a half-written object: a cell is either durably
 done or it re-runs.  Corrupted or stale-schema entries are *evicted* on
 read and the cell re-runs — a damaged cache degrades to a cold one, it
 never fails a campaign.
+
+Concurrent writers (several campaign processes, or the ``repro.serve``
+worker pool sharing one store with a batch campaign) are safe by two
+independent mechanisms:
+
+* *atomic replace* is what prevents torn entries — every writer stages
+  the full payload in a ``.tmp`` file and publishes it with one
+  ``os.replace``, so readers only ever see a complete entry (and because
+  keys are content addresses, racing writers publish identical bytes);
+* an *O_EXCL lock file* (``<key>.lock``) makes materialization
+  single-writer in the common case: the first ``put`` takes the lock and
+  writes, racing puts for the same key observe the published entry (or
+  the lock) and return without re-serializing.  The lock is advisory —
+  a writer that dies holding it never blocks progress, because a loser
+  that sees neither a fresh entry nor a live lock simply falls through
+  to the atomic-replace path.
 """
 
 from __future__ import annotations
@@ -100,10 +116,40 @@ class ResultCache:
 
     def put(self, cell: CellSpec, result: RunResult,
             wall_time: float = 0.0) -> Path:
-        """Atomically persist one completed cell; returns its path."""
+        """Atomically persist one completed cell; returns its path.
+
+        Safe against concurrent writers: the first caller to create the
+        ``<key>.lock`` file (``O_CREAT | O_EXCL``) serializes and
+        publishes the entry; racing callers that find the entry already
+        published return it untouched, and callers that find a held lock
+        but no entry fall through and publish anyway (the replace is
+        atomic and both writers hold identical bytes, so the loser's
+        write is a no-op rewrite — never a torn entry).
+        """
         key = cell_key(cell)
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        lock = path.with_suffix(".lock")
+        lock_fd: int | None = None
+        try:
+            lock_fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            # Another writer is (or was) materializing this key.  If its
+            # entry is already published we are done; otherwise keep
+            # going without the lock — atomic replace carries safety.
+            if path.is_file():
+                return path
+        try:
+            self._write_entry(cell, result, wall_time, key, path)
+        finally:
+            if lock_fd is not None:
+                os.close(lock_fd)
+                with suppress(OSError):
+                    os.unlink(lock)
+        return path
+
+    def _write_entry(self, cell: CellSpec, result: RunResult,
+                     wall_time: float, key: str, path: Path) -> None:
         # result.to_dict() embeds the full observability payload too
         # (cycle attribution + latency-histogram snapshots), so cached
         # cells replay with their breakdowns intact.
@@ -118,7 +164,6 @@ class ResultCache:
             with suppress(OSError):
                 os.unlink(tmp)
             raise
-        return path
 
     def evict(self, key: str) -> bool:
         """Drop one entry (corruption recovery); True if it existed.

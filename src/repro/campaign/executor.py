@@ -414,6 +414,103 @@ def _run_parallel(state: _Bookkeeper, pending_ids: list[int], jobs: int,
         raise abort
 
 
+# ======================================================================
+# Single-cell seam
+#
+# ``repro.serve`` schedules cells one at a time from an asyncio worker
+# pool, but its per-cell semantics must stay identical to a parallel
+# campaign's: same worker entry point, same fork context, same
+# timeout-kill behaviour, same transient-death retry budget and the
+# same exponential backoff curve.  Routing the service through this
+# function (instead of a reimplementation) is what guarantees that.
+# ======================================================================
+@dataclass(frozen=True)
+class CellOutcome:
+    """What one supervised cell execution produced."""
+
+    result: RunResult
+    wall_time: float
+    attempts: int
+
+
+def run_cell(cell: CellSpec, *,
+             cell_fn: CellFn = execute_cell,
+             timeout: float | None = None,
+             retries: int | None = None,
+             backoff: float = 0.5,
+             on_retry: Callable[[int, str], None] | None = None
+             ) -> CellOutcome:
+    """Run one cell in a supervised worker process, with retries.
+
+    This is the parallel path's per-cell contract extracted for callers
+    that schedule cells themselves (the ``repro.serve`` worker pool):
+    ``retries`` defaults to the parallel default (2 — worker death can
+    be transient), a ``timeout`` kills the attempt's process, and
+    failed attempts back off with :func:`_backoff_delay`.  ``on_retry``
+    is called as ``(attempt, error)`` before each backoff sleep.
+    Raises :class:`CampaignError` with the parallel path's message
+    shape once the retry budget is spent.
+    """
+    if retries is None:
+        retries = 2
+    ctx = _mp_context()
+    attempts = 0
+    while True:
+        attempts += 1
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(target=_worker_main,
+                           args=(cell, cell_fn, child_conn), daemon=True)
+        proc.start()
+        child_conn.close()
+        error: str
+        try:
+            # Wait on the pipe *and* the process sentinel: a worker
+            # that dies without reporting would otherwise block an
+            # unbounded pipe poll forever.
+            ready = multiprocessing.connection.wait(
+                [parent_conn, proc.sentinel], timeout)
+            if parent_conn.poll(0):
+                kind, payload, wall_time = parent_conn.recv()
+                proc.join(5.0)
+                if kind == "ok":
+                    return CellOutcome(payload, wall_time, attempts)
+                error = payload
+            elif not ready:
+                # Nothing became ready before the deadline (``ready``
+                # can only be empty when ``timeout`` is set): kill the
+                # attempt.  An exiting worker can close its sentinel
+                # before it is reapable, so ``is_alive()`` is not a
+                # reliable discriminator here.
+                error = (f"cell timed out after {timeout:g}s "
+                         f"(attempt killed)")
+                proc.terminate()
+                proc.join(1.0)
+                if proc.is_alive():
+                    proc.kill()
+                proc.join(5.0)
+            else:
+                # Exited with an empty pipe: genuine worker death (the
+                # exit machinery flushes the pipe first, so a sent
+                # result would have been visible above).
+                proc.join(5.0)
+                error = (f"worker died without reporting "
+                         f"(exit code {proc.exitcode})")
+        except (EOFError, OSError) as exc:
+            error = f"worker channel broke: {exc!r}"
+            if proc.is_alive():
+                proc.terminate()
+            proc.join(5.0)
+        finally:
+            parent_conn.close()
+        if attempts > retries:
+            raise CampaignError(
+                f"cell {cell.cell_id} failed after {attempts} "
+                f"attempt(s): {_last_line(error)}")
+        if on_retry is not None:
+            on_retry(attempts, error)
+        time.sleep(_backoff_delay(backoff, attempts))
+
+
 def _backoff_delay(backoff: float, attempt: int) -> float:
     return min(backoff * (2 ** (attempt - 1)), 30.0)
 

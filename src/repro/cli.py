@@ -11,6 +11,9 @@
     repro-sim figures fig10 --jobs 4                  # parallel figure
     repro-sim campaign run --grid matrix --jobs 8     # resumable sweep
     repro-sim campaign status .repro-campaign/matrix-quick
+    repro-sim serve --dir .repro-serve --port 8023    # campaign service
+    repro-sim submit --grid matrix --dir .repro-serve # client: submit+wait
+    repro-sim fetch job-000001 --dir .repro-serve     # client: results
     repro-sim trace --workload btree --scheme scue --out trace.json
     repro-sim stats diff scue.json eager.json         # compare two runs
 
@@ -232,15 +235,19 @@ def _campaign_opts(args: argparse.Namespace) -> dict:
     """Campaign keywords shared by ``figures`` and ``campaign run``."""
     from pathlib import Path
 
-    from repro.campaign import ProgressReporter, ResultCache
+    from repro.campaign import ProgressReporter
+    from repro.serve.storage import CampaignStore
 
     opts: dict = {"jobs": args.jobs}
     if args.jobs > 1 or getattr(args, "campaign_dir", None):
         opts["progress"] = ProgressReporter()
     if getattr(args, "campaign_dir", None):
-        base = Path(args.campaign_dir)
-        opts["cache"] = ResultCache(base / "cache")
-        opts["manifest_path"] = base / "manifest.json"
+        # The storage layer: same on-disk objects as the old bare
+        # ResultCache, plus the sqlite index the service queries — a
+        # figure run against a server's --dir warms the shared store.
+        store = CampaignStore(Path(args.campaign_dir))
+        opts["cache"] = store
+        opts["manifest_path"] = store.manifest_path
     return opts
 
 
@@ -380,12 +387,13 @@ def _campaign_dir(args: argparse.Namespace) -> "Path":
 
 
 def cmd_campaign_run(args: argparse.Namespace) -> int:
-    from repro.campaign import ProgressReporter, ResultCache, run_campaign
+    from repro.campaign import ProgressReporter, run_campaign
+    from repro.serve.storage import CampaignStore
 
     spec = _campaign_spec(args)
     base = _campaign_dir(args)
-    cache = ResultCache(base / "cache")
-    manifest_path = base / "manifest.json"
+    cache = CampaignStore(base)
+    manifest_path = cache.manifest_path
     print(f"campaign directory: {base}")
     outcome = run_campaign(
         spec, jobs=args.jobs, cache=cache, manifest_path=manifest_path,
@@ -406,6 +414,7 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
 
 
 def cmd_campaign_status(args: argparse.Namespace) -> int:
+    import json
     from pathlib import Path
 
     from repro.campaign import RunManifest
@@ -414,9 +423,30 @@ def cmd_campaign_status(args: argparse.Namespace) -> int:
     try:
         manifest = RunManifest.load(path)
     except FileNotFoundError:
-        print(f"no manifest at {path}")
+        if getattr(args, "json", False):
+            print(json.dumps({"error": "no_manifest",
+                              "detail": str(path)}))
+        else:
+            print(f"no manifest at {path}")
         return 1
     counts = manifest.counts()
+    if getattr(args, "json", False):
+        # Machine-readable summary: what the server and CI consume
+        # instead of scraping the text output.
+        payload = {
+            "campaign": manifest.campaign,
+            "finished": manifest.finished,
+            "complete": manifest.complete,
+            "jobs": manifest.jobs,
+            "wall_time": manifest.wall_time,
+            "total": len(manifest.cells),
+            "counts": counts,
+        }
+        if args.cells:
+            payload["cells"] = [record.to_dict()
+                                for record in manifest.cells]
+        print(json.dumps(payload, indent=1, sort_keys=True))
+        return 0 if manifest.complete else 1
     state = "finished" if manifest.finished else "in progress"
     print(f"campaign  : {manifest.campaign} ({state}, "
           f"jobs={manifest.jobs})")
@@ -447,6 +477,93 @@ def cmd_campaign_clean(args: argparse.Namespace) -> int:
         manifest.unlink()
     print(f"removed {removed} cached result(s)"
           + (" and the manifest" if had_manifest else ""))
+    return 0
+
+
+# ======================================================================
+# Simulation-as-a-service (docs/serving.md)
+# ======================================================================
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.app import ServeConfig, run_server
+
+    config = ServeConfig(
+        root=args.dir, host=args.host, port=args.port, slots=args.jobs,
+        timeout=args.timeout, retries=args.retries,
+        max_queued_cells=args.max_queued,
+        max_running_cells=args.max_running,
+        max_active_jobs=args.max_jobs)
+    try:
+        asyncio.run(run_server(config))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _serve_url(args: argparse.Namespace) -> str:
+    from repro.serve.client import discover_url
+
+    if args.url:
+        return args.url
+    return discover_url(args.dir)
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.serve.client import ServeClient
+
+    spec = _campaign_spec(args)
+    client = ServeClient(_serve_url(args))
+    accepted = client.submit(spec.to_dict(), tenant=args.tenant)
+    job_id = accepted["job_id"]
+    print(f"job       : {job_id} ({accepted['state']})")
+    if args.no_wait:
+        print(f"fetch with: repro-sim fetch {job_id}")
+        return 0
+    if args.events:
+        # Following the event stream doubles as waiting: the server
+        # closes it at job_finished.
+        with Path(args.events).open("w") as sink:
+            for event in client.events(job_id):
+                sink.write(json.dumps(event, sort_keys=True,
+                                      separators=(",", ":")) + "\n")
+        print(f"events    : {args.events}")
+    view = client.wait(job_id, timeout=args.wait_timeout)
+    counts = view["counts"]
+    total = counts["total"]
+    print(f"cells     : {total}")
+    print(f"cache hits: {counts['cached']}/{total}")
+    print(f"computed  : {counts['done']}")
+    print(f"failed    : {counts['failed']}")
+    print(f"wall time : {view['wall_time']:.2f}s (server)")
+    for cell in view.get("cells", []):
+        if cell["state"] == "failed":
+            error = cell["error"].strip().splitlines()
+            print(f"  FAILED {cell['cell_id']}: "
+                  f"{error[-1] if error else ''}")
+    return 0 if view["state"] == "done" else 1
+
+
+def cmd_fetch(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.serve.client import ServeClient
+
+    client = ServeClient(_serve_url(args))
+    if args.cell:
+        payload = client.fetch_cell(args.target)
+    else:
+        payload = client.results(args.target)
+    text = json.dumps(payload, indent=1, sort_keys=True)
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
     return 0
 
 
@@ -647,12 +764,80 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("dir", help="campaign directory")
     ps.add_argument("--cells", action="store_true",
                     help="list every cell, not just the summary")
+    ps.add_argument("--json", action="store_true",
+                    help="machine-readable summary (total/done/cached/"
+                         "failed cells) instead of the text table")
     ps.set_defaults(func=cmd_campaign_status)
 
     pc = csub.add_parser("clean",
                          help="drop a campaign's cache and manifest")
     pc.add_argument("dir", help="campaign directory")
     pc.set_defaults(func=cmd_campaign_clean)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the campaign service: an async HTTP API over the "
+             "shared result store (docs/serving.md)")
+    p.add_argument("--dir", default=".repro-serve",
+                   help="store directory (shared with batch campaigns; "
+                        "default .repro-serve)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8023,
+                   help="listen port (0 picks a free one; the bound "
+                        "port is written to <dir>/server.json)")
+    p.add_argument("-j", "--jobs", type=int, default=2,
+                   help="concurrent worker slots (default 2)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-cell seconds before a worker is killed")
+    p.add_argument("--retries", type=int, default=None,
+                   help="attempts after a failure (default 2, the "
+                        "parallel-campaign default)")
+    p.add_argument("--max-queued", type=int, default=1024,
+                   help="per-tenant queued-cell quota (0 = unlimited)")
+    p.add_argument("--max-running", type=int, default=4,
+                   help="per-tenant running-cell quota (0 = unlimited)")
+    p.add_argument("--max-jobs", type=int, default=16,
+                   help="per-tenant active-job quota (0 = unlimited)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="submit a campaign grid to a running server and wait")
+    p.add_argument("--grid", default="matrix",
+                   choices=("matrix", "hash-sweep"))
+    p.add_argument("--scale", default="quick",
+                   choices=("quick", "default", "paper"))
+    p.add_argument("--workloads",
+                   help="comma-separated subset (default: paper set)")
+    p.add_argument("--schemes",
+                   help="comma-separated subset (matrix grid only)")
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--url", default=None,
+                   help="server base URL (default: discover from "
+                        "<dir>/server.json)")
+    p.add_argument("--dir", default=".repro-serve",
+                   help="server store directory, for URL discovery")
+    p.add_argument("--tenant", default="default")
+    p.add_argument("--no-wait", action="store_true",
+                   help="return after submission (poll with 'fetch')")
+    p.add_argument("--wait-timeout", type=float, default=600.0)
+    p.add_argument("--events", default=None,
+                   help="also stream the job's NDJSON events to FILE")
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser(
+        "fetch",
+        help="fetch a job's results (or one cached cell) from a server")
+    p.add_argument("target", help="job id (default) or cache key "
+                                  "(--cell)")
+    p.add_argument("--cell", action="store_true",
+                   help="treat target as a cell cache key")
+    p.add_argument("--url", default=None)
+    p.add_argument("--dir", default=".repro-serve",
+                   help="server store directory, for URL discovery")
+    p.add_argument("--out", default=None,
+                   help="write JSON here instead of stdout")
+    p.set_defaults(func=cmd_fetch)
 
     p = sub.add_parser(
         "explore",

@@ -27,6 +27,11 @@ The benchmark set:
 * ``fig10_quick`` — end-to-end figure 10 at quick scale on a fixed
   workload subset: trace generation + campaign plumbing + the matrix of
   runs + ratio aggregation, i.e. what a user actually waits for.
+* ``serve_cache_hit`` — the ``repro.serve`` fast path: repeated
+  ``CampaignStore.get_raw`` fetches of one cached cell (one entry,
+  hot after the first touch).  Throughput is fetches/sec; the row's
+  ``extra`` field records p50/p99 per-fetch latency in nanoseconds —
+  the "memcache speed" number docs/serving.md promises for cache hits.
 """
 
 from __future__ import annotations
@@ -62,7 +67,8 @@ FIG10_WORKLOADS = ("array", "queue")
 
 #: Per-benchmark timed repeats (full / ``--quick``).  The warmup run is
 #: always extra and untimed.
-_REPEATS = {"access_loop": (5, 3), "scheme": (3, 1), "fig10_quick": (2, 1)}
+_REPEATS = {"access_loop": (5, 3), "scheme": (3, 1), "fig10_quick": (2, 1),
+            "serve_cache_hit": (3, 1)}
 
 
 @dataclass(frozen=True)
@@ -75,15 +81,21 @@ class BenchResult:
     accesses_per_sec: float
     digest: str
     repeats: int
+    #: Optional benchmark-specific measurements (e.g. latency
+    #: percentiles).  Informational: compare_reports never reads it.
+    extra: dict[str, Any] | None = None
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        row = {
             "accesses": self.accesses,
             "wall_seconds": round(self.wall_seconds, 6),
             "accesses_per_sec": round(self.accesses_per_sec, 1),
             "digest": self.digest,
             "repeats": self.repeats,
         }
+        if self.extra is not None:
+            row["extra"] = self.extra
+        return row
 
 
 def result_digest(value: Any) -> str:
@@ -130,6 +142,61 @@ def _fig10_bench() -> Callable[[], tuple[int, Any]]:
     return run
 
 
+def _serve_cache_hit_bench(fetches: int = 2000
+                           ) -> Callable[[], tuple[int, Any]]:
+    """Timed fetches of one cached cell through the service store.
+
+    Setup is lazy (first call, i.e. the untimed warmup): compute one
+    real quick-scale cell and put it in a throwaway
+    :class:`~repro.serve.storage.CampaignStore`.  Timed runs then
+    measure ``get_raw`` only — the exact call the HTTP layer makes for
+    a cache hit.  Per-fetch latencies land in ``run.extra()`` as
+    p50/p99 nanoseconds.
+    """
+    state: dict[str, Any] = {}
+
+    def setup() -> None:
+        import tempfile
+
+        from repro.campaign.cache import cell_key
+        from repro.campaign.executor import execute_cell
+        from repro.campaign.spec import CampaignSpec
+        from repro.serve.storage import CampaignStore
+
+        scale = BenchScale.quick()
+        spec = CampaignSpec.matrix(scale, ["array"], ("scue",),
+                                   seed=42, name="serve-bench")
+        cell = spec.cells[0]
+        store = CampaignStore(
+            tempfile.mkdtemp(prefix="repro-perf-serve-"))
+        store.put(cell, execute_cell(cell), wall_time=0.0)
+        state["store"] = store
+        state["key"] = cell_key(cell)
+
+    def run() -> tuple[int, Any]:
+        if not state:
+            setup()
+        store, key = state["store"], state["key"]
+        samples: list[int] = []
+        data = b""
+        for _ in range(fetches):
+            start = time.perf_counter_ns()
+            data = store.get_raw(key)
+            samples.append(time.perf_counter_ns() - start)
+        samples.sort()
+        state["percentiles"] = {
+            "fetch_p50_ns": samples[len(samples) // 2],
+            "fetch_p99_ns": samples[min(len(samples) - 1,
+                                        int(len(samples) * 0.99))],
+        }
+        # Digest the served entry: a fetch path that altered (or tore)
+        # the payload must fail the determinism check.
+        return fetches, json.loads(data)
+
+    run.extra = lambda: dict(state.get("percentiles", {}))
+    return run
+
+
 def _benchmarks(names: tuple[str, ...] | None = None
                 ) -> list[tuple[str, str, Callable[[], tuple[int, Any]]]]:
     """``(name, repeat_class, runner)`` for every selected benchmark."""
@@ -139,6 +206,8 @@ def _benchmarks(names: tuple[str, ...] | None = None
     for scheme in PERF_SCHEMES:
         table.append((f"scheme:{scheme}", "scheme", _scheme_bench(scheme)))
     table.append(("fig10_quick", "fig10_quick", _fig10_bench()))
+    table.append(("serve_cache_hit", "serve_cache_hit",
+                  _serve_cache_hit_bench()))
     if names is not None:
         known = {name for name, _, _ in table}
         unknown = set(names) - known
@@ -179,9 +248,11 @@ def run_benchmarks(quick: bool = False,
                     f"benchmark {name!r} is non-deterministic: digest "
                     f"{repeat_digest[:12]} != {digest[:12]} across repeats")
         wall = statistics.median(walls)
+        extra_fn = getattr(runner, "extra", None)
         bench = BenchResult(name, accesses, wall,
                             accesses / wall if wall else 0.0,
-                            digest, repeats)
+                            digest, repeats,
+                            extra=extra_fn() if extra_fn else None)
         results[name] = bench.to_dict()
         say(f"  {name:<18s} {bench.accesses_per_sec:>12,.0f} acc/s  "
             f"({wall:.3f}s median of {repeats}, digest "

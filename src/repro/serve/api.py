@@ -1,0 +1,208 @@
+"""Wire schemas for the simulation service.
+
+Everything that crosses the HTTP boundary is defined here — request
+validation, job views, error payloads and the NDJSON event schema — so
+the server (:mod:`repro.serve.app`), the client
+(:mod:`repro.serve.client`), the tests and the CI smoke validator all
+agree on one vocabulary without importing each other.
+
+The API surface (see docs/serving.md for examples)::
+
+    GET  /healthz                    liveness + store summary
+    GET  /v1/stats                   queue/quota/store/job counters
+    POST /v1/campaigns               submit a CampaignSpec grid
+    GET  /v1/campaigns/<job>         job status (counts + per-cell state)
+    GET  /v1/campaigns/<job>/results completed results, spec order
+    GET  /v1/campaigns/<job>/events  NDJSON (or SSE) progress stream
+    GET  /v1/cells/<key>             one cached entry by cache key
+
+Errors are JSON ``{"error": <code>, "detail": <human text>}`` with the
+HTTP status carrying the class (400 bad request, 404 unknown, 413 too
+large, 429 quota exceeded, 503 shutting down).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.campaign.spec import CampaignSpec
+from repro.errors import ReproError
+
+#: Reject absurd submissions outright; a grid this big belongs in
+#: several jobs (and keeps one tenant from parking a day of work in
+#: a single quota charge).
+MAX_CELLS_PER_JOB = 4096
+
+#: Job lifecycle states (terminal: ``done``/``failed``).
+JOB_QUEUED = "queued"
+JOB_RUNNING = "running"
+JOB_DONE = "done"
+JOB_FAILED = "failed"
+
+#: Cell lifecycle states within a job.
+CELL_WAITING = "waiting"
+CELL_RUNNING = "running"
+CELL_CACHED = "cached"
+CELL_DONE = "done"
+CELL_FAILED = "failed"
+CELL_STATES = (CELL_WAITING, CELL_RUNNING, CELL_CACHED, CELL_DONE,
+               CELL_FAILED)
+
+#: NDJSON event vocabulary (one object per line; see EVENT_FIELDS).
+EV_JOB_ACCEPTED = "job_accepted"
+EV_CELL_SCHEDULED = "cell_scheduled"
+EV_CELL_STARTED = "cell_started"
+EV_CELL_RETRY = "cell_retry"
+EV_CELL_FINISHED = "cell_finished"
+EV_JOB_FINISHED = "job_finished"
+EVENT_TYPES = (EV_JOB_ACCEPTED, EV_CELL_SCHEDULED, EV_CELL_STARTED,
+               EV_CELL_RETRY, EV_CELL_FINISHED, EV_JOB_FINISHED)
+
+#: Required fields for every event, plus per-type extras.  This *is*
+#: the schema the CI smoke job validates streamed files against.
+EVENT_FIELDS = {
+    "*": ("seq", "ts", "event", "job"),
+    EV_JOB_ACCEPTED: ("tenant", "cells", "cached", "deduped", "queued"),
+    EV_CELL_SCHEDULED: ("cell_id", "key", "dedup"),
+    EV_CELL_STARTED: ("cell_id", "key"),
+    EV_CELL_RETRY: ("cell_id", "key", "attempt", "error"),
+    EV_CELL_FINISHED: ("cell_id", "key", "status", "wall_time"),
+    EV_JOB_FINISHED: ("state", "counts", "wall_time"),
+}
+
+
+class ServeError(ReproError):
+    """An HTTP-mappable service error."""
+
+    status = 400
+    code = "bad_request"
+
+    def to_dict(self) -> dict[str, str]:
+        return {"error": self.code, "detail": str(self)}
+
+
+class NotFoundError(ServeError):
+    status = 404
+    code = "not_found"
+
+
+class TooLargeError(ServeError):
+    status = 413
+    code = "too_large"
+
+
+class ShuttingDownError(ServeError):
+    status = 503
+    code = "shutting_down"
+
+
+@dataclass(frozen=True)
+class SubmitRequest:
+    """A validated ``POST /v1/campaigns`` body."""
+
+    tenant: str
+    spec: CampaignSpec
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "SubmitRequest":
+        if not isinstance(data, dict):
+            raise ServeError("request body must be a JSON object")
+        tenant = data.get("tenant", "default")
+        if not isinstance(tenant, str) or not tenant \
+                or len(tenant) > 64 or "/" in tenant:
+            raise ServeError(
+                "tenant must be a short string without '/'")
+        raw_spec = data.get("spec")
+        if not isinstance(raw_spec, dict):
+            raise ServeError("missing 'spec' (a CampaignSpec object)")
+        try:
+            spec = CampaignSpec.from_dict(raw_spec)
+        except ReproError:
+            raise
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ServeError(f"malformed CampaignSpec: {exc}") from exc
+        if not spec.cells:
+            raise ServeError("spec has no cells")
+        if len(spec.cells) > MAX_CELLS_PER_JOB:
+            raise TooLargeError(
+                f"{len(spec.cells)} cells exceeds the per-job limit "
+                f"of {MAX_CELLS_PER_JOB}")
+        return cls(tenant=tenant, spec=spec)
+
+
+@dataclass
+class CellView:
+    """One cell's state inside a job (the status endpoint's rows)."""
+
+    cell_id: str
+    key: str
+    state: str = CELL_WAITING
+    wall_time: float = 0.0
+    retries: int = 0
+    error: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"cell_id": self.cell_id, "key": self.key,
+                "state": self.state, "wall_time": self.wall_time,
+                "retries": self.retries, "error": self.error}
+
+
+@dataclass
+class JobView:
+    """The job-status payload."""
+
+    job_id: str
+    tenant: str
+    name: str
+    created: float
+    state: str
+    cells: list[CellView] = field(default_factory=list)
+    wall_time: float = 0.0
+
+    def counts(self) -> dict[str, int]:
+        out = {state: 0 for state in CELL_STATES}
+        for cell in self.cells:
+            out[cell.state] += 1
+        out["total"] = len(self.cells)
+        return out
+
+    def to_dict(self, with_cells: bool = True) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "job_id": self.job_id, "tenant": self.tenant,
+            "name": self.name, "created": self.created,
+            "state": self.state, "counts": self.counts(),
+            "wall_time": self.wall_time,
+        }
+        if with_cells:
+            payload["cells"] = [cell.to_dict() for cell in self.cells]
+        return payload
+
+
+def validate_event(event: Any) -> None:
+    """Raise ``ValueError`` unless ``event`` matches the NDJSON schema."""
+    if not isinstance(event, dict):
+        raise ValueError("event must be a JSON object")
+    for name in EVENT_FIELDS["*"]:
+        if name not in event:
+            raise ValueError(f"event missing required field {name!r}")
+    kind = event["event"]
+    if kind not in EVENT_TYPES:
+        raise ValueError(f"unknown event type {kind!r}")
+    if not isinstance(event["seq"], int) or event["seq"] < 1:
+        raise ValueError("seq must be a positive integer")
+    if not isinstance(event["ts"], (int, float)):
+        raise ValueError("ts must be a number")
+    for name in EVENT_FIELDS[kind]:
+        if name not in event:
+            raise ValueError(
+                f"{kind} event missing required field {name!r}")
+    if kind == EV_CELL_FINISHED \
+            and event["status"] not in (CELL_CACHED, CELL_DONE,
+                                        CELL_FAILED):
+        raise ValueError(
+            f"cell_finished status {event['status']!r} invalid")
+    if kind == EV_JOB_FINISHED \
+            and event["state"] not in (JOB_DONE, JOB_FAILED):
+        raise ValueError(
+            f"job_finished state {event['state']!r} invalid")

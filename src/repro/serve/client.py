@@ -1,0 +1,154 @@
+"""A thin stdlib client for the simulation service.
+
+``ServeClient`` wraps :mod:`urllib.request` — no sessions, no pooling,
+one request per call, matching the server's connection-per-request
+model.  It exists so the CLI (``repro-sim submit`` / ``fetch``), the
+tests and the CI smoke all talk to the server through one code path,
+and as the reference for anyone scripting against the API.
+
+Server discovery: a running server writes ``server.json`` into its
+store directory; :func:`discover_url` turns that directory back into a
+base URL, so clients sharing a filesystem never need to know the port
+(the e2e kill/restart test leans on this — every restart rebinds).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from collections.abc import Iterator
+from pathlib import Path
+from typing import Any
+
+from repro.serve.api import ServeError
+
+
+class ClientError(ServeError):
+    """The server (or transport) rejected a client call."""
+
+    def __init__(self, message: str, status: int = 0,
+                 payload: dict[str, Any] | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.payload = payload or {}
+
+
+def discover_url(root: str | Path) -> str:
+    """Base URL of the server whose store directory is ``root``."""
+    path = Path(root) / "server.json"
+    try:
+        info = json.loads(path.read_text())
+        return f"http://{info['host']}:{info['port']}"
+    except (OSError, ValueError, KeyError) as exc:
+        raise ClientError(
+            f"no running server advertised in {path} ({exc}); "
+            f"start one with 'repro-sim serve --dir {root}'") from exc
+
+
+class ServeClient:
+    """Blocking HTTP client for one service instance."""
+
+    def __init__(self, url: str, timeout: float = 30.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 body: dict[str, Any] | None = None) -> dict[str, Any]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.url + path, data=data, headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(
+                    request, timeout=self.timeout) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            detail: dict[str, Any] = {}
+            try:
+                detail = json.loads(exc.read())
+            except ValueError:
+                pass
+            raise ClientError(
+                detail.get("detail", f"HTTP {exc.code}"),
+                status=exc.code, payload=detail) from exc
+        except urllib.error.URLError as exc:
+            raise ClientError(
+                f"cannot reach {self.url}: {exc.reason}") from exc
+        except TimeoutError as exc:
+            # A stale server.json can point at a port whose socket is
+            # still held open by a dead server's orphaned workers:
+            # the connection opens but nothing ever answers.  Surface
+            # it as a ClientError so discovery loops keep retrying.
+            raise ClientError(
+                f"{self.url} accepted the connection but never "
+                f"answered") from exc
+
+    # -- API surface ---------------------------------------------------
+    def health(self) -> dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict[str, Any]:
+        return self._request("GET", "/v1/stats")
+
+    def submit(self, spec: dict[str, Any],
+               tenant: str = "default") -> dict[str, Any]:
+        """POST a ``CampaignSpec.to_dict()`` grid; returns the job view."""
+        return self._request("POST", "/v1/campaigns",
+                             {"tenant": tenant, "spec": spec})
+
+    def status(self, job_id: str,
+               with_cells: bool = True) -> dict[str, Any]:
+        suffix = "" if with_cells else "?cells=0"
+        return self._request("GET", f"/v1/campaigns/{job_id}{suffix}")
+
+    def results(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/v1/campaigns/{job_id}/results")
+
+    def fetch_cell(self, key: str) -> dict[str, Any]:
+        return self._request("GET", f"/v1/cells/{key}")
+
+    def events(self, job_id: str, follow: bool = True
+               ) -> Iterator[dict[str, Any]]:
+        """Stream the job's NDJSON events; ends at ``job_finished``
+        (server closes the stream) when following."""
+        suffix = "" if follow else "?follow=0"
+        request = urllib.request.Request(
+            f"{self.url}/v1/campaigns/{job_id}/events{suffix}")
+        try:
+            response = urllib.request.urlopen(request,
+                                              timeout=self.timeout)
+        except urllib.error.HTTPError as exc:
+            raise ClientError(f"HTTP {exc.code}",
+                              status=exc.code) from exc
+        except urllib.error.URLError as exc:
+            raise ClientError(
+                f"cannot reach {self.url}: {exc.reason}") from exc
+        except TimeoutError as exc:
+            raise ClientError(
+                f"{self.url} accepted the connection but never "
+                f"answered") from exc
+        with response:
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+
+    def wait(self, job_id: str, timeout: float = 600.0,
+             poll: float = 0.2) -> dict[str, Any]:
+        """Block until the job reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            view = self.status(job_id, with_cells=False)
+            if view["state"] in ("done", "failed"):
+                return self.status(job_id)
+            if time.monotonic() > deadline:
+                raise ClientError(
+                    f"job {job_id} still {view['state']} after "
+                    f"{timeout:g}s")
+            time.sleep(poll)

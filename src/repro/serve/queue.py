@@ -1,0 +1,125 @@
+"""Fair cell queueing with cross-job dedup.
+
+Two pure data structures (no asyncio, no I/O) the scheduler composes:
+
+* :class:`CellTask` — one *unique* unit of compute.  Several jobs that
+  submit the same cell (same cache key) share one task; each records a
+  ``(job_id, index)`` waiter and is notified when the single execution
+  completes.  This is the in-flight half of dedup — the at-rest half is
+  the content-addressed store.
+* :class:`FairQueue` — per-tenant FIFOs drained round-robin, so one
+  tenant submitting a 1000-cell grid cannot starve another tenant's
+  4-cell grid: each scheduling turn offers every tenant one cell.  The
+  rotation pointer persists across calls, making the fairness property
+  exact under contention (see tests/serve/test_queue.py).
+
+``pop(eligible=...)`` lets the caller veto tenants (e.g. at their
+running-cell quota) without losing their queue position: a vetoed
+tenant's cells stay put and the turn passes on.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.campaign.spec import CellSpec
+
+
+@dataclass
+class CellTask:
+    """One deduplicated cell execution and the jobs awaiting it."""
+
+    key: str
+    cell: CellSpec
+    tenant: str
+    #: ``(job_id, cell_index)`` pairs to notify on completion.  The
+    #: first entry is the submission that created the task.
+    waiters: list[tuple[str, int]] = field(default_factory=list)
+    attempts: int = 0
+
+    def add_waiter(self, job_id: str, index: int) -> None:
+        self.waiters.append((job_id, index))
+
+
+class FairQueue:
+    """Round-robin-over-tenants FIFO of :class:`CellTask`."""
+
+    def __init__(self) -> None:
+        #: Insertion-ordered so the round-robin order is deterministic.
+        self._queues: "OrderedDict[str, deque[CellTask]]" = OrderedDict()
+        #: Tenants in rotation order; index of the next tenant to serve.
+        self._rotation: list[str] = []
+        self._next = 0
+
+    # ------------------------------------------------------------------
+    def push(self, task: CellTask) -> None:
+        queue = self._queues.get(task.tenant)
+        if queue is None:
+            queue = deque()
+            self._queues[task.tenant] = queue
+            # New tenants join the rotation *behind* the current turn,
+            # so joining can never steal an existing tenant's slot.
+            self._rotation.append(task.tenant)
+        queue.append(task)
+
+    def pop(self, eligible: Callable[[str], bool] | None = None
+            ) -> CellTask | None:
+        """The next task, honouring tenant rotation; ``None`` if every
+        queued tenant is empty or vetoed by ``eligible``."""
+        if not self._rotation:
+            return None
+        size = len(self._rotation)
+        for offset in range(size):
+            slot = (self._next + offset) % size
+            tenant = self._rotation[slot]
+            queue = self._queues.get(tenant)
+            if not queue:
+                continue
+            if eligible is not None and not eligible(tenant):
+                continue
+            task = queue.popleft()
+            # Advance the turn past the served tenant.
+            self._next = (slot + 1) % size
+            self._prune()
+            return task
+        return None
+
+    def _prune(self) -> None:
+        """Drop empty tenants so the rotation stays proportional to
+        *active* tenants (an old tenant rejoins at the back later)."""
+        if all(self._queues.values()):
+            return
+        keep = [t for t in self._rotation if self._queues.get(t)]
+        # Preserve the turn: the next tenant to serve keeps its claim.
+        if keep:
+            nxt = None
+            size = len(self._rotation)
+            for offset in range(size):
+                tenant = self._rotation[(self._next + offset) % size]
+                if self._queues.get(tenant):
+                    nxt = tenant
+                    break
+            self._next = keep.index(nxt) if nxt in keep else 0
+        else:
+            self._next = 0
+        self._rotation = keep
+        for tenant in [t for t, q in self._queues.items() if not q]:
+            del self._queues[tenant]
+
+    # ------------------------------------------------------------------
+    def depth(self, tenant: str | None = None) -> int:
+        if tenant is not None:
+            queue = self._queues.get(tenant)
+            return len(queue) if queue else 0
+        return sum(len(queue) for queue in self._queues.values())
+
+    def tenants(self) -> list[str]:
+        return [t for t in self._rotation if self._queues.get(t)]
+
+    def __len__(self) -> int:
+        return self.depth()
+
+    def __bool__(self) -> bool:
+        return any(self._queues.values())

@@ -1,0 +1,121 @@
+"""Per-tenant admission control.
+
+Quotas bound what any one tenant can park on the service, so a shared
+deployment stays responsive for everyone else.  Three independent caps
+(each disabled by setting it to 0):
+
+* ``max_queued_cells`` — cells a tenant may have waiting in the fair
+  queue.  Checked at submission; exceeding it rejects the *whole job*
+  with a 429 (partial admission would make retry semantics ambiguous).
+* ``max_running_cells`` — cells a tenant may have executing at once,
+  enforced by the scheduler's eligibility check each time it draws from
+  the queue.  This is fairness's hard backstop: even a tenant alone on
+  the service cannot occupy every worker slot if capped below the pool.
+* ``max_active_jobs`` — not-yet-finished jobs per tenant, bounding the
+  bookkeeping (and event history) one tenant can pin in memory.
+
+Cells served straight from the cache charge nothing: dedup means a
+quota measures *compute demand*, not request volume — exactly the
+"most requests are cache hits" economics the service exists for.
+
+Pure synchronous bookkeeping; the asyncio scheduler calls it from the
+event-loop thread only.  Unit-tested in tests/serve/test_quotas.py.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.serve.api import ServeError
+
+
+class QuotaExceeded(ServeError):
+    """Mapped to HTTP 429."""
+
+    status = 429
+    code = "quota_exceeded"
+
+
+@dataclass(frozen=True)
+class QuotaPolicy:
+    """The per-tenant caps; 0 disables a cap."""
+
+    max_queued_cells: int = 1024
+    max_running_cells: int = 4
+    max_active_jobs: int = 16
+
+    def __post_init__(self) -> None:
+        for name in ("max_queued_cells", "max_running_cells",
+                     "max_active_jobs"):
+            if getattr(self, name) < 0:
+                raise ServeError(f"{name} must be >= 0")
+
+
+class TenantQuotas:
+    """Usage ledger enforcing a :class:`QuotaPolicy`."""
+
+    def __init__(self, policy: QuotaPolicy | None = None) -> None:
+        self.policy = policy or QuotaPolicy()
+        self._queued: Counter[str] = Counter()
+        self._running: Counter[str] = Counter()
+        self._jobs: Counter[str] = Counter()
+
+    # -- admission (raises) --------------------------------------------
+    def admit_job(self, tenant: str, new_cells: int) -> None:
+        """Check a submission that would queue ``new_cells`` cells.
+
+        Raises :class:`QuotaExceeded` without charging anything; on
+        success the caller charges via :meth:`job_started` /
+        :meth:`cell_queued`.
+        """
+        policy = self.policy
+        if policy.max_active_jobs \
+                and self._jobs[tenant] + 1 > policy.max_active_jobs:
+            raise QuotaExceeded(
+                f"tenant {tenant!r} already has {self._jobs[tenant]} "
+                f"active job(s) (limit {policy.max_active_jobs})")
+        if policy.max_queued_cells \
+                and self._queued[tenant] + new_cells \
+                > policy.max_queued_cells:
+            raise QuotaExceeded(
+                f"job would queue {new_cells} cell(s) on top of "
+                f"{self._queued[tenant]} already queued for tenant "
+                f"{tenant!r} (limit {policy.max_queued_cells})")
+
+    # -- charging ------------------------------------------------------
+    def job_started(self, tenant: str) -> None:
+        self._jobs[tenant] += 1
+
+    def job_finished(self, tenant: str) -> None:
+        if self._jobs[tenant] > 0:
+            self._jobs[tenant] -= 1
+
+    def cell_queued(self, tenant: str) -> None:
+        self._queued[tenant] += 1
+
+    def can_run(self, tenant: str) -> bool:
+        """Scheduler eligibility: may this tenant start another cell?"""
+        cap = self.policy.max_running_cells
+        return not cap or self._running[tenant] < cap
+
+    def cell_started(self, tenant: str) -> None:
+        self._queued[tenant] = max(0, self._queued[tenant] - 1)
+        self._running[tenant] += 1
+
+    def cell_finished(self, tenant: str) -> None:
+        if self._running[tenant] > 0:
+            self._running[tenant] -= 1
+
+    # ------------------------------------------------------------------
+    def usage(self, tenant: str) -> dict[str, int]:
+        return {"queued": self._queued[tenant],
+                "running": self._running[tenant],
+                "jobs": self._jobs[tenant]}
+
+    def snapshot(self) -> dict[str, dict[str, int]]:
+        tenants = (set(self._queued) | set(self._running)
+                   | set(self._jobs))
+        return {tenant: self.usage(tenant)
+                for tenant in sorted(tenants)
+                if any(self.usage(tenant).values())}

@@ -1,0 +1,312 @@
+"""The shared campaign store: sharded objects + an sqlite WAL index.
+
+This is the storage layer the ROADMAP asked the cache/manifest pair to
+be promoted into.  A :class:`CampaignStore` wraps the existing
+content-addressed :class:`~repro.campaign.cache.ResultCache` (the
+``objects/<key[:2]>/<key>.json`` shards stay byte-identical, so batch
+campaigns and the service share one store) and adds what a long-running
+multi-writer service needs on top:
+
+* an **sqlite index** (``index.sqlite``, WAL mode) mapping cache key →
+  cell identity and bookkeeping, so "what do we have" queries are one
+  indexed lookup instead of a directory walk over millions of shards.
+  The index is *derived state*: objects are the source of truth, index
+  rows are upserted best-effort and :meth:`reindex` rebuilds the table
+  from the shards at any time.  A missing or corrupt index therefore
+  degrades to a slower store, never a wrong one.
+* a bounded in-memory **hot cache** of raw entry bytes, so repeated
+  fetches of popular cells (the service's dominant request shape) are
+  served at memory speed without touching the filesystem.
+* raw-bytes accessors (:meth:`get_raw`) that hand the canonical JSON
+  entry straight to the HTTP layer — cache hits are served without a
+  decode/re-encode round trip.
+
+Directory layout (``CampaignStore(root)``)::
+
+    root/cache/objects/<key[:2]>/<key>.json   entries (ResultCache-owned)
+    root/index.sqlite                          derived index (WAL)
+    root/manifest.json                         batch-campaign manifests
+
+which is exactly the batch CLI's campaign-directory layout — pointing
+``repro-sim serve --dir`` at an existing campaign directory serves its
+cells, and batch runs against the same directory keep the index warm.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from collections import OrderedDict
+from collections.abc import Callable
+from contextlib import suppress
+from pathlib import Path
+from typing import Any
+
+from repro.campaign.cache import ResultCache, cell_key
+from repro.campaign.spec import CellSpec
+from repro.sim.results import RunResult
+
+#: Bump when the index table layout changes; mismatched indexes are
+#: dropped and rebuilt (they are derived state).
+INDEX_SCHEMA_VERSION = 1
+
+_CREATE = """
+CREATE TABLE IF NOT EXISTS meta (k TEXT PRIMARY KEY, v TEXT NOT NULL);
+CREATE TABLE IF NOT EXISTS cells (
+    key       TEXT PRIMARY KEY,
+    cell_id   TEXT NOT NULL,
+    workload  TEXT NOT NULL,
+    scheme    TEXT NOT NULL,
+    grp       TEXT NOT NULL DEFAULT '',
+    wall_time REAL NOT NULL DEFAULT 0.0,
+    size      INTEGER NOT NULL DEFAULT 0,
+    created   REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS cells_by_id ON cells (cell_id);
+"""
+
+
+class HotCache:
+    """Bounded LRU of raw entry bytes (the service's fast path)."""
+
+    def __init__(self, max_entries: int = 256,
+                 max_bytes: int = 64 * 1024 * 1024) -> None:
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._entries: OrderedDict[str, bytes] = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str) -> bytes | None:
+        with self._lock:
+            data = self._entries.get(key)
+            if data is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return data
+
+    def put(self, key: str, data: bytes) -> None:
+        if len(data) > self.max_bytes:
+            return
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= len(old)
+            self._entries[key] = data
+            self._bytes += len(data)
+            while (len(self._entries) > self.max_entries
+                   or self._bytes > self.max_bytes):
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= len(evicted)
+
+    def invalidate(self, key: str) -> None:
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= len(old)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {"entries": len(self._entries), "bytes": self._bytes,
+                    "hits": self.hits, "misses": self.misses}
+
+
+class CampaignStore:
+    """Concurrent-writer-safe result store with an sqlite index.
+
+    Duck-compatible with :class:`ResultCache` where the campaign
+    executor needs it (``get``/``put``/``path_for``/``root``/
+    ``__contains__``), so ``run_campaign(cache=store)`` works unchanged
+    and batch campaigns keep the index warm as they run.
+    """
+
+    def __init__(self, root: str | Path,
+                 decode: Callable[[dict], Any] = RunResult.from_dict,
+                 hot_entries: int = 256) -> None:
+        self.base = Path(root)
+        self.base.mkdir(parents=True, exist_ok=True)
+        self.cache = ResultCache(self.base / "cache", decode=decode)
+        self.index_path = self.base / "index.sqlite"
+        self.hot = HotCache(max_entries=hot_entries)
+        self.manifest_path = self.base / "manifest.json"
+        self._db_lock = threading.Lock()
+        self._db: sqlite3.Connection | None = None
+        self._open_index()
+
+    # -- ResultCache duck type -----------------------------------------
+    @property
+    def root(self) -> Path:
+        return self.cache.root
+
+    def path_for(self, key: str) -> Path:
+        return self.cache.path_for(key)
+
+    def __contains__(self, cell: CellSpec) -> bool:
+        return self.contains_key(cell_key(cell))
+
+    def get(self, cell: CellSpec) -> RunResult | None:
+        return self.cache.get(cell)
+
+    def put(self, cell: CellSpec, result: RunResult,
+            wall_time: float = 0.0) -> Path:
+        path = self.cache.put(cell, result, wall_time)
+        self.hot.invalidate(cell_key(cell))
+        self._index_cell(cell_key(cell), cell, wall_time, path)
+        return path
+
+    # -- service fast paths --------------------------------------------
+    def contains_key(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def get_raw(self, key: str) -> bytes | None:
+        """The raw canonical-JSON entry bytes for ``key``, or ``None``.
+
+        Served from the in-memory hot cache when possible; a disk read
+        validates the entry's embedded key before promoting it (a torn
+        or foreign file is treated as absent, matching ``get``).
+        """
+        data = self.hot.get(key)
+        if data is not None:
+            return data
+        try:
+            data = self.path_for(key).read_bytes()
+        except OSError:
+            return None
+        try:
+            payload = json.loads(data)
+            if payload["key"] != key:
+                raise ValueError("cache entry key mismatch")
+        except (ValueError, KeyError, TypeError):
+            self.cache.evict(key)
+            return None
+        self.hot.put(key, data)
+        return data
+
+    def get_result_dict(self, key: str) -> dict[str, Any] | None:
+        """The decoded ``result`` payload for ``key``, or ``None``."""
+        data = self.get_raw(key)
+        if data is None:
+            return None
+        return json.loads(data)["result"]
+
+    # -- sqlite index ---------------------------------------------------
+    def _open_index(self) -> None:
+        db = sqlite3.connect(self.index_path, timeout=10.0,
+                             check_same_thread=False)
+        try:
+            db.executescript(_CREATE)
+            with suppress(sqlite3.OperationalError):
+                db.execute("PRAGMA journal_mode=WAL")
+            db.execute("PRAGMA synchronous=NORMAL")
+            row = db.execute(
+                "SELECT v FROM meta WHERE k='schema'").fetchone()
+            if row is None:
+                db.execute("INSERT OR REPLACE INTO meta VALUES "
+                           "('schema', ?)", (str(INDEX_SCHEMA_VERSION),))
+                db.commit()
+            elif row[0] != str(INDEX_SCHEMA_VERSION):
+                db.executescript(
+                    "DROP TABLE cells; DROP TABLE meta;" + _CREATE)
+                db.execute("INSERT INTO meta VALUES ('schema', ?)",
+                           (str(INDEX_SCHEMA_VERSION),))
+                db.commit()
+        except sqlite3.Error:
+            # A wedged index must never take the store down: run
+            # indexless (every query falls back to the filesystem).
+            db.close()
+            self._db = None
+            return
+        self._db = db
+
+    def _index_cell(self, key: str, cell: CellSpec, wall_time: float,
+                    path: Path) -> None:
+        if self._db is None:
+            return
+        try:
+            size = path.stat().st_size
+        except OSError:
+            size = 0
+        row = (key, cell.cell_id, cell.workload, cell.config.scheme,
+               cell.group, wall_time, size, time.time())
+        with self._db_lock, suppress(sqlite3.Error):
+            self._db.execute(
+                "INSERT INTO cells VALUES (?,?,?,?,?,?,?,?) "
+                "ON CONFLICT(key) DO UPDATE SET wall_time=excluded."
+                "wall_time, size=excluded.size", row)
+            self._db.commit()
+
+    def index_count(self) -> int:
+        if self._db is None:
+            return len(self.cache)
+        with self._db_lock:
+            with suppress(sqlite3.Error):
+                return self._db.execute(
+                    "SELECT COUNT(*) FROM cells").fetchone()[0]
+        return len(self.cache)
+
+    def index_rows(self) -> list[dict[str, Any]]:
+        if self._db is None:
+            return []
+        with self._db_lock:
+            cursor = self._db.execute(
+                "SELECT key, cell_id, workload, scheme, grp, wall_time, "
+                "size, created FROM cells ORDER BY cell_id")
+            names = [c[0] for c in cursor.description]
+            return [dict(zip(names, row)) for row in cursor.fetchall()]
+
+    def reindex(self) -> int:
+        """Rebuild the index from the object shards; returns row count.
+
+        The recovery path for a deleted/corrupt index and the adoption
+        path for a store populated by pre-index batch campaigns.
+        """
+        if self._db is None:
+            self._open_index()
+        if self._db is None:
+            return 0
+        rows = []
+        for path in self.cache.iter_paths():
+            try:
+                payload = json.loads(path.read_text())
+                cell = CellSpec.from_dict(payload["cell"])
+                rows.append((payload["key"], cell.cell_id, cell.workload,
+                             cell.config.scheme, cell.group,
+                             payload.get("wall_time", 0.0),
+                             path.stat().st_size, time.time()))
+            except (OSError, ValueError, KeyError, TypeError):
+                continue
+        with self._db_lock:
+            self._db.execute("DELETE FROM cells")
+            self._db.executemany(
+                "INSERT OR REPLACE INTO cells VALUES (?,?,?,?,?,?,?,?)",
+                rows)
+            self._db.commit()
+        return len(rows)
+
+    def journal_mode(self) -> str:
+        if self._db is None:
+            return "none"
+        with self._db_lock:
+            return self._db.execute("PRAGMA journal_mode").fetchone()[0]
+
+    def stats(self) -> dict[str, Any]:
+        return {"objects": self.index_count(),
+                "hot": self.hot.stats(),
+                "journal_mode": self.journal_mode(),
+                "root": str(self.base)}
+
+    def close(self) -> None:
+        if self._db is not None:
+            with suppress(sqlite3.Error):
+                self._db.close()
+            self._db = None

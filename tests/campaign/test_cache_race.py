@@ -1,0 +1,122 @@
+"""Concurrent-writer stress for the result cache.
+
+Several processes hammer one cell key with put+get loops — the service
+worker pool and a batch campaign sharing a store do exactly this.  The
+invariants under race:
+
+* a reader never observes a torn entry (every get() is the full result
+  or ``None`` before first publication — never an exception, never a
+  mangled payload);
+* the final entry is canonical (identical to what a lone writer would
+  have produced);
+* no ``.tmp`` staging files or ``.lock`` files are left behind.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+
+from repro.campaign.cache import ResultCache, canonical_json, cell_key
+
+from tests.campaign._fakes import fake_cells, make_result
+
+WRITERS = 4
+ROUNDS = 25
+
+
+def _hammer(root: str, barrier, failures) -> None:
+    """One writer process: put+get the same key in a tight loop."""
+    cache = ResultCache(root)
+    cell = fake_cells(1)[0]
+    result = make_result(cell)
+    barrier.wait()                      # maximize overlap
+    for _ in range(ROUNDS):
+        try:
+            cache.put(cell, result, wall_time=1.0)
+            seen = cache.get(cell)
+            # get() may race an eviction only for corrupt entries —
+            # with correct writers the entry must always be whole.
+            if seen is None or seen.cycles != result.cycles:
+                failures.put(f"pid {os.getpid()}: torn or missing read")
+        except Exception as exc:      # noqa: BLE001 - report, don't hang
+            failures.put(f"pid {os.getpid()}: {exc!r}")
+
+
+def test_four_writers_one_key_no_torn_reads(tmp_path):
+    root = str(tmp_path / "cache")
+    ctx = multiprocessing.get_context("fork")
+    barrier = ctx.Barrier(WRITERS)
+    failures = ctx.Queue()
+    procs = [ctx.Process(target=_hammer, args=(root, barrier, failures))
+             for _ in range(WRITERS)]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join(120)
+        assert proc.exitcode == 0
+
+    problems = []
+    while not failures.empty():
+        problems.append(failures.get())
+    assert problems == []
+
+    # Exactly one canonical entry; no staging or lock litter.
+    cache = ResultCache(root)
+    cell = fake_cells(1)[0]
+    key = cell_key(cell)
+    path = cache.path_for(key)
+    assert path.is_file()
+    payload = json.loads(path.read_text())
+    assert payload["key"] == key
+    assert payload["result"] == make_result(cell).to_dict()
+    # The entry is byte-canonical: a lone writer produces these bytes.
+    solo = ResultCache(str(tmp_path / "solo"))
+    solo_path = solo.put(cell, make_result(cell), wall_time=1.0)
+    assert path.read_bytes() == solo_path.read_bytes()
+
+    litter = [p for p in (tmp_path / "cache").rglob("*")
+              if p.suffix in (".tmp", ".lock")
+              or ".tmp" in p.name]
+    assert litter == []
+
+
+def test_loser_of_lock_race_returns_published_path(tmp_path):
+    """A put that finds the lock held but the entry published returns
+    immediately with the entry's path (no rewrite, no error)."""
+    cache = ResultCache(tmp_path / "cache")
+    cell = fake_cells(1)[0]
+    first = cache.put(cell, make_result(cell), wall_time=1.0)
+    before = first.read_bytes()
+    # Simulate a concurrent holder: lock exists, entry already visible.
+    lock = first.with_suffix(".lock")
+    lock.touch()
+    second = cache.put(cell, make_result(cell), wall_time=9.0)
+    assert second == first
+    assert first.read_bytes() == before     # not rewritten
+    lock.unlink()
+
+
+def test_stale_lock_never_blocks_progress(tmp_path):
+    """A writer that died holding the lock (lock file present, entry
+    absent) does not wedge the key: the next put falls through to the
+    atomic-replace path and publishes."""
+    cache = ResultCache(tmp_path / "cache")
+    cell = fake_cells(1)[0]
+    path = cache.path_for(cell_key(cell))
+    path.parent.mkdir(parents=True)
+    path.with_suffix(".lock").touch()       # orphaned lock, no entry
+    published = cache.put(cell, make_result(cell), wall_time=1.0)
+    assert published == path
+    assert cache.get(cell) is not None
+
+
+def test_entry_bytes_are_canonical_json(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    cell = fake_cells(1)[0]
+    path = cache.put(cell, make_result(cell), wall_time=0.5)
+    raw = path.read_text()
+    payload = json.loads(raw)
+    assert raw == canonical_json(payload) + "\n" or \
+        raw == canonical_json(payload)

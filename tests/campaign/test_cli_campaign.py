@@ -47,6 +47,32 @@ class TestCampaignRun:
     def test_status_without_campaign(self, tmp_path, capsys):
         assert main(["campaign", "status", str(tmp_path)]) == 1
 
+    def test_status_json(self, tmp_path, capsys):
+        campaign_dir = str(tmp_path / "camp")
+        assert main([*RUN, "--dir", campaign_dir]) == 0
+        capsys.readouterr()
+
+        assert main(["campaign", "status", campaign_dir,
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["complete"] is True
+        assert payload["finished"] is True
+        assert payload["total"] == 2
+        assert payload["counts"]["done"] == 2
+        assert "cells" not in payload      # rows only with --cells
+
+        assert main(["campaign", "status", campaign_dir, "--json",
+                     "--cells"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [c["status"] for c in payload["cells"]] == \
+            ["done", "done"]
+
+    def test_status_json_without_campaign(self, tmp_path, capsys):
+        assert main(["campaign", "status", str(tmp_path),
+                     "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["error"] == "no_manifest"
+
 
 class TestFiguresJobs:
     def test_parallel_figure_json_is_byte_identical(self, tmp_path):

@@ -35,6 +35,7 @@ class TestBenchmarkTable:
     def test_names_cover_all_schemes(self):
         assert "access_loop" in BENCH_NAMES
         assert "fig10_quick" in BENCH_NAMES
+        assert "serve_cache_hit" in BENCH_NAMES
         for scheme in PERF_SCHEMES:
             assert f"scheme:{scheme}" in BENCH_NAMES
 
@@ -146,6 +147,24 @@ class TestBenchResult:
         assert as_dict["wall_seconds"] == 0.123457
         assert as_dict["accesses_per_sec"] == 4051.2
         assert as_dict["repeats"] == 3
+        assert "extra" not in as_dict      # omitted when unset
+
+    def test_extra_round_trips(self):
+        row = BenchResult("a", 500, 0.1, 5000.0, "e" * 64, 3,
+                          extra={"fetch_p50_ns": 481})
+        assert row.to_dict()["extra"] == {"fetch_p50_ns": 481}
+
+
+class TestServeCacheHitBench:
+    def test_latency_percentiles_recorded(self):
+        """The cached-fetch bench reports p50/p99 ns alongside the
+        digest (one real store, one real cell)."""
+        report = run_benchmarks(quick=True, names=("serve_cache_hit",))
+        row = report["benchmarks"]["serve_cache_hit"]
+        assert row["accesses"] == 2000
+        extra = row["extra"]
+        assert 0 < extra["fetch_p50_ns"] <= extra["fetch_p99_ns"]
+        assert len(row["digest"]) == 64
 
 
 class TestSmokeRun:

@@ -1,0 +1,144 @@
+"""Wire-schema units: request validation and the NDJSON event schema."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import api
+
+from tests.campaign._fakes import fake_spec
+
+
+def _body(spec=None, **extra):
+    body = {"spec": (spec or fake_spec(2)).to_dict()}
+    body.update(extra)
+    return body
+
+
+class TestSubmitRequest:
+    def test_valid_body(self):
+        request = api.SubmitRequest.from_dict(_body(tenant="alice"))
+        assert request.tenant == "alice"
+        assert len(request.spec.cells) == 2
+
+    def test_tenant_defaults(self):
+        assert api.SubmitRequest.from_dict(_body()).tenant == "default"
+
+    @pytest.mark.parametrize("bad", [
+        None, [], "spec", 42,
+    ])
+    def test_non_object_body_rejected(self, bad):
+        with pytest.raises(api.ServeError):
+            api.SubmitRequest.from_dict(bad)
+
+    @pytest.mark.parametrize("tenant", ["", "a/b", "x" * 65, 7])
+    def test_bad_tenant_rejected(self, tenant):
+        with pytest.raises(api.ServeError):
+            api.SubmitRequest.from_dict(_body(tenant=tenant))
+
+    def test_missing_spec_rejected(self):
+        with pytest.raises(api.ServeError, match="missing 'spec'"):
+            api.SubmitRequest.from_dict({"tenant": "t"})
+
+    def test_malformed_spec_rejected(self):
+        with pytest.raises(api.ServeError):
+            api.SubmitRequest.from_dict(
+                {"spec": {"name": "x", "cells": [{"nope": 1}]}})
+
+    def test_empty_spec_rejected(self):
+        spec = fake_spec(1).to_dict()
+        spec["cells"] = []
+        with pytest.raises(api.ServeError, match="no cells"):
+            api.SubmitRequest.from_dict({"spec": spec})
+
+    def test_oversized_spec_rejected_as_413(self):
+        spec = fake_spec(2).to_dict()
+        cell = spec["cells"][0]
+        spec["cells"] = [dict(cell, group=f"g{i}")
+                        for i in range(api.MAX_CELLS_PER_JOB + 1)]
+        with pytest.raises(api.TooLargeError) as excinfo:
+            api.SubmitRequest.from_dict({"spec": spec})
+        assert excinfo.value.status == 413
+
+
+class TestErrorPayloads:
+    @pytest.mark.parametrize("cls,status,code", [
+        (api.ServeError, 400, "bad_request"),
+        (api.NotFoundError, 404, "not_found"),
+        (api.TooLargeError, 413, "too_large"),
+        (api.ShuttingDownError, 503, "shutting_down"),
+    ])
+    def test_status_and_code(self, cls, status, code):
+        error = cls("why")
+        assert error.status == status
+        assert error.to_dict() == {"error": code, "detail": "why"}
+
+
+def _event(**overrides):
+    base = {"seq": 3, "ts": 1_700_000_000.0, "event": api.EV_CELL_STARTED,
+            "job": "job-000001", "cell_id": "fake/cell0", "key": "ab" * 32}
+    base.update(overrides)
+    return base
+
+
+class TestValidateEvent:
+    def test_accepts_well_formed(self):
+        api.validate_event(_event())
+
+    def test_accepts_every_declared_type(self):
+        extras = {
+            api.EV_JOB_ACCEPTED: dict(tenant="t", cells=4, cached=1,
+                                      deduped=1, queued=2),
+            api.EV_CELL_SCHEDULED: dict(dedup="store"),
+            api.EV_CELL_STARTED: {},
+            api.EV_CELL_RETRY: dict(attempt=1, error="boom"),
+            api.EV_CELL_FINISHED: dict(status=api.CELL_DONE,
+                                       wall_time=0.1),
+            api.EV_JOB_FINISHED: dict(state=api.JOB_DONE, counts={},
+                                      wall_time=0.2),
+        }
+        for kind, fields in extras.items():
+            api.validate_event(_event(event=kind, **fields))
+
+    @pytest.mark.parametrize("mutation,message", [
+        (lambda e: e.pop("seq"), "missing required field 'seq'"),
+        (lambda e: e.pop("job"), "missing required field 'job'"),
+        (lambda e: e.update(event="woke_up"), "unknown event type"),
+        (lambda e: e.update(seq=0), "seq must be a positive"),
+        (lambda e: e.update(ts="noon"), "ts must be a number"),
+        (lambda e: e.pop("cell_id"), "missing required field 'cell_id'"),
+    ])
+    def test_rejections(self, mutation, message):
+        event = _event()
+        mutation(event)
+        with pytest.raises(ValueError, match=message):
+            api.validate_event(event)
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError):
+            api.validate_event(["seq", 1])
+
+    def test_rejects_bad_terminal_states(self):
+        with pytest.raises(ValueError, match="status"):
+            api.validate_event(_event(event=api.EV_CELL_FINISHED,
+                                      status="exploded", wall_time=0.0))
+        with pytest.raises(ValueError, match="state"):
+            api.validate_event(_event(event=api.EV_JOB_FINISHED,
+                                      state="queued", counts={},
+                                      wall_time=0.0))
+
+
+class TestJobView:
+    def test_counts_and_dict(self):
+        view = api.JobView(job_id="job-000001", tenant="t", name="n",
+                           created=0.0, state=api.JOB_RUNNING,
+                           cells=[api.CellView("c0", "k0"),
+                                  api.CellView("c1", "k1",
+                                               state=api.CELL_DONE)])
+        counts = view.counts()
+        assert counts["waiting"] == 1
+        assert counts["done"] == 1
+        assert counts["total"] == 2
+        payload = view.to_dict()
+        assert len(payload["cells"]) == 2
+        assert "cells" not in view.to_dict(with_cells=False)

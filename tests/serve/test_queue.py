@@ -1,0 +1,115 @@
+"""Fair-queue units: round-robin fairness, rotation, dedup plumbing."""
+
+from __future__ import annotations
+
+from repro.serve.queue import CellTask, FairQueue
+
+from tests.campaign._fakes import fake_cells
+
+
+def _task(tenant: str, index: int) -> CellTask:
+    cell = fake_cells(index + 1, group_prefix=f"{tenant}-")[index]
+    task = CellTask(key=f"{tenant}-{index}", cell=cell, tenant=tenant)
+    task.add_waiter(f"job-{tenant}", index)
+    return task
+
+
+def _drain(queue: FairQueue, eligible=None) -> list[str]:
+    order = []
+    while True:
+        task = queue.pop(eligible=eligible)
+        if task is None:
+            return order
+        order.append(task.key)
+
+
+class TestRoundRobin:
+    def test_single_tenant_is_fifo(self):
+        queue = FairQueue()
+        for i in range(4):
+            queue.push(_task("a", i))
+        assert _drain(queue) == ["a-0", "a-1", "a-2", "a-3"]
+
+    def test_contended_tenants_interleave(self):
+        """The fairness property: a huge grid from one tenant cannot
+        starve a small grid from another — each turn serves every
+        tenant once."""
+        queue = FairQueue()
+        for i in range(6):
+            queue.push(_task("big", i))
+        for i in range(2):
+            queue.push(_task("small", i))
+        order = _drain(queue)
+        # 'small' finishes within the first two rotations despite
+        # 'big' having submitted first and 3x the cells.
+        assert order.index("small-0") <= 2
+        assert order.index("small-1") <= 4
+        assert order == ["big-0", "small-0", "big-1", "small-1",
+                         "big-2", "big-3", "big-4", "big-5"]
+
+    def test_three_way_rotation(self):
+        queue = FairQueue()
+        for tenant in ("a", "b", "c"):
+            for i in range(2):
+                queue.push(_task(tenant, i))
+        assert _drain(queue) == ["a-0", "b-0", "c-0",
+                                 "a-1", "b-1", "c-1"]
+
+    def test_tenant_joining_mid_drain_waits_its_turn(self):
+        queue = FairQueue()
+        for i in range(3):
+            queue.push(_task("a", i))
+        assert queue.pop().key == "a-0"
+        queue.push(_task("b", 0))
+        assert [t for t in _drain(queue)] == ["a-1", "b-0", "a-2"]
+
+    def test_empty_tenant_leaves_rotation(self):
+        queue = FairQueue()
+        queue.push(_task("a", 0))
+        queue.push(_task("b", 0))
+        _drain(queue)
+        assert queue.tenants() == []
+        assert len(queue) == 0
+        # Rejoining later works and is fair again.
+        queue.push(_task("b", 1))
+        queue.push(_task("a", 1))
+        assert _drain(queue) == ["b-1", "a-1"]
+
+
+class TestEligibility:
+    def test_vetoed_tenant_is_skipped_not_dropped(self):
+        queue = FairQueue()
+        queue.push(_task("a", 0))
+        queue.push(_task("b", 0))
+        task = queue.pop(eligible=lambda t: t != "a")
+        assert task.key == "b-0"
+        # a's cell is still queued and runs once eligible again.
+        assert queue.depth("a") == 1
+        assert queue.pop().key == "a-0"
+
+    def test_all_vetoed_returns_none(self):
+        queue = FairQueue()
+        queue.push(_task("a", 0))
+        assert queue.pop(eligible=lambda t: False) is None
+        assert len(queue) == 1
+
+    def test_pop_empty_returns_none(self):
+        assert FairQueue().pop() is None
+
+
+class TestTaskWaiters:
+    def test_waiters_accumulate(self):
+        task = _task("a", 0)
+        task.add_waiter("job-2", 5)
+        assert task.waiters == [("job-a", 0), ("job-2", 5)]
+
+    def test_depth_accounting(self):
+        queue = FairQueue()
+        for i in range(3):
+            queue.push(_task("a", i))
+        queue.push(_task("b", 0))
+        assert queue.depth() == 4
+        assert queue.depth("a") == 3
+        assert queue.depth("b") == 1
+        assert queue.depth("missing") == 0
+        assert bool(queue)

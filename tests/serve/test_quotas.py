@@ -1,0 +1,108 @@
+"""Quota units: admission, 429 rejection, release accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.api import ServeError
+from repro.serve.quotas import QuotaExceeded, QuotaPolicy, TenantQuotas
+
+
+class TestPolicy:
+    def test_defaults(self):
+        policy = QuotaPolicy()
+        assert policy.max_queued_cells > 0
+        assert policy.max_running_cells > 0
+        assert policy.max_active_jobs > 0
+
+    def test_negative_caps_rejected(self):
+        with pytest.raises(ServeError):
+            QuotaPolicy(max_queued_cells=-1)
+
+    def test_exceeded_maps_to_429(self):
+        assert QuotaExceeded.status == 429
+        assert QuotaExceeded("x").to_dict()["error"] == "quota_exceeded"
+
+
+class TestAdmission:
+    def test_admit_within_limits(self):
+        quotas = TenantQuotas(QuotaPolicy(max_queued_cells=4))
+        quotas.admit_job("t", 4)       # exactly at the cap is fine
+
+    def test_queued_cell_exhaustion_rejects_whole_job(self):
+        quotas = TenantQuotas(QuotaPolicy(max_queued_cells=4))
+        for _ in range(3):
+            quotas.cell_queued("t")
+        with pytest.raises(QuotaExceeded) as excinfo:
+            quotas.admit_job("t", 2)   # 3 + 2 > 4
+        assert excinfo.value.status == 429
+        # Nothing was charged by the failed admission.
+        assert quotas.usage("t")["queued"] == 3
+
+    def test_job_count_exhaustion(self):
+        quotas = TenantQuotas(QuotaPolicy(max_active_jobs=2))
+        quotas.job_started("t")
+        quotas.job_started("t")
+        with pytest.raises(QuotaExceeded):
+            quotas.admit_job("t", 0)
+        quotas.job_finished("t")
+        quotas.admit_job("t", 0)       # freed slot readmits
+
+    def test_tenants_are_isolated(self):
+        quotas = TenantQuotas(QuotaPolicy(max_queued_cells=2))
+        quotas.cell_queued("a")
+        quotas.cell_queued("a")
+        with pytest.raises(QuotaExceeded):
+            quotas.admit_job("a", 1)
+        quotas.admit_job("b", 2)       # b is unaffected by a's usage
+
+    def test_zero_disables_cap(self):
+        quotas = TenantQuotas(QuotaPolicy(max_queued_cells=0,
+                                          max_active_jobs=0))
+        quotas.admit_job("t", 10 ** 6)
+        assert quotas.can_run("t")
+
+
+class TestRunSlots:
+    def test_running_cap_gates_can_run(self):
+        quotas = TenantQuotas(QuotaPolicy(max_running_cells=2))
+        quotas.cell_queued("t")
+        quotas.cell_queued("t")
+        quotas.cell_queued("t")
+        assert quotas.can_run("t")
+        quotas.cell_started("t")
+        assert quotas.can_run("t")
+        quotas.cell_started("t")
+        assert not quotas.can_run("t")
+        quotas.cell_finished("t")
+        assert quotas.can_run("t")
+
+    def test_started_moves_queued_to_running(self):
+        quotas = TenantQuotas()
+        quotas.cell_queued("t")
+        quotas.cell_started("t")
+        assert quotas.usage("t") == {"queued": 0, "running": 1,
+                                     "jobs": 0}
+        quotas.cell_finished("t")
+        assert quotas.usage("t")["running"] == 0
+
+    def test_release_never_goes_negative(self):
+        quotas = TenantQuotas()
+        quotas.cell_finished("t")
+        quotas.job_finished("t")
+        assert quotas.usage("t") == {"queued": 0, "running": 0,
+                                     "jobs": 0}
+
+
+class TestSnapshot:
+    def test_snapshot_lists_only_active_tenants(self):
+        quotas = TenantQuotas()
+        quotas.cell_queued("a")
+        quotas.job_started("b")
+        quotas.cell_queued("c")
+        quotas.cell_started("c")
+        quotas.cell_finished("c")
+        snapshot = quotas.snapshot()
+        assert set(snapshot) == {"a", "b"}
+        assert snapshot["a"]["queued"] == 1
+        assert snapshot["b"]["jobs"] == 1

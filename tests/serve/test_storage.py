@@ -1,0 +1,167 @@
+"""CampaignStore units: cache duck type, sqlite index, hot cache."""
+
+from __future__ import annotations
+
+import json
+
+from repro.campaign.cache import cell_key
+from repro.serve.storage import CampaignStore
+
+from tests.campaign._fakes import fake_cells, make_result
+
+
+def _store(tmp_path, **kwargs) -> CampaignStore:
+    return CampaignStore(tmp_path / "store", **kwargs)
+
+
+class TestCacheDuckType:
+    def test_roundtrip(self, tmp_path):
+        store = _store(tmp_path)
+        cell = fake_cells(1)[0]
+        assert cell not in store
+        assert store.get(cell) is None
+        store.put(cell, make_result(cell), wall_time=1.5)
+        assert cell in store
+        result = store.get(cell)
+        assert result.workload == cell.workload
+        store.close()
+
+    def test_layout_matches_batch_campaign_dir(self, tmp_path):
+        """The service's store *is* a campaign directory: objects under
+        cache/objects/<shard>/, manifest path at the batch location."""
+        store = _store(tmp_path)
+        cell = fake_cells(1)[0]
+        path = store.put(cell, make_result(cell))
+        key = cell_key(cell)
+        assert path == (store.base / "cache" / "objects" / key[:2]
+                        / f"{key}.json")
+        assert store.manifest_path == store.base / "manifest.json"
+        store.close()
+
+
+class TestSqliteIndex:
+    def test_wal_mode_and_rows(self, tmp_path):
+        store = _store(tmp_path)
+        assert store.journal_mode() == "wal"
+        for cell in fake_cells(3):
+            store.put(cell, make_result(cell), wall_time=0.5)
+        assert store.index_count() == 3
+        rows = store.index_rows()
+        assert [row["cell_id"] for row in rows] == sorted(
+            cell.cell_id for cell in fake_cells(3))
+        assert all(row["size"] > 0 for row in rows)
+        store.close()
+
+    def test_put_is_upsert(self, tmp_path):
+        store = _store(tmp_path)
+        cell = fake_cells(1)[0]
+        store.put(cell, make_result(cell), wall_time=1.0)
+        store.put(cell, make_result(cell), wall_time=2.0)
+        assert store.index_count() == 1
+        store.close()
+
+    def test_reindex_rebuilds_from_shards(self, tmp_path):
+        """The index is derived state: delete it and reindex() gets it
+        all back from the objects."""
+        store = _store(tmp_path)
+        cells = fake_cells(4)
+        for cell in cells:
+            store.put(cell, make_result(cell))
+        store.close()
+
+        (tmp_path / "store" / "index.sqlite").unlink()
+        reopened = _store(tmp_path)
+        assert reopened.index_count() == 0
+        assert reopened.reindex() == 4
+        assert reopened.index_count() == 4
+        # Objects themselves were never touched.
+        for cell in cells:
+            assert cell in reopened
+        reopened.close()
+
+    def test_index_adopts_preexisting_batch_cache(self, tmp_path):
+        """Opening a store over a cache written by ResultCache alone
+        (a pre-service campaign dir) works; reindex adopts the rows."""
+        from repro.campaign.cache import ResultCache
+        legacy = ResultCache(tmp_path / "store" / "cache")
+        for cell in fake_cells(2):
+            legacy.put(cell, make_result(cell))
+        store = _store(tmp_path)
+        for cell in fake_cells(2):
+            assert cell in store
+        assert store.reindex() == 2
+        store.close()
+
+
+class TestHotCache:
+    def test_repeat_fetch_served_from_memory(self, tmp_path):
+        store = _store(tmp_path)
+        cell = fake_cells(1)[0]
+        store.put(cell, make_result(cell))
+        key = cell_key(cell)
+        first = store.get_raw(key)
+        assert first is not None
+        assert store.hot.stats()["misses"] >= 1
+        # Second fetch hits memory and returns identical bytes.
+        hits_before = store.hot.stats()["hits"]
+        assert store.get_raw(key) == first
+        assert store.hot.stats()["hits"] == hits_before + 1
+        store.close()
+
+    def test_get_raw_missing_key(self, tmp_path):
+        store = _store(tmp_path)
+        assert store.get_raw("0" * 64) is None
+        store.close()
+
+    def test_get_raw_rejects_foreign_entry(self, tmp_path):
+        """An entry whose embedded key mismatches its path is treated
+        as absent and evicted, like ResultCache.get would."""
+        store = _store(tmp_path)
+        cell = fake_cells(1)[0]
+        path = store.put(cell, make_result(cell))
+        payload = json.loads(path.read_text())
+        payload["key"] = "f" * 64
+        path.write_text(json.dumps(payload))
+        assert store.get_raw(cell_key(cell)) is None
+        assert not path.exists()
+        store.close()
+
+    def test_put_invalidates_hot_entry(self, tmp_path):
+        store = _store(tmp_path)
+        cell = fake_cells(1)[0]
+        store.put(cell, make_result(cell), wall_time=1.0)
+        key = cell_key(cell)
+        store.get_raw(key)                       # promote
+        store.put(cell, make_result(cell), wall_time=9.0)
+        fresh = json.loads(store.get_raw(key))
+        assert fresh["wall_time"] == 9.0
+        store.close()
+
+    def test_lru_bounded_by_entries(self, tmp_path):
+        store = _store(tmp_path, hot_entries=2)
+        cells = fake_cells(3)
+        for cell in cells:
+            store.put(cell, make_result(cell))
+            store.get_raw(cell_key(cell))
+        assert len(store.hot) == 2
+        store.close()
+
+    def test_get_result_dict(self, tmp_path):
+        store = _store(tmp_path)
+        cell = fake_cells(1)[0]
+        store.put(cell, make_result(cell))
+        payload = store.get_result_dict(cell_key(cell))
+        assert payload["workload"] == cell.workload
+        assert payload["cycles"] == 1000
+        store.close()
+
+
+class TestStats:
+    def test_stats_shape(self, tmp_path):
+        store = _store(tmp_path)
+        stats = store.stats()
+        assert stats["objects"] == 0
+        assert stats["journal_mode"] == "wal"
+        assert set(stats["hot"]) == {"entries", "bytes", "hits",
+                                     "misses"}
+        store.close()

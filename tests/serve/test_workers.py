@@ -1,0 +1,232 @@
+"""Worker semantics: the service's per-cell contract must equal the
+batch executor's — same retry budget, same backoff curve, same
+timeout-kill, same failure message shape."""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.campaign.executor import _backoff_delay, run_cell
+from repro.errors import CampaignError
+from repro.serve import api
+from repro.serve.events import EventBus
+from repro.serve.quotas import QuotaPolicy
+from repro.serve.storage import CampaignStore
+from repro.serve.workers import Scheduler
+
+from tests.campaign._fakes import (
+    dying_once_cell,
+    fake_cells,
+    fake_spec,
+    ok_cell,
+    raising_cell,
+    sleeping_cell,
+    tracking_cell,
+    invocations,
+)
+
+
+@pytest.fixture
+def scratch(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TEST_DIR", str(tmp_path / "markers"))
+    (tmp_path / "markers").mkdir()
+    return tmp_path
+
+
+# ======================================================================
+# run_cell: the executor seam the service inherits
+# ======================================================================
+class TestRunCellParity:
+    def test_success_first_attempt(self, scratch):
+        cell = fake_cells(1)[0]
+        outcome = run_cell(cell, cell_fn=ok_cell)
+        assert outcome.attempts == 1
+        assert outcome.result.workload == cell.workload
+        assert outcome.wall_time >= 0.0
+
+    def test_transient_death_retried_like_parallel_path(self, scratch):
+        """A worker that dies without reporting is retried — the
+        parallel campaign's transient-death semantics."""
+        cell = fake_cells(1)[0]
+        outcome = run_cell(cell, cell_fn=dying_once_cell, backoff=0.01)
+        assert outcome.attempts == 2
+
+    def test_default_retry_budget_matches_parallel_default(self, scratch):
+        """retries defaults to 2 (the jobs>1 default in run_campaign):
+        a deterministic failure is attempted exactly 3 times."""
+        cell = fake_cells(1)[0]
+        with pytest.raises(CampaignError) as excinfo:
+            run_cell(cell, cell_fn=raising_cell, backoff=0.01)
+        message = str(excinfo.value)
+        assert "failed after 3 attempt(s)" in message
+        # Message ends with the traceback's last line, like the
+        # parallel path's CampaignError.
+        assert "boom in" in message
+
+    def test_timeout_kills_attempt(self, scratch):
+        cell = fake_cells(1)[0]
+        started = time.perf_counter()
+        with pytest.raises(CampaignError) as excinfo:
+            run_cell(cell, cell_fn=sleeping_cell, timeout=0.3,
+                     retries=0, backoff=0.01)
+        assert time.perf_counter() - started < 30.0
+        assert "timed out after 0.3s" in str(excinfo.value)
+
+    def test_on_retry_reports_each_attempt(self, scratch):
+        cell = fake_cells(1)[0]
+        seen: list[int] = []
+        with pytest.raises(CampaignError):
+            run_cell(cell, cell_fn=raising_cell, retries=2,
+                     backoff=0.01,
+                     on_retry=lambda attempt, error: seen.append(attempt))
+        assert seen == [1, 2]
+
+    def test_backoff_curve_is_the_executor_curve(self):
+        """The service must not invent its own backoff: run_cell sleeps
+        _backoff_delay, the very function the parallel path uses."""
+        assert _backoff_delay(0.5, 1) == 0.5
+        assert _backoff_delay(0.5, 2) == 1.0
+        assert _backoff_delay(0.5, 3) == 2.0
+        assert _backoff_delay(10.0, 10) == 30.0   # capped
+
+    def test_zero_retries_single_attempt(self, scratch):
+        cell = fake_cells(1)[0]
+        with pytest.raises(CampaignError) as excinfo:
+            run_cell(cell, cell_fn=raising_cell, retries=0, backoff=0.01)
+        assert "failed after 1 attempt(s)" in str(excinfo.value)
+
+
+# ======================================================================
+# Scheduler: dedup + fairness over the pool
+# ======================================================================
+def _run(coro):
+    return asyncio.run(coro)
+
+
+async def _with_scheduler(tmp_path, coro_fn, *, slots=2, policy=None,
+                          cell_fn=ok_cell, timeout=None, retries=None):
+    store = CampaignStore(tmp_path / "store")
+    bus = EventBus()
+    scheduler = Scheduler(store, bus, slots=slots, policy=policy,
+                          cell_fn=cell_fn, timeout=timeout,
+                          retries=retries, backoff=0.01)
+    await scheduler.start()
+    try:
+        return await coro_fn(scheduler, store, bus)
+    finally:
+        await scheduler.stop()
+        store.close()
+
+
+class TestSchedulerDedup:
+    def test_store_hit_costs_no_compute(self, scratch):
+        async def body(scheduler, store, bus):
+            spec = fake_spec(3)
+            job1 = scheduler.submit(
+                api.SubmitRequest(tenant="t", spec=spec))
+            await asyncio.wait_for(job1.done.wait(), 30)
+            computed = scheduler.counters["cells_computed"]
+            job2 = scheduler.submit(
+                api.SubmitRequest(tenant="t", spec=spec))
+            await asyncio.wait_for(job2.done.wait(), 30)
+            assert scheduler.counters["cells_computed"] == computed
+            assert job2.view.counts()["cached"] == 3
+            assert job2.view.state == api.JOB_DONE
+        _run(_with_scheduler(scratch, body))
+
+    def test_inflight_dedup_single_execution(self, scratch):
+        """Two jobs racing on the same cells share one execution."""
+        async def body(scheduler, store, bus):
+            spec = fake_spec(2)
+            job1 = scheduler.submit(
+                api.SubmitRequest(tenant="a", spec=spec))
+            job2 = scheduler.submit(
+                api.SubmitRequest(tenant="b", spec=spec))
+            await asyncio.wait_for(job1.done.wait(), 30)
+            await asyncio.wait_for(job2.done.wait(), 30)
+            for cell in spec.cells:
+                assert invocations(cell) == 1
+            assert scheduler.counters["inflight_hits"] == 2
+            assert job2.view.state == api.JOB_DONE
+        _run(_with_scheduler(scratch, body, cell_fn=tracking_cell))
+
+    def test_failed_cell_fails_job_but_not_others(self, scratch):
+        async def body(scheduler, store, bus):
+            spec = fake_spec(2)
+            job = scheduler.submit(
+                api.SubmitRequest(tenant="t", spec=spec))
+            await asyncio.wait_for(job.done.wait(), 30)
+            assert job.view.state == api.JOB_FAILED
+            counts = job.view.counts()
+            assert counts["failed"] == 2
+            events = bus.history(job.view.job_id)
+            finished = [e for e in events
+                        if e["event"] == api.EV_CELL_FINISHED]
+            assert all(e["status"] == api.CELL_FAILED for e in finished)
+            assert all("boom in" in e["error"] for e in finished)
+        _run(_with_scheduler(scratch, body, cell_fn=raising_cell,
+                             retries=0))
+
+
+class TestSchedulerQuotas:
+    def test_running_quota_caps_concurrency(self, scratch):
+        """A tenant capped at 1 running cell never occupies both
+        slots, even with the pool idle."""
+        async def body(scheduler, store, bus):
+            spec = fake_spec(4)
+            job = scheduler.submit(
+                api.SubmitRequest(tenant="t", spec=spec))
+            peak = 0
+            while not job.done.is_set():
+                peak = max(peak,
+                           scheduler.quotas.usage("t")["running"])
+                await asyncio.sleep(0.005)
+            assert peak == 1
+        policy = QuotaPolicy(max_running_cells=1)
+        _run(_with_scheduler(scratch, body, policy=policy,
+                             cell_fn=tracking_cell))
+
+    def test_submit_past_queue_quota_raises_429(self, scratch):
+        async def body(scheduler, store, bus):
+            with pytest.raises(api.ServeError) as excinfo:
+                scheduler.submit(api.SubmitRequest(
+                    tenant="t", spec=fake_spec(5)))
+            assert excinfo.value.status == 429
+            # The rejected job charged nothing and left no state.
+            assert scheduler.quotas.usage("t")["queued"] == 0
+            assert len(scheduler.jobs) == 0
+        policy = QuotaPolicy(max_queued_cells=4)
+        _run(_with_scheduler(scratch, body, policy=policy))
+
+    def test_cached_cells_charge_no_quota(self, scratch):
+        """Dedup economics: resubmitting a fully-cached grid admits
+        even when the quota would reject it as fresh compute."""
+        async def body(scheduler, store, bus):
+            spec = fake_spec(4)
+            job = scheduler.submit(
+                api.SubmitRequest(tenant="t", spec=spec))
+            await asyncio.wait_for(job.done.wait(), 30)
+            # Queue quota is 4; a second 4-cell job fits only because
+            # its cells are all cache hits (charge 0).
+            scheduler.submit(api.SubmitRequest(tenant="t", spec=spec))
+            with pytest.raises(api.ServeError):
+                scheduler.submit(api.SubmitRequest(
+                    tenant="t", spec=fake_spec(5, group_prefix="new")))
+        policy = QuotaPolicy(max_queued_cells=4)
+        _run(_with_scheduler(scratch, body, policy=policy))
+
+
+class TestSchedulerTimeouts:
+    def test_timeout_fails_cell_with_executor_message(self, scratch):
+        async def body(scheduler, store, bus):
+            spec = fake_spec(1)
+            job = scheduler.submit(
+                api.SubmitRequest(tenant="t", spec=spec))
+            await asyncio.wait_for(job.done.wait(), 60)
+            assert job.view.state == api.JOB_FAILED
+            assert "timed out after 0.3s" in job.view.cells[0].error
+        _run(_with_scheduler(scratch, body, cell_fn=sleeping_cell,
+                             timeout=0.3, retries=0))
