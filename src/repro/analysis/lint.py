@@ -890,6 +890,75 @@ class UnexploredPersistBoundaryRule(LintRule):
                     "snapshots and replays it")
 
 
+# ======================================================================
+# RPL011 — report bundles are pure functions of (campaign, seed)
+# ======================================================================
+class NondeterministicReportRule(LintRule):
+    """Wall-clock or unseeded randomness inside the report pipeline.
+
+    The golden-bundle guarantee (docs/figures.md) is checked in CI by
+    rendering the same campaign twice and diffing sha256 per file, so
+    any entropy source in ``repro.viz`` that is not the explicit report
+    seed breaks a release gate.  The only sanctioned RNG shape is
+    ``random.Random(seed)`` / ``Random(seed)`` with an argument; module-
+    level ``random.*`` calls share interpreter-global state and argless
+    constructors seed from the OS."""
+
+    name = "nondeterministic-report"
+    paths = ("viz/",)
+
+    #: datetime attribute chains that read the wall clock.
+    _WALL_CLOCK = {"datetime.now", "datetime.utcnow", "date.today",
+                   "datetime.datetime.now", "datetime.datetime.utcnow",
+                   "datetime.date.today"}
+
+    @staticmethod
+    def _dotted(node: ast.AST) -> str | None:
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+
+    def check(self, mod: ParsedModule) -> Iterator[Violation]:
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = self._dotted(node.func)
+            if dotted is None:
+                continue
+            head, _, rest = dotted.partition(".")
+            if head == "random":
+                if rest == "Random" and (node.args or node.keywords):
+                    continue    # the sanctioned seeded shape
+                yield self.violation(
+                    mod, node,
+                    f"{dotted}() draws from interpreter-global or OS-"
+                    "seeded randomness; reports must derive every "
+                    "random draw from random.Random(report_seed)")
+            elif dotted == "Random" and not (node.args or node.keywords):
+                yield self.violation(
+                    mod, node,
+                    "Random() with no seed argument seeds from the OS; "
+                    "pass the report seed explicitly")
+            elif head == "time" and rest:
+                yield self.violation(
+                    mod, node,
+                    f"{dotted}() reads the wall clock; bundle bytes "
+                    "must not depend on when the report runs — derive "
+                    "labels from the campaign cache instead")
+            elif dotted in self._WALL_CLOCK:
+                yield self.violation(
+                    mod, node,
+                    f"{dotted}() stamps wall-clock time into the "
+                    "report; bundles are compared byte-for-byte across "
+                    "runs, so timestamps belong in the campaign cache, "
+                    "not the bundle")
+
+
 _FLAT_RULE_CLASSES: tuple[type[LintRule], ...] = (
     UncheckedVerifyRule,
     FloatCycleArithRule,
@@ -898,6 +967,7 @@ _FLAT_RULE_CLASSES: tuple[type[LintRule], ...] = (
     ObsUnattributedCyclesRule,
     HotPathAllocationRule,
     UnexploredPersistBoundaryRule,
+    NondeterministicReportRule,
 )
 
 _PROJECT_RULE_CLASSES: tuple[type[ProjectRule], ...] = (

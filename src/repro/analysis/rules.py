@@ -157,6 +157,20 @@ ALL_RULES: tuple[RuleInfo, ...] = (
                   "or register the new seam in "
                   "repro.analysis.explorer.seams.",
     ),
+    RuleInfo(
+        id="RPL011",
+        name="nondeterministic-report",
+        summary="report pipeline code draws on wall-clock time or "
+                "unseeded randomness",
+        rationale="Every byte of a report bundle must be a pure "
+                  "function of the campaign cache and the report seed "
+                  "(docs/figures.md): two runs over the same campaign "
+                  "directory are compared sha256-per-file in CI, so a "
+                  "time.time()/datetime.now() stamp or a module-level "
+                  "random call (anything but an explicitly seeded "
+                  "random.Random(seed)) silently breaks the golden-"
+                  "bundle guarantee.",
+    ),
 )
 
 _BY_NAME = {rule.name: rule for rule in ALL_RULES}

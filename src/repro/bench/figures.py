@@ -63,6 +63,15 @@ class ComparisonFigure:
     def measured_average(self) -> dict[str, float]:
         return dict(self.table["geomean"])
 
+    def long_rows(self) -> list[dict[str, Any]]:
+        """Tidy ``{workload, scheme, ratio}`` rows (geomean excluded),
+        sorted for byte-stable CSV emission (repro.viz)."""
+        return [{"workload": workload, "scheme": scheme,
+                 "ratio": self.table[workload][scheme]}
+                for workload in sorted(w for w in self.table
+                                       if w != "geomean")
+                for scheme in self.table[workload]]
+
 
 def fig9_write_latency(scale: BenchScale | None = None,
                        workloads: Sequence[str] = ALL_WORKLOADS,
@@ -111,6 +120,16 @@ class HashSweepFigure:
 
     def average(self, latency: int) -> float:
         return geomean(self.table[latency].values())
+
+    def long_rows(self) -> list[dict[str, Any]]:
+        """Tidy ``{workload, hash_latency, ratio}`` rows, sorted for
+        byte-stable CSV emission (repro.viz)."""
+        workloads = sorted({w for row in self.table.values()
+                            for w in row})
+        return [{"workload": workload, "hash_latency": latency,
+                 "ratio": self.table[latency][workload]}
+                for workload in workloads
+                for latency in sorted(self.table)]
 
 
 def _hash_sweep(scale: BenchScale, workloads: Sequence[str], metric: str,
@@ -174,6 +193,16 @@ class RecoveryFigure:
     #: Functional cross-check: reads performed by an *actual* targeted
     #: rebuild on an honest (write-through) configuration, per tracker.
     functional_reads: dict[str, int] = field(default_factory=dict)
+
+    def long_rows(self) -> list[dict[str, Any]]:
+        """Tidy ``{tracker, cache_kb, seconds, stale_nodes}`` rows,
+        sorted for byte-stable CSV emission (repro.viz)."""
+        return [{"tracker": tracker, "cache_kb": cache_bytes // 1024,
+                 "seconds": seconds,
+                 "stale_nodes": self.stale_nodes[tracker][cache_bytes]}
+                for tracker in sorted(self.table)
+                for cache_bytes, seconds in
+                sorted(self.table[tracker].items())]
 
 
 def fig13_recovery_time(cache_sizes: Sequence[int] = (
@@ -240,6 +269,13 @@ class CrashWindowResult:
     #: ``{scheme: fraction of crashes recovered successfully}``
     success_rate: dict[str, float]
     trials: int
+
+    def long_rows(self) -> list[dict[str, Any]]:
+        """Tidy ``{scheme, success_rate, trials}`` rows, sorted for
+        byte-stable CSV emission (repro.viz)."""
+        return [{"scheme": scheme, "success_rate": rate,
+                 "trials": self.trials}
+                for scheme, rate in sorted(self.success_rate.items())]
 
 
 def fig5_crash_window(schemes: Sequence[str] = (

@@ -153,6 +153,20 @@ class MatrixResult:
                     merged[metric] = hist
         return {metric: hist.to_dict() for metric, hist in merged.items()}
 
+    def merged_attribution(self, scheme: str) -> dict[str, int]:
+        """One scheme's cycle-attribution ledger summed across every
+        workload (``{component: cycles}``, sorted by component) — the
+        campaign-level composition view behind the report bundle's
+        stacked-bar dashboard."""
+        merged: dict[str, int] = {}
+        for row in self.results.values():
+            result = row.get(scheme)
+            if result is None:
+                continue
+            for component, cycles in result.attribution.items():
+                merged[component] = merged.get(component, 0) + cycles
+        return dict(sorted(merged.items()))
+
 
 def geomean(values: Iterable[float]) -> float:
     values = [v for v in values if v > 0]

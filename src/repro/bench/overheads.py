@@ -47,3 +47,17 @@ def sec5f_space_overheads(
         rows.append(OverheadRow(name, controller.onchip_overhead_bytes(),
                                 PAPER_OVERHEADS.get(name)))
     return rows
+
+
+def overhead_long_rows(rows: list[OverheadRow]) -> list[dict]:
+    """Tidy ``{scheme, source, bytes}`` rows — one row per measured
+    value and one per published value — sorted for byte-stable CSV
+    emission (repro.viz)."""
+    out: list[dict] = []
+    for row in sorted(rows, key=lambda r: r.scheme):
+        out.append({"scheme": row.scheme, "source": "measured",
+                    "bytes": row.measured_bytes})
+        if row.paper_bytes is not None:
+            out.append({"scheme": row.scheme, "source": "paper",
+                        "bytes": row.paper_bytes})
+    return out

@@ -53,6 +53,22 @@ def format_simple_table(title: str, headers: Sequence[str],
     return "\n".join(lines)
 
 
+def format_markdown_table(headers: Sequence[str],
+                          rows: Sequence[Sequence[object]]) -> str:
+    """Render a GitHub-flavoured markdown table (used by the report
+    bundle's ``STATUS.md`` manifest)."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+              for i, h in enumerate(headers)]
+    lines = ["| " + " | ".join(f"{h:<{w}}" for h, w in
+                               zip(headers, widths)) + " |",
+             "|" + "|".join("-" * (w + 2) for w in widths) + "|"]
+    for row in cells:
+        lines.append("| " + " | ".join(f"{c:<{w}}" for c, w in
+                                       zip(row, widths)) + " |")
+    return "\n".join(lines)
+
+
 def human_bytes(n: int | None) -> str:
     if n is None:
         return "-"

@@ -324,6 +324,48 @@ def cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.viz.bundle import write_bundle
+
+    recovery = None
+    if args.recovery:
+        from repro.bench.figures import fig13_recovery_time
+        sizes = tuple(int(s) for s in args.recovery_sizes.split(","))
+        print(f"running Fig 13 recovery sweep ({len(sizes)} cache "
+              "sizes x 2 trackers)...")
+        recovery = fig13_recovery_time(cache_sizes=sizes,
+                                       seed=args.seed)
+    crash_window = None
+    if args.crash_window:
+        from repro.bench.figures import fig5_crash_window
+        print("running Fig 5 crash-window trials...")
+        crash_window = fig5_crash_window(seed=args.seed)
+    perf_snapshots = []
+    if args.perf:
+        from repro.perf import load_report
+        for path in args.perf:
+            perf_snapshots.append((Path(path).stem, load_report(path)))
+
+    out_dir = Path(args.out) if args.out \
+        else Path(args.dir) / "report"
+    manifest = write_bundle(
+        args.dir, out_dir, resamples=args.resamples, seed=args.seed,
+        overheads=not args.no_overheads, recovery=recovery,
+        crash_window=crash_window, perf_snapshots=perf_snapshots)
+    print(f"report bundle: {manifest.out_dir}")
+    for artifact in sorted(manifest.artifacts, key=lambda a: a.name):
+        print(f"  {artifact.spec_file()} + {artifact.data_file()} "
+              f"({len(artifact.rows)} rows)")
+    for stats_file in manifest.stats_files:
+        print(f"  {stats_file}")
+    print(f"wrote {len(manifest.files)} files: "
+          f"{len(manifest.artifacts)} figures, "
+          f"{len(manifest.stats_files)} stats tables, STATUS.md")
+    return 0
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
     from repro.analysis.cli import main as analysis_main
     return analysis_main(args.lint_args)
@@ -773,6 +815,36 @@ def build_parser() -> argparse.ArgumentParser:
                          help="drop a campaign's cache and manifest")
     pc.add_argument("dir", help="campaign directory")
     pc.set_defaults(func=cmd_campaign_clean)
+
+    p = sub.add_parser(
+        "report",
+        help="write a deterministic figure/stats bundle from a "
+             "campaign directory (docs/figures.md)")
+    p.add_argument("dir", help="campaign directory (cache + manifest)")
+    p.add_argument("--out", default=None,
+                   help="bundle output directory (default <dir>/report)")
+    p.add_argument("--seed", type=int, default=42,
+                   help="stats RNG seed (bootstrap + permutation)")
+    p.add_argument("--resamples", type=int, default=2000,
+                   help="bootstrap/permutation resamples (default 2000)")
+    p.add_argument("--perf", action="append", default=[],
+                   metavar="BENCH_perf.json",
+                   help="perf baseline report(s) to fold into the "
+                        "trajectory dashboard (repeatable, plotted in "
+                        "the order given)")
+    p.add_argument("--recovery", action="store_true",
+                   help="also run the Fig 13 recovery sweep "
+                        "(direct simulation, not cached)")
+    p.add_argument("--recovery-sizes",
+                   default="262144,524288,1048576",
+                   help="comma-separated metadata cache sizes in bytes "
+                        "for --recovery")
+    p.add_argument("--crash-window", action="store_true",
+                   help="also run the Fig 5 crash-window trials "
+                        "(direct simulation, not cached)")
+    p.add_argument("--no-overheads", action="store_true",
+                   help="skip the static Sec V-F space-overheads figure")
+    p.set_defaults(func=cmd_report)
 
     p = sub.add_parser(
         "serve",

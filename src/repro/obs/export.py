@@ -107,6 +107,31 @@ def attribution_report(attribution: dict[str, int], total_cycles: int,
     return "\n".join(lines)
 
 
+def attribution_rows(attribution: dict[str, int],
+                     total_cycles: int) -> list[dict[str, Any]]:
+    """Tidy ``{component, cycles, share}`` rows, sorted by component —
+    the stacked-bar feed of the report bundle (repro.viz)."""
+    return [{"component": name, "cycles": cycles,
+             "share": cycles / total_cycles if total_cycles else 0.0}
+            for name, cycles in sorted(attribution.items())]
+
+
+def histogram_summary_rows(histograms: dict[str, dict[str, Any]]
+                           ) -> list[dict[str, Any]]:
+    """Tidy ``{metric, stat, cycles}`` rows over p50/p95/p99, sorted —
+    the tail-latency panel feed of the report bundle (repro.viz).
+    Zero-count histograms (``None`` percentiles) are skipped."""
+    rows: list[dict[str, Any]] = []
+    for metric, data in sorted(histograms.items()):
+        for stat in ("p50", "p95", "p99"):
+            value = data.get(stat)
+            if value is None:
+                continue
+            rows.append({"metric": metric, "stat": stat,
+                         "cycles": value})
+    return rows
+
+
 def histogram_report(histograms: dict[str, dict[str, Any]]) -> str:
     """Text table of per-metric histogram summaries."""
     lines = ["latency histograms (cycles)"]

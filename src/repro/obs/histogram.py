@@ -60,7 +60,13 @@ class LatencyHistogram:
 
     def percentile(self, pct: float) -> int | None:
         """Upper-bound estimate of the ``pct``-th percentile, or ``None``
-        on an empty histogram."""
+        on an empty histogram.
+
+        Tolerates a populated ``counts`` with ``count == 0`` or a
+        missing ``maximum`` — both reachable through :meth:`from_dict`
+        on truncated snapshots, which the dashboard merge path consumes
+        — by returning ``None`` / the unclamped bucket bound instead of
+        raising."""
         if not self.count:
             return None
         rank = max(1, -(-int(pct * self.count) // 100))  # ceil(pct% * n)
@@ -69,6 +75,8 @@ class LatencyHistogram:
             seen += bucket_count
             if seen >= rank:
                 high = self.bucket_bounds(idx)[1]
+                if self.maximum is None:
+                    return high
                 return min(high, self.maximum)
         return self.maximum  # pragma: no cover - rank <= count always hits
 
@@ -86,7 +94,11 @@ class LatencyHistogram:
 
     # ------------------------------------------------------------------
     def merge(self, other: "LatencyHistogram") -> None:
-        """Fold ``other`` into this histogram (campaign aggregation)."""
+        """Fold ``other`` into this histogram (campaign aggregation).
+
+        Merging an empty histogram — either side — is a no-op on the
+        populated one, including when the empty side came from a
+        snapshot with no min/max."""
         for idx, bucket_count in enumerate(other.counts):
             self.counts[idx] += bucket_count
         self.count += other.count
@@ -130,7 +142,9 @@ class LatencyHistogram:
         hist = cls(name)
         buckets = data.get("buckets", [])
         hist.counts[:len(buckets)] = buckets
-        hist.count = data.get("count", 0)
+        # Truncated snapshots (no "count") infer it from the buckets so
+        # percentile/mean stay consistent with the data present.
+        hist.count = data.get("count", sum(buckets))
         hist.total = data.get("total", 0)
         hist.minimum = data.get("min")
         hist.maximum = data.get("max")

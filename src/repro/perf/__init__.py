@@ -26,6 +26,7 @@ from repro.perf.harness import (
     BenchResult,
     compare_reports,
     load_report,
+    report_rows,
     run_benchmarks,
     save_report,
 )
@@ -36,6 +37,7 @@ __all__ = [
     "BenchResult",
     "compare_reports",
     "load_report",
+    "report_rows",
     "run_benchmarks",
     "save_report",
 ]

@@ -288,6 +288,23 @@ def load_report(path: str | Path) -> dict[str, Any]:
     return report
 
 
+def report_rows(label: str, report: dict[str, Any]
+                ) -> list[dict[str, Any]]:
+    """Tidy ``{snapshot, benchmark, accesses_per_sec, wall_seconds}``
+    rows for one perf report — the trajectory feed of the report
+    bundle (repro.viz) across committed ``BENCH_perf*.json`` baselines.
+    """
+    rows: list[dict[str, Any]] = []
+    for name, bench in sorted(report["benchmarks"].items()):
+        rows.append({
+            "snapshot": label,
+            "benchmark": name,
+            "accesses_per_sec": bench.get("accesses_per_sec", 0.0),
+            "wall_seconds": bench.get("wall_seconds", 0.0),
+        })
+    return rows
+
+
 def compare_reports(baseline: dict[str, Any], candidate: dict[str, Any],
                     threshold: float = 0.10,
                     advisory: bool = False) -> tuple[int, list[str]]:

@@ -34,8 +34,9 @@ from urllib.parse import parse_qs, urlsplit
 
 import repro
 from repro.campaign.executor import CellFn, execute_cell
-from repro.serve import api
+from repro.serve import api, metrics
 from repro.serve.events import EventBus, encode_ndjson, encode_sse
+from repro.serve.metrics import render_metrics
 from repro.serve.quotas import QuotaPolicy
 from repro.serve.storage import CampaignStore
 from repro.serve.workers import Scheduler
@@ -199,6 +200,11 @@ class ServerApp:
             await self._send_json(writer, 200, {
                 "scheduler": self.scheduler.describe(),
                 "store": self.store.stats()})
+            return
+        if method == "GET" and parts == ["v1", "metrics"]:
+            text = render_metrics(self.scheduler, self.store, self.bus)
+            await self._send_raw(writer, 200, text.encode(),
+                                 metrics.CONTENT_TYPE)
             return
         if parts[:2] == ["v1", "campaigns"]:
             await self._campaigns(method, parts[2:], body, writer,

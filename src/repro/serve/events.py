@@ -96,12 +96,14 @@ class EventBus:
         self._history: dict[str, list[dict[str, Any]]] = {}
         self._closed: set[str] = set()
         self._subscribers: dict[str, list[Subscription]] = {}
+        self.events_published = 0
 
     # -- producer side -------------------------------------------------
     def publish(self, job_id: str, event_type: str,
                 **fields: Any) -> dict[str, Any]:
         event = {"seq": next(self._seq), "ts": time.time(),
                  "event": event_type, "job": job_id, **fields}
+        self.events_published += 1
         history = self._history.setdefault(job_id, [])
         history.append(event)
         if len(history) > HISTORY_LIMIT:
@@ -141,6 +143,16 @@ class EventBus:
 
     def history(self, job_id: str) -> list[dict[str, Any]]:
         return list(self._history.get(job_id, []))
+
+    def stats(self) -> dict[str, int]:
+        """Bus counters for ``/v1/metrics``."""
+        return {
+            "events_published": self.events_published,
+            "jobs_tracked": len(self._history),
+            "jobs_closed": len(self._closed),
+            "subscribers": sum(len(subs) for subs
+                               in self._subscribers.values()),
+        }
 
 
 # -- wire encodings -----------------------------------------------------

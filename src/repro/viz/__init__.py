@@ -1,0 +1,53 @@
+"""Deterministic figure, stats and dashboard pipeline (docs/figures.md).
+
+``repro.viz`` turns campaign results into a version-controllable report
+bundle: Vega-Lite ``.vl.json`` specs with sidecar ``.csv`` data
+(:mod:`repro.viz.spec`, :mod:`repro.viz.figures`), seeded bootstrap CIs
+and paired permutation tests rendered as text tables
+(:mod:`repro.viz.stats`), the bundle writer with its ``STATUS.md``
+manifest (:mod:`repro.viz.bundle`), and an offline structural validator
+(``python -m repro.viz.validate``).  Every byte of a bundle is a pure
+function of the campaign cache and the report seed — no timestamps, no
+global RNG (reprolint RPL011 enforces this package-wide) — so two runs
+over the same campaign directory produce sha256-identical bundles.
+
+``repro-sim report <campaign-dir>`` is the CLI front end.
+"""
+
+from repro.viz.bundle import (
+    BundleManifest,
+    CampaignData,
+    build_artifacts,
+    load_campaign,
+    write_bundle,
+)
+from repro.viz.spec import (
+    FigureArtifact,
+    content_hash,
+    csv_text,
+    spec_text,
+)
+from repro.viz.stats import (
+    bootstrap_ci,
+    paired_permutation_test,
+    ratio_table_stats,
+)
+
+# NOTE: repro.viz.validate is deliberately not imported here so that
+# ``python -m repro.viz.validate`` runs without the found-in-sys.modules
+# RuntimeWarning (same pattern as repro.obs.validate).
+
+__all__ = [
+    "BundleManifest",
+    "CampaignData",
+    "FigureArtifact",
+    "bootstrap_ci",
+    "build_artifacts",
+    "content_hash",
+    "csv_text",
+    "load_campaign",
+    "paired_permutation_test",
+    "ratio_table_stats",
+    "spec_text",
+    "write_bundle",
+]

@@ -1,0 +1,160 @@
+"""Seeded resampling statistics for campaign ratio tables.
+
+Two procedures back every stats table in a report bundle:
+
+* **bootstrap confidence intervals** — the per-workload ratio vector is
+  resampled with replacement ``resamples`` times and the statistic
+  (geometric mean by default, matching the figures) recomputed on each
+  resample; the interval is the percentile band of that empirical
+  distribution.  With the handful of workloads the paper evaluates the
+  interval is wide and honest — exactly the point: it shows how much of
+  a scheme gap survives workload choice.
+* **paired sign-flip permutation tests** — two schemes measured on the
+  *same* workloads (identical traces by construction: every cell of a
+  campaign shares the workload seed) give paired log-ratios; under the
+  null that neither scheme is systematically dearer, each pair's
+  difference is symmetric around zero, so flipping signs uniformly
+  generates the exact null distribution of the mean difference.  When
+  ``2**n`` sign patterns fit the resample budget the enumeration is
+  exact (and trivially deterministic); otherwise patterns are sampled
+  with the seeded RNG.
+
+Everything is driven by ``random.Random(seed)`` — never the global RNG
+and never the clock — because the bundle these tables land in must be
+byte-identical across runs (reprolint RPL011 enforces this module-wide).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.bench.harness import geomean
+
+#: Default resample budget; small enough to keep `repro-sim report`
+#: interactive, large enough for stable two-decimal intervals.
+DEFAULT_RESAMPLES = 2000
+DEFAULT_SEED = 42
+
+
+def bootstrap_ci(values: Sequence[float],
+                 statistic: Callable[[Sequence[float]], float] = geomean,
+                 *, resamples: int = DEFAULT_RESAMPLES,
+                 alpha: float = 0.05,
+                 seed: int = DEFAULT_SEED) -> tuple[float, float]:
+    """Percentile bootstrap ``(lo, hi)`` interval for ``statistic``."""
+    values = list(values)
+    if not values:
+        return (0.0, 0.0)
+    if len(values) == 1:
+        point = statistic(values)
+        return (point, point)
+    rng = random.Random(seed)
+    n = len(values)
+    stats = sorted(
+        statistic([values[rng.randrange(n)] for _ in range(n)])
+        for _ in range(resamples))
+    lo_rank = int((alpha / 2) * (resamples - 1))
+    hi_rank = int((1 - alpha / 2) * (resamples - 1))
+    return (stats[lo_rank], stats[hi_rank])
+
+
+def paired_permutation_test(xs: Sequence[float], ys: Sequence[float],
+                            *, resamples: int = DEFAULT_RESAMPLES,
+                            seed: int = DEFAULT_SEED) -> float:
+    """Two-sided sign-flip p-value for paired samples ``xs`` vs ``ys``.
+
+    The statistic is the mean pairwise difference.  Exact enumeration of
+    all ``2**n`` sign patterns when that fits ``resamples``; seeded
+    Monte-Carlo sampling (with the +1 add-one correction) otherwise.
+    Returns 1.0 for degenerate inputs (no pairs, or all-zero diffs).
+    """
+    if len(xs) != len(ys):
+        raise ValueError("paired test needs equal-length samples")
+    diffs = [x - y for x, y in zip(xs, ys)]
+    n = len(diffs)
+    if n == 0 or all(d == 0 for d in diffs):
+        return 1.0
+    observed = abs(sum(diffs) / n)
+
+    if 2 ** n <= resamples:
+        extreme = total = 0
+        for pattern in range(2 ** n):
+            stat = sum(d if pattern & (1 << i) else -d
+                       for i, d in enumerate(diffs)) / n
+            total += 1
+            if abs(stat) >= observed - 1e-15:
+                extreme += 1
+        return extreme / total
+
+    rng = random.Random(seed)
+    extreme = 0
+    for _ in range(resamples):
+        stat = sum(d if rng.random() < 0.5 else -d for d in diffs) / n
+        if abs(stat) >= observed - 1e-15:
+            extreme += 1
+    return (extreme + 1) / (resamples + 1)
+
+
+@dataclass(frozen=True)
+class SchemeStats:
+    """One scheme's row in a ratio-table stats summary."""
+
+    scheme: str
+    n: int
+    geomean: float
+    ci_low: float
+    ci_high: float
+    #: p-value of the paired permutation test against the reference
+    #: scheme (``None`` for the reference itself).
+    p_vs_reference: float | None
+
+
+def ratio_table_stats(table: Mapping[str, Mapping[str, float]],
+                      schemes: Sequence[str], reference: str,
+                      *, resamples: int = DEFAULT_RESAMPLES,
+                      seed: int = DEFAULT_SEED) -> list[SchemeStats]:
+    """Stats rows for a ``{workload: {scheme: ratio}}`` table.
+
+    Workloads are processed in sorted order (byte-stable output); the
+    synthetic ``geomean`` row is excluded from the samples.  Each
+    scheme's per-workload seed is derived from the base seed and its
+    position, so adding a scheme never perturbs another's interval.
+    """
+    workloads = sorted(w for w in table if w != "geomean")
+    ref_values = [table[w][reference] for w in workloads]
+    rows: list[SchemeStats] = []
+    for index, scheme in enumerate(schemes):
+        values = [table[w][scheme] for w in workloads]
+        lo, hi = bootstrap_ci(values, resamples=resamples,
+                              seed=seed + index)
+        p: float | None = None
+        if scheme != reference:
+            p = paired_permutation_test(values, ref_values,
+                                        resamples=resamples,
+                                        seed=seed + index)
+        rows.append(SchemeStats(scheme, len(values), geomean(values),
+                                lo, hi, p))
+    return rows
+
+
+def format_stats_table(title: str, rows: Sequence[SchemeStats],
+                       reference: str, *, resamples: int,
+                       seed: int) -> str:
+    """Text rendering of :func:`ratio_table_stats` output."""
+    from repro.bench.reporting import format_simple_table
+
+    body = [[row.scheme, row.n, f"{row.geomean:.3f}",
+             f"{row.ci_low:.3f}", f"{row.ci_high:.3f}",
+             "-" if row.p_vs_reference is None
+             else f"{row.p_vs_reference:.3f}"]
+            for row in rows]
+    table = format_simple_table(
+        title,
+        ["scheme", "n", "geomean", "ci_low", "ci_high",
+         f"p_vs_{reference}"],
+        body)
+    footer = (f"bootstrap 95% CI ({resamples} resamples, seed {seed}); "
+              f"paired sign-flip permutation test vs {reference}")
+    return f"{table}\n{footer}\n"

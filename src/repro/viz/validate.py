@@ -1,0 +1,171 @@
+"""Offline structural validator for report-bundle Vega-Lite specs.
+
+``python -m repro.viz.validate <spec.vl.json | bundle-dir> ...`` checks
+— without network access or a Vega runtime — that every spec:
+
+* declares the Vega-Lite ``$schema`` dialect,
+* has a ``data`` source (``url`` or inline ``values``),
+* has a ``mark`` + ``encoding`` (directly or per ``layer`` entry),
+* uses well-formed encoding channels (``field`` + valid ``type``, or a
+  literal ``value``/``datum``),
+
+and — the spec/data contract — that every ``field`` referenced by an
+encoding exists as a column of the sidecar CSV the spec's ``data.url``
+points at.  Exit status: 0 all OK, 1 problems found, 2 usage error —
+the same contract as :mod:`repro.obs.validate`, so CI treats them
+identically.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import sys
+from pathlib import Path
+from typing import Any
+
+VALID_TYPES = {"nominal", "ordinal", "quantitative", "temporal",
+               "geojson"}
+#: Channels that reference a second field for ranged marks.
+SECONDARY_CHANNELS = {"x2", "y2", "theta2", "radius2"}
+
+
+def _check_channel(channel: str, enc: Any, where: str,
+                   problems: list[str], fields: list[str]) -> None:
+    if not isinstance(enc, dict):
+        problems.append(f"{where}: encoding channel {channel!r} is not "
+                        "an object")
+        return
+    field = enc.get("field")
+    if field is not None:
+        if not isinstance(field, str) or not field:
+            problems.append(f"{where}: channel {channel!r} has a "
+                            "non-string field")
+        else:
+            fields.append(field)
+        if channel not in SECONDARY_CHANNELS:
+            enc_type = enc.get("type")
+            if enc_type not in VALID_TYPES:
+                problems.append(
+                    f"{where}: channel {channel!r} field {field!r} has "
+                    f"invalid type {enc_type!r}")
+        return
+    if not any(key in enc for key in ("value", "datum", "aggregate")):
+        problems.append(f"{where}: channel {channel!r} has neither "
+                        "field nor value/datum")
+
+
+def _check_view(view: Any, where: str, problems: list[str],
+                fields: list[str]) -> None:
+    if not isinstance(view, dict):
+        problems.append(f"{where}: layer entry is not an object")
+        return
+    if "mark" not in view:
+        problems.append(f"{where}: missing mark")
+    encoding = view.get("encoding")
+    if not isinstance(encoding, dict) or not encoding:
+        problems.append(f"{where}: missing or empty encoding")
+        return
+    for channel, enc in sorted(encoding.items()):
+        _check_channel(channel, enc, where, problems, fields)
+
+
+def validate_spec(spec: Any) -> tuple[list[str], list[str]]:
+    """Structural problems plus every encoding field referenced."""
+    problems: list[str] = []
+    fields: list[str] = []
+    if not isinstance(spec, dict):
+        return (["spec is not a JSON object"], fields)
+    schema = spec.get("$schema", "")
+    if "vega-lite" not in str(schema):
+        problems.append(f"$schema {schema!r} is not a vega-lite dialect")
+    data = spec.get("data")
+    if not isinstance(data, dict) \
+            or not any(key in data for key in ("url", "values")):
+        problems.append("data must be an object with 'url' or 'values'")
+    layers = spec.get("layer")
+    if layers is not None:
+        if not isinstance(layers, list) or not layers:
+            problems.append("layer must be a non-empty array")
+        else:
+            for index, view in enumerate(layers):
+                _check_view(view, f"layer[{index}]", problems, fields)
+    else:
+        _check_view(spec, "top-level", problems, fields)
+    return (problems, fields)
+
+
+def _csv_columns(path: Path) -> list[str] | None:
+    try:
+        text = path.read_text()
+    except OSError:
+        return None
+    reader = csv.reader(io.StringIO(text))
+    return next(reader, [])
+
+
+def validate_file(path: str | Path) -> list[str]:
+    """Validate one ``.vl.json`` file, including the csv cross-check
+    when its ``data.url`` names a sibling file."""
+    path = Path(path)
+    try:
+        spec = json.loads(path.read_text())
+    except OSError as exc:
+        return [f"cannot read: {exc}"]
+    except ValueError as exc:
+        return [f"not valid JSON: {exc}"]
+    problems, fields = validate_spec(spec)
+    url = spec.get("data", {}).get("url") \
+        if isinstance(spec.get("data"), dict) else None
+    if isinstance(url, str) and "://" not in url:
+        data_path = path.parent / url
+        columns = _csv_columns(data_path)
+        if columns is None:
+            problems.append(f"data url {url!r}: file not found next to "
+                            "the spec")
+        else:
+            for field in sorted(set(fields)):
+                if field not in columns:
+                    problems.append(
+                        f"encoding field {field!r} missing from "
+                        f"{url!r} (columns: {', '.join(columns)})")
+    return problems
+
+
+def _collect(args: list[str]) -> list[Path]:
+    paths: list[Path] = []
+    for arg in args:
+        path = Path(arg)
+        if path.is_dir():
+            paths.extend(sorted(path.glob("*.vl.json")))
+        else:
+            paths.append(path)
+    return paths
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv:
+        print("usage: python -m repro.viz.validate "
+              "<spec.vl.json | bundle-dir> [...]", file=sys.stderr)
+        return 2
+    paths = _collect(argv)
+    if not paths:
+        print("no .vl.json specs found", file=sys.stderr)
+        return 2
+    failures = 0
+    for path in paths:
+        problems = validate_file(path)
+        if problems:
+            failures += 1
+            print(f"{path}: {len(problems)} problem(s)")
+            for problem in problems:
+                print(f"  - {problem}")
+        else:
+            print(f"{path}: OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

@@ -1,0 +1,38 @@
+# reprolint-fixture-path: viz/bad_report.py
+"""RPL011 fixture: report code drawing entropy the golden-bundle diff
+would catch — module-level random, argless Random constructors, wall-
+clock reads.  The seeded twins at the bottom are the sanctioned shape
+and must stay clean."""
+
+import datetime
+import random
+import time
+from random import Random
+
+
+def shuffled_workloads(workloads):
+    order = list(workloads)
+    random.shuffle(order)                       # RPL011: global RNG
+    return order
+
+
+def jittered_resamples(base):
+    rng = random.Random()                       # RPL011: OS-seeded
+    return base + rng.randrange(100)
+
+
+def stamp_bundle(manifest):
+    manifest["generated_at"] = time.time()      # RPL011: wall clock
+    manifest["date"] = datetime.datetime.now()  # RPL011: wall clock
+    return manifest
+
+
+def anonymous_rng():
+    return Random()                             # RPL011: OS-seeded
+
+
+def seeded_bootstrap(values, seed):
+    """Control group: explicitly seeded draws are the sanctioned shape."""
+    rng = random.Random(seed)
+    alt = Random(seed + 1)
+    return rng.choice(values), alt.choice(values)

@@ -83,6 +83,56 @@ class TestUnexploredPersistBoundary:
         assert lint_file(path, select=("RPL010",)) == []
 
 
+class TestNondeterministicReport:
+    """RPL011 keeps entropy out of repro.viz.  The fixture fires five
+    times (global RNG, two argless Random constructors, two wall-clock
+    reads), so it cannot ride in the exactly-once BAD map above."""
+
+    def test_fixture_fires_five_times(self):
+        violations = lint_file(
+            FIXTURES / "bad_nondeterministic_report.py")
+        assert [v.rule.name for v in violations] == \
+            ["nondeterministic-report"] * 5
+        messages = [v.message for v in
+                    sorted(violations, key=lambda v: v.line)]
+        assert "random.shuffle" in messages[0]
+        assert "random.Random" in messages[1]
+        assert "time.time" in messages[2]
+        assert "datetime.datetime.now" in messages[3]
+        assert "Random() with no seed" in messages[4]
+
+    def test_fixture_path_pins_viz_scoping(self):
+        violations = lint_file(
+            FIXTURES / "bad_nondeterministic_report.py")
+        assert all(v.path.startswith("viz/") for v in violations)
+
+    def test_seeded_random_stays_clean(self, tmp_path):
+        path = tmp_path / "clean_report.py"
+        path.write_text(
+            "# reprolint-fixture-path: viz/clean_report.py\n"
+            "import random\n"
+            "from random import Random\n\n\n"
+            "def resample(values, seed):\n"
+            "    rng = random.Random(seed)\n"
+            "    alt = Random(seed=seed + 1)\n"
+            "    return rng.choice(values), alt.choice(values)\n")
+        assert lint_file(path, select=("RPL011",)) == []
+
+    def test_rule_is_scoped_to_viz(self, tmp_path):
+        path = tmp_path / "elsewhere.py"
+        path.write_text(
+            "# reprolint-fixture-path: serve/events.py\n"
+            "import time\n\n\n"
+            "def stamp():\n"
+            "    return time.time()\n")
+        assert lint_file(path, select=("RPL011",)) == []
+
+    def test_repro_viz_package_is_clean(self):
+        src = Path(__file__).resolve().parents[2] / "src" / "repro"
+        violations = Linter(src, select=("RPL011",)).run()
+        assert violations == []
+
+
 class TestSuppression:
     def test_disable_comment_silences_the_rule(self, tmp_path):
         path = tmp_path / "suppressed.py"

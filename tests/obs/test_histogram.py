@@ -166,3 +166,51 @@ class TestSerialization:
         hist.reset()
         assert hist.count == 0
         assert hist.to_dict() == LatencyHistogram().to_dict()
+
+
+class TestDegenerateSnapshots:
+    """Edge cases that used to raise: zero-count percentiles and
+    truncated ``from_dict`` snapshots the dashboard merge path sees."""
+
+    def test_percentiles_on_empty_are_none(self):
+        hist = LatencyHistogram()
+        assert hist.percentile(50) is None
+        assert hist.p50 is None and hist.p95 is None and hist.p99 is None
+        assert hist.mean == 0.0
+
+    def test_merge_two_empties_stays_empty(self):
+        hist = LatencyHistogram()
+        hist.merge(LatencyHistogram())
+        assert hist.count == 0
+        assert hist.p99 is None
+        assert hist.minimum is None and hist.maximum is None
+
+    def test_from_dict_without_max_does_not_raise(self):
+        # A snapshot truncated to just buckets+count has no "max" to
+        # clamp against; percentile returns the bucket bound instead of
+        # raising TypeError on min(high, None).
+        hist = LatencyHistogram.from_dict({"count": 3,
+                                           "buckets": [0, 1, 2]})
+        assert hist.maximum is None
+        assert hist.percentile(99) == 3  # bucket 2 upper bound
+        assert hist.p50 == 3
+
+    def test_from_dict_without_count_infers_from_buckets(self):
+        hist = LatencyHistogram.from_dict({"buckets": [1, 0, 4]})
+        assert hist.count == 5
+        assert hist.percentile(50) is not None
+
+    def test_from_dict_empty_dict_is_empty_histogram(self):
+        hist = LatencyHistogram.from_dict({})
+        assert hist.count == 0
+        assert hist.p99 is None
+        hist.merge(LatencyHistogram())  # still inert
+        assert hist.to_dict()["buckets"] == []
+
+    def test_merge_truncated_snapshot_into_live_histogram(self):
+        live = LatencyHistogram()
+        live.add(10)
+        live.merge(LatencyHistogram.from_dict({"buckets": [0, 0, 2]}))
+        assert live.count == 3
+        assert live.maximum == 10  # snapshot had no max to contribute
+        assert live.p99 == 10

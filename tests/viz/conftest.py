@@ -1,0 +1,32 @@
+"""One real quick campaign shared by the bundle/CLI tests.
+
+Running the simulator is the expensive part, so a session-scoped
+fixture populates a single campaign directory (Fig 9/10 matrix cells +
+a two-point hash sweep) that every golden-bundle and CLI test reads.
+The directory itself is never mutated by the tests — bundles are
+written to separate output directories.
+"""
+
+import pytest
+
+from repro.bench.harness import run_matrix
+from repro.campaign.executor import run_campaign
+from repro.campaign.spec import CampaignSpec
+
+from tests.campaign._fakes import TinyScale
+
+WORKLOADS = ["array", "queue"]
+SCHEMES = ["baseline", "lazy", "scue"]
+SWEEP_LATENCIES = (20, 40)
+
+
+@pytest.fixture(scope="session")
+def campaign_dir(tmp_path_factory):
+    root = tmp_path_factory.mktemp("campaign")
+    scale = TinyScale(operations=30)
+    run_matrix(scale, workloads=WORKLOADS, schemes=SCHEMES,
+               cache=root / "cache")
+    sweep = CampaignSpec.hash_sweep(scale, ["array"],
+                                    latencies=SWEEP_LATENCIES)
+    run_campaign(sweep, cache=root / "cache").raise_on_failure()
+    return root

@@ -1,0 +1,103 @@
+"""Byte-stable spec/CSV emission and the chart constructors."""
+
+from repro.viz.spec import (
+    VEGA_LITE_SCHEMA,
+    FigureArtifact,
+    ci_bar,
+    content_hash,
+    csv_text,
+    format_value,
+    grouped_bar,
+    line_chart,
+    spec_text,
+    stacked_bar,
+)
+from repro.viz.validate import validate_spec
+
+
+class TestFormatValue:
+    def test_none_is_empty_cell(self):
+        assert format_value(None) == ""
+
+    def test_bools_are_json_words(self):
+        assert format_value(True) == "true"
+        assert format_value(False) == "false"
+
+    def test_floats_are_10g(self):
+        assert format_value(1.0) == "1"
+        assert format_value(0.1 + 0.2) == "0.3"
+        assert format_value(1234567.891) == "1234567.891"
+
+    def test_ints_and_strings_pass_through(self):
+        assert format_value(313) == "313"
+        assert format_value("scue") == "scue"
+
+
+class TestCsvText:
+    def test_fixed_column_order_and_newlines(self):
+        rows = [{"b": 2, "a": 1}, {"a": 3}]
+        text = csv_text(("a", "b"), rows)
+        assert text == "a,b\n1,2\n3,\n"
+
+    def test_quoting_round_trips(self):
+        text = csv_text(("x",), [{"x": 'has,comma and "quote"'}])
+        assert text.splitlines()[1] == '"has,comma and ""quote"""'
+
+
+class TestSpecText:
+    def test_sorted_keys_and_trailing_newline(self):
+        text = spec_text({"zeta": 1, "alpha": {"b": 2, "a": 1}})
+        assert text.index('"alpha"') < text.index('"zeta"')
+        assert text.endswith("}\n")
+
+    def test_identical_dicts_hash_identically(self):
+        a = spec_text({"x": 1, "y": [1, 2]})
+        b = spec_text({"y": [1, 2], "x": 1})
+        assert content_hash(a) == content_hash(b)
+
+
+class TestChartConstructors:
+    def test_grouped_bar_is_structurally_valid(self):
+        spec = grouped_bar("f", "t", x="workload", y="ratio",
+                           group="scheme", y_title="ratio",
+                           x_sort=["a", "b"], group_sort=["s1", "s2"])
+        problems, fields = validate_spec(spec)
+        assert problems == []
+        assert set(fields) == {"workload", "ratio", "scheme"}
+        assert spec["data"]["url"] == "f.csv"
+        assert spec["$schema"] == VEGA_LITE_SCHEMA
+        assert spec["encoding"]["x"]["sort"] == ["a", "b"]
+
+    def test_line_chart_is_structurally_valid(self):
+        spec = line_chart("f", "t", x="lat", y="ratio",
+                          series="workload", x_title="x", y_title="y")
+        problems, fields = validate_spec(spec)
+        assert problems == []
+        assert set(fields) == {"lat", "ratio", "workload"}
+
+    def test_stacked_bar_stacks_to_zero(self):
+        spec = stacked_bar("f", "t", x="scheme", y="share",
+                           stack="component", y_title="share")
+        assert validate_spec(spec)[0] == []
+        assert spec["encoding"]["y"]["stack"] == "zero"
+
+    def test_ci_bar_layers_validate(self):
+        spec = ci_bar("f", "t", x="scheme", y="geomean",
+                      lo="ci_low", hi="ci_high", y_title="geomean")
+        problems, fields = validate_spec(spec)
+        assert problems == []
+        assert set(fields) == {"scheme", "geomean", "ci_low", "ci_high"}
+        assert len(spec["layer"]) == 2
+
+
+class TestFigureArtifact:
+    def test_file_names_and_rendering(self):
+        spec = grouped_bar("fig", "T", x="w", y="r", group="s",
+                           y_title="r")
+        artifact = FigureArtifact("fig", "T", spec, ("w", "s", "r"),
+                                  [{"w": "a", "s": "x", "r": 1.5}],
+                                  inputs=("unit test",))
+        assert artifact.spec_file() == "fig.vl.json"
+        assert artifact.data_file() == "fig.csv"
+        assert artifact.csv_str() == "w,s,r\na,x,1.5\n"
+        assert artifact.spec_str().endswith("\n")

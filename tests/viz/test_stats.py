@@ -1,0 +1,119 @@
+"""Seeded bootstrap CIs and paired sign-flip permutation tests."""
+
+import math
+
+import pytest
+
+from repro.viz.stats import (
+    SchemeStats,
+    bootstrap_ci,
+    format_stats_table,
+    paired_permutation_test,
+    ratio_table_stats,
+)
+
+
+class TestBootstrapCi:
+    def test_same_seed_same_interval(self):
+        values = [1.1, 1.3, 0.9, 1.6, 1.2]
+        assert bootstrap_ci(values, seed=7) == bootstrap_ci(values,
+                                                            seed=7)
+
+    def test_different_seed_differs(self):
+        values = [1.1, 1.3, 0.9, 1.6, 1.2]
+        assert bootstrap_ci(values, seed=7) != bootstrap_ci(values,
+                                                            seed=8)
+
+    def test_interval_brackets_the_statistic(self):
+        values = [1.1, 1.3, 0.9, 1.6, 1.2]
+        lo, hi = bootstrap_ci(values, resamples=500, seed=1)
+        point = math.exp(sum(map(math.log, values)) / len(values))
+        assert lo <= point <= hi
+        assert min(values) <= lo and hi <= max(values)
+
+    def test_single_value_degenerates_to_point(self):
+        assert bootstrap_ci([2.5]) == (2.5, 2.5)
+
+    def test_empty_is_zero(self):
+        assert bootstrap_ci([]) == (0.0, 0.0)
+
+    def test_constant_sample_has_zero_width(self):
+        lo, hi = bootstrap_ci([1.5] * 6, resamples=200, seed=3)
+        assert lo == hi == 1.5
+
+
+class TestPairedPermutation:
+    def test_unequal_lengths_raise(self):
+        with pytest.raises(ValueError):
+            paired_permutation_test([1.0, 2.0], [1.0])
+
+    def test_identical_samples_are_null(self):
+        assert paired_permutation_test([1.0, 2.0], [1.0, 2.0]) == 1.0
+
+    def test_empty_is_null(self):
+        assert paired_permutation_test([], []) == 1.0
+
+    def test_exact_enumeration_small_n(self):
+        # n=2 with diffs (1, 1): patterns (++, +-, -+, --) give mean
+        # diffs (1, 0, 0, -1); |stat| >= 1 for 2 of 4 -> p = 0.5.
+        p = paired_permutation_test([2.0, 2.0], [1.0, 1.0],
+                                    resamples=2000)
+        assert p == 0.5
+
+    def test_exact_p_shrinks_with_n(self):
+        xs = [2.0] * 8
+        ys = [1.0] * 8
+        # All diffs equal: only the all-plus and all-minus of the 2^8
+        # patterns reach |mean| = 1 -> p = 2/256.
+        assert paired_permutation_test(xs, ys) == pytest.approx(2 / 256)
+
+    def test_sampled_branch_is_seeded(self):
+        xs = [1.0 + 0.1 * i for i in range(20)]     # 2^20 > resamples
+        ys = [1.0 + 0.09 * i for i in range(20)]
+        p1 = paired_permutation_test(xs, ys, resamples=400, seed=5)
+        p2 = paired_permutation_test(xs, ys, resamples=400, seed=5)
+        assert p1 == p2
+        assert 0.0 < p1 <= 1.0
+
+    def test_two_sided_symmetry(self):
+        xs, ys = [1.0, 1.2, 1.4], [2.0, 2.1, 2.3]
+        assert paired_permutation_test(xs, ys) == \
+            paired_permutation_test(ys, xs)
+
+
+class TestRatioTableStats:
+    TABLE = {
+        "array": {"scue": 1.2, "eager": 2.0},
+        "queue": {"scue": 1.3, "eager": 2.2},
+        "btree": {"scue": 1.1, "eager": 1.9},
+        "geomean": {"scue": 1.2, "eager": 2.03},  # must be excluded
+    }
+
+    def test_reference_has_no_p_value(self):
+        rows = ratio_table_stats(self.TABLE, ["scue", "eager"], "scue",
+                                 resamples=200, seed=1)
+        by_scheme = {row.scheme: row for row in rows}
+        assert by_scheme["scue"].p_vs_reference is None
+        assert by_scheme["eager"].p_vs_reference is not None
+
+    def test_geomean_row_excluded_from_samples(self):
+        rows = ratio_table_stats(self.TABLE, ["scue"], "scue",
+                                 resamples=100, seed=1)
+        assert rows[0].n == 3
+
+    def test_adding_a_scheme_keeps_earlier_intervals(self):
+        # Per-scheme seeds derive from position, so extending the
+        # scheme list must not perturb existing rows.
+        one = ratio_table_stats(self.TABLE, ["scue"], "scue",
+                                resamples=300, seed=9)
+        two = ratio_table_stats(self.TABLE, ["scue", "eager"], "scue",
+                                resamples=300, seed=9)
+        assert one[0] == two[0]
+
+    def test_format_includes_footer_and_reference(self):
+        rows = [SchemeStats("eager", 3, 2.03, 1.9, 2.2, 0.25)]
+        text = format_stats_table("T", rows, "scue", resamples=100,
+                                  seed=4)
+        assert "p_vs_scue" in text
+        assert "bootstrap 95% CI (100 resamples, seed 4)" in text
+        assert "eager" in text

@@ -1,0 +1,137 @@
+"""The offline spec validator and its spec/data cross-check."""
+
+import json
+
+from repro.viz.spec import VEGA_LITE_SCHEMA, grouped_bar, spec_text
+from repro.viz.validate import main, validate_file, validate_spec
+
+
+def good_spec(name="fig"):
+    return grouped_bar(name, "T", x="workload", y="ratio",
+                       group="scheme", y_title="ratio")
+
+
+class TestValidateSpec:
+    def test_good_spec_is_clean(self):
+        problems, fields = validate_spec(good_spec())
+        assert problems == []
+        assert sorted(set(fields)) == ["ratio", "scheme", "workload"]
+
+    def test_non_object_spec(self):
+        problems, _ = validate_spec([1, 2])
+        assert problems == ["spec is not a JSON object"]
+
+    def test_missing_schema_flagged(self):
+        spec = good_spec()
+        del spec["$schema"]
+        problems, _ = validate_spec(spec)
+        assert any("$schema" in p for p in problems)
+
+    def test_missing_data_flagged(self):
+        spec = good_spec()
+        del spec["data"]
+        problems, _ = validate_spec(spec)
+        assert any("data must be an object" in p for p in problems)
+
+    def test_missing_mark_and_empty_encoding(self):
+        spec = {"$schema": VEGA_LITE_SCHEMA,
+                "data": {"values": []}, "encoding": {}}
+        problems, _ = validate_spec(spec)
+        assert any("missing mark" in p for p in problems)
+        assert any("missing or empty encoding" in p for p in problems)
+
+    def test_invalid_channel_type(self):
+        spec = good_spec()
+        spec["encoding"]["y"]["type"] = "numeric"
+        problems, _ = validate_spec(spec)
+        assert any("invalid type 'numeric'" in p for p in problems)
+
+    def test_channel_without_field_or_value(self):
+        spec = good_spec()
+        spec["encoding"]["y"] = {"title": "no field"}
+        problems, _ = validate_spec(spec)
+        assert any("neither field nor value/datum" in p
+                   for p in problems)
+
+    def test_secondary_channel_needs_no_type(self):
+        spec = {"$schema": VEGA_LITE_SCHEMA, "data": {"values": []},
+                "mark": {"type": "errorbar"},
+                "encoding": {"x": {"field": "s", "type": "nominal"},
+                             "y": {"field": "lo",
+                                   "type": "quantitative"},
+                             "y2": {"field": "hi"}}}
+        problems, fields = validate_spec(spec)
+        assert problems == []
+        assert "hi" in fields
+
+    def test_layer_entries_checked_individually(self):
+        spec = {"$schema": VEGA_LITE_SCHEMA, "data": {"values": []},
+                "layer": [{"mark": {"type": "bar"},
+                           "encoding": {"x": {"field": "a",
+                                              "type": "nominal"}}},
+                          {"encoding": {}}]}
+        problems, _ = validate_spec(spec)
+        assert any(p.startswith("layer[1]") for p in problems)
+        assert not any(p.startswith("layer[0]") for p in problems)
+
+
+class TestValidateFile:
+    def write_pair(self, tmp_path, spec, csv_body):
+        (tmp_path / "fig.vl.json").write_text(spec_text(spec))
+        (tmp_path / "fig.csv").write_text(csv_body)
+        return tmp_path / "fig.vl.json"
+
+    def test_matching_pair_is_clean(self, tmp_path):
+        path = self.write_pair(tmp_path, good_spec(),
+                               "workload,scheme,ratio\na,s,1.0\n")
+        assert validate_file(path) == []
+
+    def test_missing_column_flagged(self, tmp_path):
+        path = self.write_pair(tmp_path, good_spec(),
+                               "workload,scheme\na,s\n")
+        problems = validate_file(path)
+        assert any("field 'ratio' missing from 'fig.csv'" in p
+                   for p in problems)
+
+    def test_missing_csv_flagged(self, tmp_path):
+        path = tmp_path / "fig.vl.json"
+        path.write_text(spec_text(good_spec()))
+        problems = validate_file(path)
+        assert any("file not found" in p for p in problems)
+
+    def test_absolute_urls_skip_cross_check(self, tmp_path):
+        spec = good_spec()
+        spec["data"]["url"] = "https://example.com/data.csv"
+        path = tmp_path / "fig.vl.json"
+        path.write_text(spec_text(spec))
+        assert validate_file(path) == []
+
+    def test_invalid_json_reported(self, tmp_path):
+        path = tmp_path / "broken.vl.json"
+        path.write_text("{not json")
+        problems = validate_file(path)
+        assert any("not valid JSON" in p for p in problems)
+
+
+class TestMain:
+    def test_clean_dir_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "fig.vl.json").write_text(spec_text(good_spec()))
+        (tmp_path / "fig.csv").write_text(
+            "workload,scheme,ratio\na,s,1.0\n")
+        assert main([str(tmp_path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_problems_exit_one(self, tmp_path, capsys):
+        spec = good_spec()
+        del spec["$schema"]
+        (tmp_path / "fig.vl.json").write_text(json.dumps(spec))
+        (tmp_path / "fig.csv").write_text(
+            "workload,scheme,ratio\na,s,1.0\n")
+        assert main([str(tmp_path)]) == 1
+        assert "problem(s)" in capsys.readouterr().out
+
+    def test_no_args_is_usage_error(self, capsys):
+        assert main([]) == 2
+
+    def test_empty_dir_is_usage_error(self, tmp_path):
+        assert main([str(tmp_path)]) == 2
