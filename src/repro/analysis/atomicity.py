@@ -1,0 +1,589 @@
+"""Async atomicity analyses over the CFG + call-graph engine.
+
+Two passes live here, both consuming the interference-point marks the
+CFG builder records for async functions (:mod:`repro.analysis.cfg`):
+
+* :func:`check_await_atomicity` (RPL012) — a read-modify-write race
+  detector for event-loop state.  asyncio gives atomicity *between*
+  awaits for free: on one loop, code that never suspends cannot be
+  interleaved with.  The pass therefore hunts the one shape that breaks
+  the guarantee: a ``self.*`` attribute read on one side of an
+  interference point and written back on the other, with no asyncio
+  lock covering both sides.  Locksets are lexical (``async with
+  self._lock:`` regions) and *transfer through the call graph*: an
+  exact-resolved helper call contributes the helper's attribute
+  reads/writes at the call site, under the caller's lockset — so a
+  mutation routed through ``self._bump()`` inside a locked region is
+  credited as locked, and the same helper called from an unlocked
+  region is not.
+
+* :func:`check_blocking_calls` (RPL014) — flags synchronous blocking
+  work reachable on the event loop: ``time.sleep``, ``subprocess``,
+  sqlite connections/cursors, synchronous file IO and the known
+  process-supervising repro helpers, found either directly inside an
+  ``async def`` or transitively through exact call edges into sync
+  helpers.  Work handed to ``asyncio.to_thread`` / ``run_in_executor``
+  is passed as a *reference*, never a call expression, so offloaded
+  paths naturally produce no call edge and are accepted.
+
+Deliberate approximations (documented, conservative for a *may*
+analysis):
+
+* attributes holding asyncio/threading synchronization primitives
+  (``self._wake = asyncio.Event()``) are exempt from RPL012 — they are
+  the coordination fabric itself, task-safe by contract;
+* a lock is recognised lexically: the context expression of a
+  ``with``/``async with`` whose dotted name is a known lock attribute
+  of the class (assigned from ``asyncio.Lock()`` et al.) or whose last
+  component mentions ``lock``/``mutex``/``sem``/``cond``;
+* leaving an ``async with`` awaits ``__aexit__``; the CFG marks that as
+  interference *after* the body's last leaf, so a read made under a
+  lock and written back after the region correctly crosses an
+  uncovered interference point.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.callgraph import FunctionInfo, ProjectIndex
+from repro.analysis.cfg import CFG, Block
+
+__all__ = [
+    "Finding",
+    "check_await_atomicity",
+    "check_blocking_calls",
+]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One atomicity finding, in the shape lint.py rules re-wrap."""
+
+    relpath: str
+    line: int
+    column: int
+    message: str
+
+
+def _dotted(node: ast.AST) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+# ======================================================================
+# shared: synchronization-primitive and lock-attribute discovery
+# ======================================================================
+
+#: Constructor names whose instances are task-safe coordination objects.
+_PRIMITIVE_CTORS = frozenset({
+    "Lock", "RLock", "Event", "Condition", "Semaphore",
+    "BoundedSemaphore", "Queue", "LifoQueue", "PriorityQueue",
+})
+
+#: Constructor names that specifically build mutual-exclusion locks.
+_LOCK_CTORS = frozenset({"Lock", "RLock"})
+
+_LOCKISH_TOKENS = ("lock", "mutex", "sem", "cond")
+
+
+def _ctor_name(value: ast.expr | None) -> str | None:
+    """``asyncio.Lock()`` / ``threading.RLock()`` / ``Lock()`` -> name."""
+    if not isinstance(value, ast.Call):
+        return None
+    func = value.func
+    if isinstance(func, ast.Attribute):
+        root = func.value
+        if isinstance(root, ast.Name) and root.id in (
+                "asyncio", "threading", "multiprocessing"):
+            return func.attr
+        return None
+    if isinstance(func, ast.Name):
+        return func.id if func.id in _PRIMITIVE_CTORS else None
+    return None
+
+
+def _class_attr_ctors(cls_node: ast.ClassDef) -> dict[str, str]:
+    """``self.X = asyncio.Event()`` assignments anywhere in the class:
+    attribute name -> primitive constructor name."""
+    found: dict[str, str] = {}
+    for node in ast.walk(cls_node):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        targets = node.targets if isinstance(node, ast.Assign) \
+            else [node.target]
+        ctor = _ctor_name(node.value)
+        if ctor is None or ctor not in _PRIMITIVE_CTORS:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Attribute) and \
+                    isinstance(target.value, ast.Name) and \
+                    target.value.id == "self":
+                found.setdefault(target.attr, ctor)
+    return found
+
+
+def _primitive_attrs(fn: FunctionInfo) -> frozenset[str]:
+    if fn.cls is None:
+        return frozenset()
+    return frozenset(_class_attr_ctors(fn.cls.node))
+
+
+def _is_lock_expr(expr: ast.expr, lock_attrs: frozenset[str]) -> str | None:
+    """Dotted lock identity of a with-context expression, or None."""
+    dotted = _dotted(expr)
+    if dotted is None:
+        return None
+    last = dotted.rsplit(".", 1)[-1].lower()
+    if dotted.startswith("self.") and dotted[5:] in lock_attrs:
+        return dotted
+    if any(token in last for token in _LOCKISH_TOKENS):
+        return dotted
+    return None
+
+
+def _lock_attr_names(fn: FunctionInfo) -> frozenset[str]:
+    if fn.cls is None:
+        return frozenset()
+    return frozenset(attr for attr, ctor
+                     in _class_attr_ctors(fn.cls.node).items()
+                     if ctor in _LOCK_CTORS)
+
+
+def lexical_locksets(fn_node: ast.AST, lock_attrs: frozenset[str]
+                     ) -> dict[int, frozenset[str]]:
+    """id(any AST node) -> the set of locks lexically held there.
+
+    The context expression itself is *outside* the region (the acquire
+    await runs unlocked), which is what makes a release/re-acquire pair
+    show up as an uncovered interference point between two regions.
+    """
+    held: dict[int, frozenset[str]] = {}
+
+    def visit(node: ast.AST, locks: frozenset[str]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                and node is not fn_node:
+            return  # nested defs own their own locksets
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired = frozenset(
+                name for item in node.items
+                if (name := _is_lock_expr(item.context_expr,
+                                          lock_attrs)) is not None)
+            for item in node.items:
+                visit(item.context_expr, locks)
+            for stmt in node.body:
+                visit(stmt, locks | acquired)
+            return
+        held[id(node)] = locks
+        for child in ast.iter_child_nodes(node):
+            visit(child, locks)
+
+    visit(fn_node, frozenset())
+    return held
+
+
+# ======================================================================
+# RPL012 — await-atomicity
+# ======================================================================
+
+#: Method calls on a ``self.X`` receiver that mutate the container.
+_MUTATOR_METHODS = frozenset({
+    "append", "add", "update", "pop", "popitem", "remove", "discard",
+    "clear", "extend", "insert", "setdefault", "sort", "appendleft",
+    "popleft",
+})
+
+
+class _AccessSummaries:
+    """Per-function ``self.*`` read/write sets, with exact same-class
+    helper calls folded in (depth-limited) — the call-graph half of the
+    lockset story."""
+
+    def __init__(self, index: ProjectIndex) -> None:
+        self.index = index
+        self._memo: dict[str, tuple[frozenset[str], frozenset[str]]] = {}
+
+    def of_function(self, fn: FunctionInfo, _depth: int = 0,
+                    _stack: frozenset[str] = frozenset()
+                    ) -> tuple[frozenset[str], frozenset[str]]:
+        cached = self._memo.get(fn.qualname)
+        if cached is not None:
+            return cached
+        if fn.qualname in _stack or _depth > 3:
+            return frozenset(), frozenset()
+        reads: set[str] = set()
+        writes: set[str] = set()
+        for _, _, stmt in self.index.cfg(fn).nodes():
+            r, w = self.of_statement(stmt, fn, _depth, _stack)
+            reads |= r
+            writes |= w
+        result = (frozenset(reads), frozenset(writes))
+        self._memo[fn.qualname] = result
+        return result
+
+    def of_statement(self, stmt: ast.AST, fn: FunctionInfo,
+                     _depth: int = 0,
+                     _stack: frozenset[str] = frozenset()
+                     ) -> tuple[frozenset[str], frozenset[str]]:
+        skip = _primitive_attrs(fn)
+        reads: set[str] = set()
+        writes: set[str] = set()
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Attribute) and \
+                    isinstance(node.value, ast.Name) and \
+                    node.value.id == "self" and node.attr not in skip:
+                if isinstance(node.ctx, (ast.Store, ast.Del)):
+                    writes.add(node.attr)
+                else:
+                    reads.add(node.attr)
+            if isinstance(node, ast.AugAssign) and \
+                    isinstance(node.target, ast.Attribute) and \
+                    isinstance(node.target.value, ast.Name) and \
+                    node.target.value.id == "self" and \
+                    node.target.attr not in skip:
+                reads.add(node.target.attr)  # augassign reads too
+            if isinstance(node, ast.Subscript) and \
+                    isinstance(node.ctx, (ast.Store, ast.Del)) and \
+                    isinstance(node.value, ast.Attribute) and \
+                    isinstance(node.value.value, ast.Name) and \
+                    node.value.value.id == "self" and \
+                    node.value.attr not in skip:
+                writes.add(node.value.attr)  # self.X[k] = ... mutates X
+            if isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute):
+                recv = node.func.value
+                if isinstance(recv, ast.Attribute) and \
+                        isinstance(recv.value, ast.Name) and \
+                        recv.value.id == "self" and \
+                        node.func.attr in _MUTATOR_METHODS and \
+                        recv.attr not in skip:
+                    writes.add(recv.attr)  # self.X.append(...) mutates X
+                elif isinstance(recv, ast.Name) and recv.id == "self" \
+                        and fn.cls is not None:
+                    res = self.index.resolve_call(node, fn)
+                    if res.exact and len(res.targets) == 1 and \
+                            res.targets[0].cls is not None and \
+                            not isinstance(res.targets[0].node,
+                                           ast.AsyncFunctionDef):
+                        r, w = self.of_function(
+                            res.targets[0], _depth + 1,
+                            _stack | {fn.qualname})
+                        reads |= r
+                        writes |= w
+        return frozenset(reads), frozenset(writes)
+
+
+def check_await_atomicity(index: ProjectIndex,
+                          relpaths: frozenset[str] | None = None
+                          ) -> list[Finding]:
+    """Run the RPL012 race search over every async function."""
+    summaries = _AccessSummaries(index)
+    findings: list[Finding] = []
+    for fn in index.functions.values():
+        if relpaths is not None and fn.relpath not in relpaths:
+            continue
+        if not isinstance(fn.node, ast.AsyncFunctionDef):
+            continue
+        findings.extend(_check_async_function(fn, index, summaries))
+    findings.sort(key=lambda f: (f.relpath, f.line, f.column))
+    return findings
+
+
+def _check_async_function(fn: FunctionInfo, index: ProjectIndex,
+                          summaries: _AccessSummaries) -> list[Finding]:
+    cfg = index.cfg(fn)
+    lock_attrs = _lock_attr_names(fn)
+    locks = lexical_locksets(fn.node, lock_attrs)
+    stmt_info: dict[int, tuple[frozenset[str], frozenset[str]]] = {}
+    for _, _, stmt in cfg.nodes():
+        stmt_info[id(stmt)] = summaries.of_statement(stmt, fn)
+
+    def locks_at(stmt: ast.AST) -> frozenset[str]:
+        got = locks.get(id(stmt))
+        if got is not None:
+            return got
+        # Guard expressions are stored detached from their statement;
+        # fall back to any walked child we do know.
+        for sub in ast.walk(stmt):
+            got = locks.get(id(sub))
+            if got is not None:
+                return got
+        return frozenset()
+
+    findings: list[Finding] = []
+    reported: set[tuple[str, int]] = set()
+
+    def report(attr: str, read: ast.AST, write: ast.AST,
+               await_line: int) -> None:
+        line = getattr(write, "lineno", 1)
+        if (attr, line) in reported:
+            return
+        reported.add((attr, line))
+        findings.append(Finding(
+            relpath=fn.relpath, line=line,
+            column=getattr(write, "col_offset", 0) + 1,
+            message=(
+                f"'self.{attr}' is read at line "
+                f"{getattr(read, 'lineno', '?')} and written back here "
+                f"across an await at line {await_line} with no covering "
+                "asyncio lock — another task can run at the await and "
+                "this write clobbers its update; hold one lock across "
+                "the read-modify-write or restructure it to stay on one "
+                "side of the await")))
+
+    for block in cfg.blocks:
+        for idx, stmt in enumerate(block.stmts):
+            reads, writes = stmt_info[id(stmt)]
+            for attr in reads:
+                _search_from(cfg, fn, stmt, block, idx, attr, stmt_info,
+                             locks_at, report)
+    return findings
+
+
+def _search_from(cfg: CFG, fn: FunctionInfo, read_stmt: ast.AST,
+                 block: Block, idx: int, attr: str,
+                 stmt_info: dict[int, tuple[frozenset[str],
+                                            frozenset[str]]],
+                 locks_at, report) -> None:
+    """BFS forward from one read, looking for a write of ``attr``
+    reached across an interference point not covered by a lock held at
+    the read."""
+    read_locks = locks_at(read_stmt)
+
+    def uncovered(stmt: ast.AST) -> bool:
+        return not (locks_at(stmt) & read_locks)
+
+    # The read's own statement: an await inside it happens after the
+    # attribute load, so a same-statement write is already a race.
+    start_line = None
+    if cfg.interferes(read_stmt) and uncovered(read_stmt):
+        start_line = getattr(read_stmt, "lineno", 0)
+        _, writes_here = stmt_info[id(read_stmt)]
+        if attr in writes_here:
+            report(attr, read_stmt, read_stmt, start_line)
+            return
+    if cfg.interferes_after(read_stmt) and uncovered(read_stmt) and \
+            start_line is None:
+        start_line = getattr(read_stmt, "lineno", 0)
+
+    seen: set[tuple[int, int, int | None]] = set()
+    queue: list[tuple[Block, int, int | None]] = [
+        (block, idx + 1, start_line)]
+    while queue:
+        cur_block, cur_idx, crossed = queue.pop()
+        if cur_idx >= len(cur_block.stmts):
+            for succ, _kind in cur_block.succs:
+                key = (succ.bid, 0, crossed)
+                if key not in seen:
+                    seen.add(key)
+                    queue.append((succ, 0, crossed))
+            continue
+        stmt = cur_block.stmts[cur_idx]
+        reads, writes = stmt_info[id(stmt)]
+        if attr in reads:
+            continue  # superseding read: later writes use fresh state
+        if attr in writes:
+            at = crossed
+            if at is None and cfg.interferes(stmt) and uncovered(stmt):
+                # the write's own await runs before the store completes
+                at = getattr(stmt, "lineno", 0)
+            if at is not None:
+                report(attr, read_stmt, stmt, at)
+            continue  # any write kills the pending read
+        if crossed is None and cfg.interferes(stmt) and uncovered(stmt):
+            crossed = getattr(stmt, "lineno", 0)
+        if crossed is None and cfg.interferes_after(stmt) and \
+                uncovered(stmt):
+            crossed = getattr(stmt, "lineno", 0)
+        key = (cur_block.bid, cur_idx + 1, crossed)
+        if key not in seen:
+            seen.add(key)
+            queue.append((cur_block, cur_idx + 1, crossed))
+
+
+# ======================================================================
+# RPL014 — blocking calls reachable inside async defs
+# ======================================================================
+
+#: Exact dotted calls that block the calling thread.
+_BLOCKING_DOTTED = {
+    "time.sleep": "time.sleep",
+    "os.system": "os.system",
+    "sqlite3.connect": "sqlite3.connect",
+    "urllib.request.urlopen": "urllib.request.urlopen",
+    "socket.create_connection": "socket.create_connection",
+}
+
+#: Dotted prefixes that block (any subprocess entry point).
+_BLOCKING_PREFIXES = ("subprocess.",)
+
+#: Attribute calls that perform synchronous file IO on any receiver.
+#: Metadata-only operations (is_file/exists/stat/unlink/mkdir) are
+#: deliberately exempt: they are cheap point lookups the serve layer
+#: relies on for loop-synchronous classification.
+_SYNC_IO_ATTRS = frozenset({
+    "read_text", "read_bytes", "write_text", "write_bytes",
+})
+
+#: Known process-supervising repro helpers (each runs worker processes
+#: or a whole campaign to completion).
+_BLOCKING_HELPERS = frozenset({"run_cell", "execute_cell",
+                               "run_campaign"})
+
+#: Cursor/connection methods that hit sqlite synchronously.
+_SQLITE_METHODS = frozenset({
+    "execute", "executemany", "executescript", "commit", "rollback",
+    "fetchone", "fetchall", "fetchmany", "close",
+})
+
+
+def _sqlite_attrs(cls_node: ast.ClassDef) -> frozenset[str]:
+    """Attributes of the class that hold a sqlite connection: assigned
+    from ``sqlite3.connect(...)`` directly or through a local."""
+    found: set[str] = set()
+    for method in cls_node.body:
+        if not isinstance(method, (ast.FunctionDef,
+                                   ast.AsyncFunctionDef)):
+            continue
+        locals_from_connect: set[str] = set()
+        for node in ast.walk(method):
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            is_connect = (isinstance(value, ast.Call)
+                          and _dotted(value.func) == "sqlite3.connect")
+            from_local = (isinstance(value, ast.Name)
+                          and value.id in locals_from_connect)
+            if not (is_connect or from_local):
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name) and is_connect:
+                    locals_from_connect.add(target.id)
+                elif isinstance(target, ast.Attribute) and \
+                        isinstance(target.value, ast.Name) and \
+                        target.value.id == "self":
+                    found.add(target.attr)
+    return frozenset(found)
+
+
+def _describe_blocking_call(call: ast.Call,
+                            fn: FunctionInfo) -> str | None:
+    """Why this call blocks the event loop, or None when it does not."""
+    func = call.func
+    dotted = _dotted(func)
+    if dotted is not None:
+        if dotted in _BLOCKING_DOTTED:
+            return f"'{dotted}()' blocks the calling thread"
+        if any(dotted.startswith(p) for p in _BLOCKING_PREFIXES):
+            return f"'{dotted}()' runs a subprocess synchronously"
+    if isinstance(func, ast.Name):
+        if func.id == "open":
+            return "'open()' performs synchronous file IO"
+        if func.id in _BLOCKING_HELPERS:
+            return (f"'{func.id}()' supervises worker processes to "
+                    "completion")
+    if isinstance(func, ast.Attribute):
+        if func.attr in _SYNC_IO_ATTRS:
+            return (f"'.{func.attr}()' performs synchronous file IO")
+        if func.attr in _BLOCKING_HELPERS:
+            return (f"'{func.attr}()' supervises worker processes to "
+                    "completion")
+        if func.attr in _SQLITE_METHODS and fn.cls is not None:
+            recv = func.value
+            if isinstance(recv, ast.Attribute) and \
+                    isinstance(recv.value, ast.Name) and \
+                    recv.value.id == "self" and \
+                    recv.attr in _sqlite_attrs(fn.cls.node):
+                return (f"'self.{recv.attr}.{func.attr}()' is a "
+                        "synchronous sqlite operation")
+    return None
+
+
+class _BlockingSummaries:
+    """Memoised "does calling this sync function block?" summaries,
+    propagated over exact call edges only."""
+
+    def __init__(self, index: ProjectIndex) -> None:
+        self.index = index
+        self._memo: dict[str, str | None] = {}
+
+    def why_blocking(self, fn: FunctionInfo, _depth: int = 0,
+                     _stack: frozenset[str] = frozenset()) -> str | None:
+        cached = self._memo.get(fn.qualname, "?")
+        if cached != "?":
+            return cached
+        if fn.qualname in _stack or _depth > 4:
+            return None
+        result: str | None = None
+        for _, _, stmt in self.index.cfg(fn).nodes():
+            for node in ast.walk(stmt):
+                if not isinstance(node, ast.Call):
+                    continue
+                why = _describe_blocking_call(node, fn)
+                if why is not None:
+                    result = why
+                    break
+                res = self.index.resolve_call(node, fn)
+                if res.exact and len(res.targets) == 1 and \
+                        not isinstance(res.targets[0].node,
+                                       ast.AsyncFunctionDef):
+                    deeper = self.why_blocking(
+                        res.targets[0], _depth + 1,
+                        _stack | {fn.qualname})
+                    if deeper is not None:
+                        result = (f"{deeper} (reached via "
+                                  f"'{res.targets[0].name}')")
+                        break
+            if result is not None:
+                break
+        self._memo[fn.qualname] = result
+        return result
+
+
+def check_blocking_calls(index: ProjectIndex,
+                         relpaths: frozenset[str] | None = None
+                         ) -> list[Finding]:
+    """Run the RPL014 search over every async function."""
+    summaries = _BlockingSummaries(index)
+    findings: list[Finding] = []
+    for fn in index.functions.values():
+        if relpaths is not None and fn.relpath not in relpaths:
+            continue
+        if not isinstance(fn.node, ast.AsyncFunctionDef):
+            continue
+        cfg = index.cfg(fn)
+        for _, _, stmt in cfg.nodes():
+            for node in ast.walk(stmt):
+                if not isinstance(node, ast.Call):
+                    continue
+                why = _describe_blocking_call(node, fn)
+                if why is None:
+                    res = index.resolve_call(node, fn)
+                    if res.exact and len(res.targets) == 1 and \
+                            not isinstance(res.targets[0].node,
+                                           ast.AsyncFunctionDef):
+                        callee = res.targets[0]
+                        why = summaries.why_blocking(callee)
+                        if why is not None:
+                            why = (f"{why} (reached via "
+                                   f"'{callee.name}')")
+                if why is None:
+                    continue
+                findings.append(Finding(
+                    relpath=fn.relpath,
+                    line=getattr(node, "lineno", 1),
+                    column=getattr(node, "col_offset", 0) + 1,
+                    message=(
+                        f"{why} inside async '{fn.name}' — the event "
+                        "loop stalls for its whole duration; offload "
+                        "with await asyncio.to_thread(...) or "
+                        "loop.run_in_executor(...)")))
+    findings.sort(key=lambda f: (f.relpath, f.line, f.column))
+    return findings

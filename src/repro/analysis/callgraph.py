@@ -5,10 +5,13 @@ scanned modules and resolves call expressions to their targets.  The
 resolver is deliberately *conservative*: a resolution is either
 
 * **exact** — a single target found through one of the trusted routes
-  (same-module bare name; ``self.method`` through the class MRO;
-  ``self.attr.method`` through lightweight attribute-type inference of
-  ``self.attr = ClassName(...)`` assignments; a local variable or
-  parameter whose class is known from an assignment or annotation), or
+  (same-module bare name; a ``from repro.x import f`` import edge;
+  ``self.method`` through the class MRO; ``self.attr.method`` through
+  lightweight attribute-type inference of ``self.attr = ClassName(...)``
+  and ``self.attr = param`` (annotated parameter) assignments; a local
+  variable or parameter whose class is known from an assignment or
+  annotation; ``mod.f`` through a ``from repro.pkg import mod``
+  submodule import), or
 * **ambiguous** — a bucket of same-named methods across the project.
 
 Rules only impose *obligations on callers* through exact resolutions
@@ -122,6 +125,13 @@ class ProjectIndex:
         self.by_simple_name: dict[str, list[FunctionInfo]] = {}
         #: (module_key, name) -> module-level function
         self.module_funcs: dict[tuple[str, str], FunctionInfo] = {}
+        #: module_key -> local name -> candidate (source relpath,
+        #: original name) pairs from ``from repro.x.y import name``
+        self.imports: dict[str, dict[str,
+                           tuple[tuple[str, str], ...]]] = {}
+        #: module_key -> local name -> imported submodule relpath
+        #: from ``from repro.x import mod`` imports
+        self.module_imports: dict[str, dict[str, str]] = {}
         self._cfgs: dict[str, CFG] = {}
         self._local_envs: dict[str, dict[str, str]] = {}
         self._may_raise: dict[str, bool] = {}
@@ -135,7 +145,45 @@ class ProjectIndex:
                 self._infer_attr_types(cls, class_names)
 
     # -- construction ---------------------------------------------------
+    @staticmethod
+    def _module_relpaths(dotted: str) -> tuple[str, ...]:
+        """Candidate relpaths for ``repro.serve.storage``: the scan
+        root is ``src/repro``, so the module lives at
+        ``serve/storage.py`` or, if it is a package, at
+        ``serve/storage/__init__.py``."""
+        parts = dotted.split(".")
+        if parts[0] != "repro":
+            return ()
+        if len(parts) == 1:
+            return ("__init__.py",)
+        stem = "/".join(parts[1:])
+        return (f"{stem}.py", f"{stem}/__init__.py")
+
+    def _index_imports(self, relpath: str, tree: ast.Module) -> None:
+        for node in tree.body:
+            if not isinstance(node, ast.ImportFrom) or node.level:
+                continue
+            sources = self._module_relpaths(node.module or "")
+            if not sources:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                # ``from repro.pkg import name`` is either a function
+                # defined in pkg (module or package __init__) or the
+                # submodule pkg/name.py — record every candidate;
+                # resolution checks which one exists in the index.
+                self.imports.setdefault(relpath, {})[local] = tuple(
+                    (source, alias.name) for source in sources)
+                stem = node.module.split(".", 1)[1].replace(".", "/") \
+                    if "." in node.module else ""
+                sub = f"{stem}/{alias.name}.py" if stem \
+                    else f"{alias.name}.py"
+                self.module_imports.setdefault(relpath, {})[local] = sub
+
     def _index_module(self, relpath: str, tree: ast.Module) -> None:
+        self._index_imports(relpath, tree)
         for node in tree.body:
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 info = FunctionInfo(
@@ -176,6 +224,13 @@ class ProjectIndex:
     def _infer_attr_types(self, cls: ClassInfo,
                           class_names: set[str]) -> None:
         for method in cls.methods.values():
+            args = method.node.args
+            annotated = {}
+            for arg in args.posonlyargs + args.args + args.kwonlyargs:
+                ann_name = _base_name(arg.annotation) \
+                    if arg.annotation is not None else ""
+                if ann_name in class_names:
+                    annotated[arg.arg] = ann_name
             for node in ast.walk(method.node):
                 if not isinstance(node, (ast.Assign, ast.AnnAssign)):
                     continue
@@ -185,6 +240,10 @@ class ProjectIndex:
                 if value is None:
                     continue
                 typed = _class_of_call(value, class_names)
+                if typed is None and isinstance(value, ast.Name):
+                    # ``self.store = store`` where the parameter is
+                    # annotated with a project class.
+                    typed = annotated.get(value.id)
                 if typed is None:
                     continue
                 for target in targets:
@@ -278,6 +337,12 @@ class ProjectIndex:
             target = self.module_funcs.get((caller.module_key, func.id))
             if target is not None:
                 return Resolution((target,), exact=True)
+            # ``from repro.x.y import f`` import edge.
+            for source, orig in self.imports.get(
+                    caller.module_key, {}).get(func.id, ()):
+                target = self.module_funcs.get((source, orig))
+                if target is not None:
+                    return Resolution((target,), exact=True)
             return _UNRESOLVED
         if not isinstance(func, ast.Attribute):
             return _UNRESOLVED
@@ -295,6 +360,13 @@ class ProjectIndex:
                     method = self._method_on(typed, attr)
                     if method is not None:
                         return Resolution((method,), exact=True)
+                # ``from repro.pkg import mod`` then ``mod.f(...)``.
+                source = self.module_imports.get(
+                    caller.module_key, {}).get(recv.id)
+                if source is not None:
+                    target = self.module_funcs.get((source, attr))
+                    if target is not None:
+                        return Resolution((target,), exact=True)
         # self.attrname.method(...)
         if isinstance(recv, ast.Attribute) and \
                 isinstance(recv.value, ast.Name) and \

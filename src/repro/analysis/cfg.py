@@ -15,6 +15,18 @@ constant-test pruning so ``while True:`` has no false edge), ``for``/
 chain), ``with``, ``match`` (wildcard detection), ``return``, ``raise``
 and generator functions (``yield`` is an ordinary expression).
 
+Async functions build the same graph shape (``async for`` iterates like
+``for``, ``async with`` flattens like ``with``) but additionally record
+*interference points*: leaf statements at which the coroutine may
+suspend and other event-loop tasks may run.  A statement interferes when
+it contains an ``ast.Await``, when it is the acquisition of an ``async
+with`` context (the implicit ``__aenter__`` await), or when it is an
+``async for`` loop header (the per-iteration ``__anext__`` await).
+Leaving an ``async with`` body awaits ``__aexit__``; that is recorded as
+interference *after* the body's last leaf statement.  Query with
+:meth:`CFG.interferes` / :meth:`CFG.interferes_after`; the atomicity
+pass (:mod:`repro.analysis.atomicity`) is built on these marks.
+
 Deliberate approximations, chosen to be conservative for the must-
 analyses built on top (extra paths can only *remove* facts, never invent
 them):
@@ -76,16 +88,46 @@ class CFG:
 
     def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef,
                  blocks: list[Block], entry: Block, exit_block: Block,
-                 raise_exit: Block) -> None:
+                 raise_exit: Block,
+                 interference: set[int] | None = None,
+                 post_interference: set[int] | None = None) -> None:
         self.func = func
         self.blocks = blocks
         self.entry = entry
         self.exit = exit_block
         self.raise_exit = raise_exit
         self._loc: dict[int, tuple[Block, int]] = {}
+        self._interference: set[int] = set(interference or ())
+        self._post_interference: set[int] = set(post_interference or ())
         for block in blocks:
             for idx, node in enumerate(block.stmts):
                 self._loc[id(node)] = (block, idx)
+                # The leaf property guarantees ast.walk stays inside
+                # this block, so an Await found here belongs here.
+                if any(isinstance(sub, ast.Await) for sub in ast.walk(node)):
+                    self._interference.add(id(node))
+
+    @property
+    def is_async(self) -> bool:
+        return isinstance(self.func, ast.AsyncFunctionDef)
+
+    def interferes(self, node: ast.AST) -> bool:
+        """True when executing ``node`` may suspend the coroutine (an
+        await happens within the statement)."""
+        return id(node) in self._interference
+
+    def interferes_after(self, node: ast.AST) -> bool:
+        """True when control *leaving* ``node`` awaits first (the node
+        is the last leaf of an ``async with`` body, whose ``__aexit__``
+        is awaited)."""
+        return id(node) in self._post_interference
+
+    def interference_points(self) -> list[ast.AST]:
+        """Every stored leaf node that is (or is followed by) an
+        interference point, in block order."""
+        return [node for _, _, node in self.nodes()
+                if id(node) in self._interference
+                or id(node) in self._post_interference]
 
     def location(self, node: ast.AST) -> tuple[Block, int] | None:
         return self._loc.get(id(node))
@@ -173,6 +215,11 @@ class _Builder:
         #: (continue_target, break_target, finally_depth_at_loop_entry)
         self.loops: list[tuple[Block, Block, int]] = []
         self.finallies: list[_FinallyCtx] = []
+        #: Implicit awaits the AST does not spell out: ``async with``
+        #: acquisition / ``async for`` headers (interference at the
+        #: node) and ``async with`` body exits (interference after).
+        self.interference: set[int] = set()
+        self.post_interference: set[int] = set()
 
     def _new(self) -> Block:
         block = Block(len(self.blocks))
@@ -186,7 +233,8 @@ class _Builder:
             end.link(self.exit, "fall")
         self._compress()
         return CFG(self.func, self.blocks, self.entry, self.exit,
-                   self.raise_exit)
+                   self.raise_exit, interference=self.interference,
+                   post_interference=self.post_interference)
 
     def _compress(self) -> None:
         """Splice out empty non-special blocks so edge lists stay
@@ -269,9 +317,23 @@ class _Builder:
         if isinstance(stmt, (ast.With, ast.AsyncWith)):
             for item in stmt.items:
                 current.stmts.append(item.context_expr)
+                if isinstance(stmt, ast.AsyncWith):
+                    # ``__aenter__`` awaits before the body runs.
+                    self.interference.add(id(item.context_expr))
                 if item.optional_vars is not None:
                     current.stmts.append(item.optional_vars)
-            return self._body(stmt.body, current)
+            end = self._body(stmt.body, current)
+            if isinstance(stmt, ast.AsyncWith):
+                # ``__aexit__`` awaits when the body falls off its end.
+                # (Exceptional exits share the try/finally approximation
+                # documented in the module docstring.)
+                anchor = end if end is not None else None
+                if anchor is not None and anchor.stmts:
+                    self.post_interference.add(id(anchor.stmts[-1]))
+                elif stmt.items:
+                    self.post_interference.add(
+                        id(stmt.items[-1].context_expr))
+            return end
         if isinstance(stmt, ast.Match):
             return self._match(stmt, current)
         if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
@@ -331,6 +393,9 @@ class _Builder:
         header = self._new()
         current.link(header, "fall")
         header.stmts.append(stmt.target)
+        if isinstance(stmt, ast.AsyncFor):
+            # Every iteration awaits ``__anext__`` at the header.
+            self.interference.add(id(stmt.target))
         after = self._new()
         body_block = self._new()
         header.link(body_block, "iter")

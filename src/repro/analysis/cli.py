@@ -9,9 +9,19 @@
     python -m repro.analysis --sarif out.sarif # SARIF 2.1.0 log for
                                                # code scanning
     python -m repro.analysis --jobs 4          # parallel flat phase
+    python -m repro.analysis --changed-only    # report only findings in
+                                               # files changed vs --base
     python -m repro.analysis --write-baseline  # accept current findings
     python -m repro.analysis --update-baseline # regenerate + report diff
     python -m repro.analysis --list-rules      # what is enforced & why
+
+``--changed-only`` keeps the *analysis* whole-tree (the project phase —
+call graphs, protocol obligations, atomicity — is only sound over the
+full package, and the warm incremental cache makes that cheap) and
+filters the *report* to files that differ from ``--base`` (default
+``HEAD``): committed, staged, unstaged and untracked changes all
+count.  That is the pre-commit shape — sub-second warm, and a finding
+in an unchanged file never blocks an unrelated commit.
 
 Exit code 0 means every finding is either absent or explicitly
 baselined; 1 means new violations (or, under ``--strict``, a stale
@@ -88,6 +98,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "tree rewrites it byte-identically)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the incremental result cache")
+    parser.add_argument("--changed-only", action="store_true",
+                        help="report only findings in files that "
+                             "differ from --base (git diff + "
+                             "untracked); the analysis itself stays "
+                             "whole-tree so project rules remain sound")
+    parser.add_argument("--base", default="HEAD", metavar="REF",
+                        help="git ref --changed-only diffs against "
+                             "(default: HEAD)")
     parser.add_argument("--select", action="append", default=None,
                         metavar="RULE",
                         help="run only this rule (repeatable; name or "
@@ -121,6 +139,41 @@ def _resolve_cache(args: argparse.Namespace,
     if repo_root is None:
         return None
     return AnalysisCache(repo_root / CACHE_NAME)
+
+
+def changed_files(repo_root: Path, base: str) -> set[str] | None:
+    """Repo-root-relative posix paths that differ from ``base``:
+    committed/staged/unstaged changes (``git diff base``) plus
+    untracked files.  ``None`` when git is unavailable or ``base``
+    does not resolve."""
+    import subprocess
+
+    changed: set[str] = set()
+    for cmd in (["git", "diff", "--name-only", base, "--"],
+                ["git", "ls-files", "--others", "--exclude-standard"]):
+        try:
+            proc = subprocess.run(
+                cmd, cwd=repo_root, capture_output=True, text=True,
+                check=True, timeout=30)
+        except (OSError, subprocess.SubprocessError):
+            return None
+        changed.update(line.strip() for line in
+                       proc.stdout.splitlines() if line.strip())
+    return changed
+
+
+def _filter_changed(violations, scan_root: Path,
+                    changed: set[str]) -> list:
+    """Keep violations whose file differs from the base ref.  Violation
+    paths are scan-root-relative; the changed set is repo-root-relative
+    — rebase via the scan root's position in the checkout."""
+    prefix = _sarif_uri_prefix(scan_root)
+    keep = []
+    for violation in violations:
+        full = f"{prefix}/{violation.path}" if prefix else violation.path
+        if full in changed:
+            keep.append(violation)
+    return keep
 
 
 def _sarif_uri_prefix(scan_root: Path) -> str:
@@ -213,6 +266,21 @@ def main(argv: Sequence[str] | None = None) -> int:
         report.stale_baseline = stale
     else:
         report.violations = violations
+
+    if args.changed_only:
+        repo_root = find_repo_root(Path(scan_root).resolve())
+        if repo_root is None:
+            print("--changed-only: no repo root (pyproject.toml) "
+                  "found", file=sys.stderr)
+            return 2
+        changed = changed_files(repo_root, args.base)
+        if changed is None:
+            print(f"--changed-only: git diff against {args.base!r} "
+                  "failed (not a checkout, or unknown ref)",
+                  file=sys.stderr)
+            return 2
+        report.violations = _filter_changed(
+            report.violations, Path(scan_root), changed)
 
     if args.sarif is not None:
         from repro.analysis.sarif import to_sarif

@@ -30,6 +30,10 @@ import re
 from collections.abc import Iterable, Iterator
 from pathlib import Path
 
+from repro.analysis.atomicity import (
+    check_await_atomicity,
+    check_blocking_calls,
+)
 from repro.analysis.cache import (
     AnalysisCache,
     CacheStats,
@@ -959,6 +963,228 @@ class NondeterministicReportRule(LintRule):
                     "not the bundle")
 
 
+# ======================================================================
+# RPL012 — await-atomicity (engine in repro.analysis.atomicity)
+# ======================================================================
+class AwaitAtomicityRule(ProjectRule):
+    """A ``self.*`` attribute read on one side of an await and written
+    back on the other without a covering asyncio lock: another task can
+    run at the await and the write clobbers its update.  Locksets are
+    lexical ``async with self._lock:`` regions and transfer through
+    exact call edges — a helper's reads/writes count at the call site,
+    under the caller's lockset (:mod:`repro.analysis.atomicity`)."""
+
+    name = "await-atomicity"
+    exclude = ("analysis/",)
+
+    def check_project(self, modules: list[ParsedModule],
+                      index: ProjectIndex) -> Iterator[Violation]:
+        mods = self.by_relpath(modules)
+        scope = frozenset(r for r in mods if self.applies(r))
+        for finding in check_await_atomicity(index, scope):
+            yield self.violation_at(mods, finding.relpath, finding.line,
+                                    finding.column, finding.message)
+
+
+# ======================================================================
+# RPL014 — blocking calls in async code (engine in atomicity.py)
+# ======================================================================
+class BlockingCallInAsyncRule(ProjectRule):
+    """Synchronous blocking work — ``time.sleep``, subprocess, sqlite
+    operations, sync file IO, the process-supervising repro helpers —
+    reachable inside an ``async def`` through exact call edges stalls
+    every task on the event loop.  Offloaded work
+    (``asyncio.to_thread`` / ``run_in_executor``) passes the callable
+    by reference, creates no call edge, and is accepted."""
+
+    name = "blocking-call-in-async"
+    exclude = ("analysis/",)
+
+    def check_project(self, modules: list[ParsedModule],
+                      index: ProjectIndex) -> Iterator[Violation]:
+        mods = self.by_relpath(modules)
+        scope = frozenset(r for r in mods if self.applies(r))
+        for finding in check_blocking_calls(index, scope):
+            yield self.violation_at(mods, finding.relpath, finding.line,
+                                    finding.column, finding.message)
+
+
+# ======================================================================
+# RPL013 — torn final-path file writes
+# ======================================================================
+class TornFileWriteRule(ProjectRule):
+    """A write that lands on a final path directly (``open(p, "w")``,
+    ``Path.write_text``, ``json.dump``, a sqlite database created
+    without WAL journaling) can be torn by a crash mid-write.  The
+    sanctioned discipline is stage-to-temp -> fsync -> ``os.replace``
+    (:mod:`repro.util.atomic`); a write is accepted when its function
+    participates in that discipline itself (it calls ``os.replace`` or
+    targets a ``tempfile``-staged name) or — via the call graph — when
+    every exact caller of the staging helper performs the
+    ``os.replace``."""
+
+    name = "torn-file-write"
+    paths = ("campaign/", "serve/", "viz/", "perf/")
+
+    _STAGING_CTORS = ("tempfile.mkstemp", "tempfile.NamedTemporaryFile",
+                      "tempfile.mkdtemp", "tempfile.TemporaryDirectory")
+
+    def check_project(self, modules: list[ParsedModule],
+                      index: ProjectIndex) -> Iterator[Violation]:
+        mods = self.by_relpath(modules)
+        self._index = index
+        self._has_replace_memo: dict[str, bool] = {}
+        for fn in index.functions.values():
+            if fn.relpath not in mods or not self.applies(fn.relpath):
+                continue
+            yield from self._check_function(fn, mods)
+
+    # -- per-function facts ---------------------------------------------
+    def _leaf_nodes(self, fn: FunctionInfo) -> Iterator[ast.AST]:
+        for _, _, stmt in self._index.cfg(fn).nodes():
+            yield from ast.walk(stmt)
+
+    def _has_replace(self, fn: FunctionInfo) -> bool:
+        cached = self._has_replace_memo.get(fn.qualname)
+        if cached is None:
+            cached = any(
+                isinstance(node, ast.Call)
+                and _dotted(node.func) == "os.replace"
+                for node in self._leaf_nodes(fn))
+            self._has_replace_memo[fn.qualname] = cached
+        return cached
+
+    def _callers_all_replace(self, fn: FunctionInfo) -> bool:
+        """Call-graph acceptance: the function is a staging helper whose
+        every exact caller completes the rename."""
+        callers = self._index.callers_of(fn)
+        return bool(callers) and all(
+            self._has_replace(caller) for caller, _ in callers)
+
+    @staticmethod
+    def _staged_names(fn: FunctionInfo) -> set[str]:
+        staged: set[str] = set()
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            dotted = _dotted(value.func) if isinstance(value, ast.Call) \
+                else None
+            if dotted not in TornFileWriteRule._STAGING_CTORS:
+                continue
+            for target in node.targets:
+                elts = target.elts if isinstance(target, ast.Tuple) \
+                    else [target]
+                staged.update(e.id for e in elts
+                              if isinstance(e, ast.Name))
+        return staged
+
+    @staticmethod
+    def _handle_names(fn: FunctionInfo) -> set[str]:
+        """Locals bound to file handles opened in this function — a
+        ``json.dump`` into one is judged by where the *open* points."""
+        handles: set[str] = set()
+
+        def opens_file(value: ast.expr) -> bool:
+            return (isinstance(value, ast.Call)
+                    and (_dotted(value.func) in ("os.fdopen",)
+                         or (isinstance(value.func, ast.Name)
+                             and value.func.id == "open")
+                         or (isinstance(value.func, ast.Attribute)
+                             and value.func.attr == "open")))
+
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Assign) and opens_file(node.value):
+                handles.update(t.id for t in node.targets
+                               if isinstance(t, ast.Name))
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if opens_file(item.context_expr) and \
+                            isinstance(item.optional_vars, ast.Name):
+                        handles.add(item.optional_vars.id)
+        return handles
+
+    @staticmethod
+    def _write_mode(call: ast.Call) -> bool:
+        mode: ast.expr | None = call.args[1] if len(call.args) >= 2 \
+            else None
+        for kw in call.keywords:
+            if kw.arg == "mode":
+                mode = kw.value
+        if isinstance(mode, ast.Constant) and \
+                isinstance(mode.value, str):
+            return any(c in mode.value for c in "wax+")
+        return False  # no/unknown mode: open() defaults to read
+
+    @staticmethod
+    def _root_name(expr: ast.expr) -> str:
+        while isinstance(expr, ast.Attribute):
+            expr = expr.value
+        return expr.id if isinstance(expr, ast.Name) else ""
+
+    # -- the check -------------------------------------------------------
+    def _check_function(self, fn: FunctionInfo,
+                        mods: dict[str, ParsedModule]
+                        ) -> Iterator[Violation]:
+        staged = self._staged_names(fn)
+        handles = self._handle_names(fn)
+        atomic = self._has_replace(fn) or self._callers_all_replace(fn)
+        wal_ok = any(
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, str)
+            and "journal_mode" in node.value
+            for node in self._leaf_nodes(fn))
+
+        def flag(call: ast.Call, desc: str) -> Violation:
+            return self.violation_at(
+                mods, fn.relpath, call.lineno, call.col_offset + 1,
+                f"{desc} writes the final path directly — a crash "
+                "mid-write leaves a torn file; stage to a temp file, "
+                "fsync, then os.replace() (repro.util.atomic), or "
+                "route the write through an atomic-write helper")
+
+        for node in self._leaf_nodes(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            dotted = _dotted(func)
+            if dotted == "sqlite3.connect":
+                if not wal_ok:
+                    yield self.violation_at(
+                        mods, fn.relpath, node.lineno,
+                        node.col_offset + 1,
+                        "sqlite database opened without WAL "
+                        "journaling in this function — a crash "
+                        "mid-transaction can corrupt the file; "
+                        "execute PRAGMA journal_mode=WAL right after "
+                        "sqlite3.connect()")
+                continue
+            if atomic:
+                continue
+            if isinstance(func, ast.Name) and func.id == "open" and \
+                    self._write_mode(node):
+                target = node.args[0] if node.args else None
+                if isinstance(target, ast.Name) and target.id in staged:
+                    continue
+                yield flag(node, "open(..., 'w')")
+            elif isinstance(func, ast.Attribute) and \
+                    func.attr == "open" and self._write_mode(node):
+                if self._root_name(func.value) in staged:
+                    continue
+                yield flag(node, f"'{_dotted(func) or 'open'}(...)'")
+            elif isinstance(func, ast.Attribute) and \
+                    func.attr in ("write_text", "write_bytes"):
+                if self._root_name(func.value) in staged:
+                    continue
+                yield flag(node, f"'.{func.attr}()'")
+            elif dotted == "json.dump":
+                handle = node.args[1] if len(node.args) >= 2 else None
+                if isinstance(handle, ast.Name) and \
+                        handle.id in (handles | staged):
+                    continue  # judged at the open() it came from
+                yield flag(node, "json.dump(...)")
+
+
 _FLAT_RULE_CLASSES: tuple[type[LintRule], ...] = (
     UncheckedVerifyRule,
     FloatCycleArithRule,
@@ -975,6 +1201,9 @@ _PROJECT_RULE_CLASSES: tuple[type[ProjectRule], ...] = (
     UncheckedVerifyProjectRule,
     PersistProtocolRule,
     ExceptionUnsafeAttributionRule,
+    AwaitAtomicityRule,
+    TornFileWriteRule,
+    BlockingCallInAsyncRule,
 )
 
 # Every registered RuleInfo must have an implementation and vice versa

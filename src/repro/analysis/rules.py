@@ -171,6 +171,54 @@ ALL_RULES: tuple[RuleInfo, ...] = (
                   "random.Random(seed)) silently breaks the golden-"
                   "bundle guarantee.",
     ),
+    RuleInfo(
+        id="RPL012",
+        name="await-atomicity",
+        summary="shared state read and written back across an await "
+                "without a covering lock",
+        rationale="The serve layer's correctness argument is the same "
+                  "shape as the paper's: invariants live on ordering "
+                  "discipline.  Scheduler/EventBus/quota/store "
+                  "bookkeeping is loop-synchronous — atomic only "
+                  "*between* awaits.  A self.* attribute read before "
+                  "an interference point and written back after it "
+                  "lets another task interleave at the await and have "
+                  "its update clobbered (lost quota charges, double-"
+                  "scheduled cells).  Hold one asyncio.Lock across the "
+                  "read-modify-write or keep it on one side of the "
+                  "await.",
+    ),
+    RuleInfo(
+        id="RPL013",
+        name="torn-file-write",
+        summary="final-path file write outside the write-temp -> fsync "
+                "-> os.replace discipline",
+        rationale="The repo's crash-consistency claim extends to its "
+                  "own artifacts: manifests, cache entries, report "
+                  "bundles and discovery files are consumed by "
+                  "concurrent readers and must never be observable "
+                  "half-written — exactly the torn-root problem of "
+                  "§III-B at file granularity.  Every write to a final "
+                  "path must stage to a temp file, fsync, and publish "
+                  "with an atomic os.replace (repro.util.atomic); "
+                  "sqlite files get the equivalent guarantee from WAL "
+                  "journaling.",
+    ),
+    RuleInfo(
+        id="RPL014",
+        name="blocking-call-in-async",
+        summary="blocking call reachable inside an async def without "
+                "to_thread/run_in_executor offload",
+        rationale="One stalled coroutine stalls every tenant: the "
+                  "serve event loop multiplexes all connections, so a "
+                  "time.sleep, subprocess wait, sqlite query or "
+                  "synchronous file read reachable from an async "
+                  "handler freezes streaming, health checks and "
+                  "scheduling for its whole duration.  Offload "
+                  "blocking work with asyncio.to_thread / "
+                  "run_in_executor — the scheduler already does this "
+                  "for run_cell and store.put.",
+    ),
 )
 
 _BY_NAME = {rule.name: rule for rule in ALL_RULES}

@@ -40,7 +40,6 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 from collections.abc import Callable
 from contextlib import suppress
 from pathlib import Path
@@ -49,6 +48,7 @@ from typing import Any
 import repro
 from repro.campaign.spec import CellSpec
 from repro.sim.results import RunResult
+from repro.util.atomic import atomic_write_text, fsync_dir as _fsync_dir
 
 #: Bump when simulator semantics change in a way that invalidates cached
 #: measurements without changing the cell spec itself.
@@ -65,19 +65,6 @@ def cell_key(cell: CellSpec) -> str:
     payload = "\n".join(
         (CACHE_SALT, repro.__version__, canonical_json(cell.to_dict())))
     return hashlib.sha256(payload.encode()).hexdigest()
-
-
-def _fsync_dir(directory: Path) -> None:
-    """Best-effort durability for a directory-entry change."""
-    try:
-        fd = os.open(directory, os.O_RDONLY)
-    except OSError:
-        return
-    try:
-        with suppress(OSError):
-            os.fsync(fd)
-    finally:
-        os.close(fd)
 
 
 class ResultCache:
@@ -155,15 +142,7 @@ class ResultCache:
         # cells replay with their breakdowns intact.
         payload = {"key": key, "cell": cell.to_dict(),
                    "result": result.to_dict(), "wall_time": wall_time}
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(canonical_json(payload))
-            os.replace(tmp, path)
-        except BaseException:
-            with suppress(OSError):
-                os.unlink(tmp)
-            raise
+        atomic_write_text(path, canonical_json(payload))
 
     def evict(self, key: str) -> bool:
         """Drop one entry (corruption recovery); True if it existed.

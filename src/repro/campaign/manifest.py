@@ -32,15 +32,13 @@ manifest records provenance and is safe to delete.
 from __future__ import annotations
 
 import json
-import os
-import tempfile
 import time
-from contextlib import suppress
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
 from repro.errors import CampaignError
+from repro.util.atomic import atomic_write_text
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.campaign.spec import CampaignSpec
@@ -124,15 +122,7 @@ class RunManifest:
                    "created": self.created, "finished": self.finished,
                    "wall_time": self.wall_time,
                    "cells": [r.to_dict() for r in self.cells]}
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(payload, handle, indent=1)
-        except BaseException:
-            with suppress(OSError):
-                os.unlink(tmp)
-            raise
-        os.replace(tmp, path)
+        atomic_write_text(path, json.dumps(payload, indent=1))
 
     @classmethod
     def load(cls, path: str | Path) -> "RunManifest":

@@ -51,6 +51,7 @@ from repro.bench.figures import fig10_execution_time
 from repro.bench.harness import BenchScale
 from repro.errors import ConfigError
 from repro.sim.system import System
+from repro.util.atomic import atomic_write_text
 from repro.workloads import make_workload
 
 SCHEMA_VERSION = 1
@@ -272,8 +273,9 @@ def run_benchmarks(quick: bool = False,
 # Persistence + comparison
 # ----------------------------------------------------------------------
 def save_report(report: dict[str, Any], path: str | Path) -> None:
-    Path(path).write_text(json.dumps(report, indent=2, sort_keys=True)
-                          + "\n")
+    atomic_write_text(Path(path),
+                      json.dumps(report, indent=2, sort_keys=True)
+                      + "\n")
 
 
 def load_report(path: str | Path) -> dict[str, Any]:

@@ -40,6 +40,7 @@ from repro.serve.metrics import render_metrics
 from repro.serve.quotas import QuotaPolicy
 from repro.serve.storage import CampaignStore
 from repro.serve.workers import Scheduler
+from repro.util.atomic import atomic_write_text
 
 MAX_HEADER_BYTES = 16 * 1024
 MAX_BODY_BYTES = 16 * 1024 * 1024
@@ -90,21 +91,24 @@ class ServerApp:
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port)
         self.port = self._server.sockets[0].getsockname()[1]
-        self._write_discovery()
+        # File IO (and its fsyncs) happens off the loop.
+        await asyncio.to_thread(self._write_discovery)
 
     def _write_discovery(self) -> None:
         info = {"host": self.config.host, "port": self.port,
                 "pid": os.getpid(), "version": repro.__version__}
         path = Path(self.config.root) / "server.json"
-        path.write_text(json.dumps(info, indent=1, sort_keys=True)
-                        + "\n")
+        # Atomic publication: a crashed start never leaves a torn
+        # server.json for a discovery client to misparse.
+        atomic_write_text(path, json.dumps(info, indent=1,
+                                           sort_keys=True) + "\n")
 
     async def stop(self) -> None:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
         await self.scheduler.stop()
-        self.store.close()
+        await asyncio.to_thread(self.store.close)
         with suppress(OSError):
             (Path(self.config.root) / "server.json").unlink()
 
@@ -192,17 +196,26 @@ class ServerApp:
         query = {k: v[-1] for k, v in parse_qs(url.query).items()}
 
         if method == "GET" and parts == ["healthz"]:
+            # store.stats() queries the sqlite index — off the loop.
+            store_stats = await asyncio.to_thread(self.store.stats)
             await self._send_json(writer, 200, {
                 "status": "ok", "version": repro.__version__,
-                "pid": os.getpid(), "store": self.store.stats()})
+                "pid": os.getpid(), "store": store_stats})
             return
         if method == "GET" and parts == ["v1", "stats"]:
+            store_stats = await asyncio.to_thread(self.store.stats)
             await self._send_json(writer, 200, {
                 "scheduler": self.scheduler.describe(),
-                "store": self.store.stats()})
+                "store": store_stats})
             return
         if method == "GET" and parts == ["v1", "metrics"]:
-            text = render_metrics(self.scheduler, self.store, self.bus)
+            # The sqlite object count is fetched off the loop; the
+            # scheduler/bus gauges are loop-owned state and must be
+            # snapshotted *on* the loop, so render_metrics itself
+            # stays loop-synchronous.
+            objects = await asyncio.to_thread(self.store.index_count)
+            text = render_metrics(self.scheduler, self.store, self.bus,
+                                  store_objects=objects)
             await self._send_raw(writer, 200, text.encode(),
                                  metrics.CONTENT_TYPE)
             return
@@ -239,7 +252,8 @@ class ServerApp:
             return
         if rest[1] == "results":
             await self._send_json(writer, 200,
-                                  self.scheduler.job_results(rest[0]))
+                                  await self.scheduler.job_results(
+                                      rest[0]))
             return
         if rest[1] == "events":
             await self._stream_events(job.view.job_id, writer, query)
@@ -248,7 +262,7 @@ class ServerApp:
 
     async def _cell(self, key: str, writer: asyncio.StreamWriter
                     ) -> None:
-        data = self.store.get_raw(key)
+        data = await asyncio.to_thread(self.store.get_raw, key)
         if data is None:
             raise api.NotFoundError(f"no cached cell {key[:16]}…")
         await self._send_raw(writer, 200, data, "application/json")

@@ -305,20 +305,26 @@ class Scheduler:
             raise api.NotFoundError(f"unknown job {job_id!r}")
         return job
 
-    def job_results(self, job_id: str) -> dict[str, Any]:
-        """Completed cells' full result payloads, in spec order."""
+    async def job_results(self, job_id: str) -> dict[str, Any]:
+        """Completed cells' full result payloads, in spec order.
+
+        The view rows are snapshotted loop-synchronously (no await
+        touches them), then the store payloads — disk/sqlite reads —
+        are fetched in a worker thread so a large job's results never
+        stall the event loop."""
         job = self.job(job_id)
+        rows = [(cell_view.cell_id, cell_view.key, cell_view.state)
+                for cell_view in job.view.cells]
+        state = job.view.state
         cells = []
-        for cell_view in job.view.cells:
-            entry: dict[str, Any] = {"cell_id": cell_view.cell_id,
-                                     "key": cell_view.key,
-                                     "state": cell_view.state}
-            if cell_view.state in (api.CELL_CACHED, api.CELL_DONE):
-                entry["result"] = self.store.get_result_dict(
-                    cell_view.key)
+        for cell_id, key, cell_state in rows:
+            entry: dict[str, Any] = {"cell_id": cell_id, "key": key,
+                                     "state": cell_state}
+            if cell_state in (api.CELL_CACHED, api.CELL_DONE):
+                entry["result"] = await asyncio.to_thread(
+                    self.store.get_result_dict, key)
             cells.append(entry)
-        return {"job_id": job_id, "state": job.view.state,
-                "cells": cells}
+        return {"job_id": job_id, "state": state, "cells": cells}
 
     def describe(self) -> dict[str, Any]:
         return {

@@ -1,0 +1,72 @@
+"""Crash-consistent file publication: write-temp -> fsync -> replace.
+
+The repo's crash-consistency claim extends to its own artifacts
+(docs/analysis.md, RPL013): manifests, cache entries, report bundles
+and discovery files are read by concurrent processes and must never be
+observable half-written — the torn-root problem of the paper's §III-B
+at file granularity.  Every writer of a *final* path routes through
+this module:
+
+* the payload is staged in a ``.tmp`` file created in the destination
+  directory (same filesystem, so the final rename cannot degrade to a
+  copy),
+* the staged file is flushed and ``os.fsync``'d — the rename must not
+  be reordered ahead of the data reaching the device, exactly the
+  leaf-before-root ordering obligation the tree schemes enforce,
+* ``os.replace`` publishes it atomically, and
+* the directory entry is fsynced best-effort so the publication itself
+  survives power loss.
+
+Readers therefore see either the previous complete version or the new
+complete version, never a prefix.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from contextlib import suppress
+from pathlib import Path
+
+__all__ = ["atomic_write_text", "atomic_write_bytes", "fsync_dir"]
+
+
+def fsync_dir(directory: str | Path) -> None:
+    """Best-effort durability for a directory-entry change (rename or
+    unlink).  Filesystems that refuse ``O_RDONLY`` opens or fsync on
+    directories lose durability, not atomicity, so errors are
+    swallowed."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        with suppress(OSError):
+            os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> None:
+    """Publish ``data`` at ``path`` atomically and durably."""
+    path = Path(path)
+    fd, tmp = tempfile.mkstemp(dir=path.parent,
+                               prefix=path.name + ".", suffix=".tmp")
+    try:
+        try:
+            os.write(fd, data)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp, path)
+    except BaseException:
+        with suppress(OSError):
+            os.unlink(tmp)
+        raise
+    fsync_dir(path.parent)
+
+
+def atomic_write_text(path: str | Path, text: str,
+                      encoding: str = "utf-8") -> None:
+    """Publish ``text`` at ``path`` atomically and durably."""
+    atomic_write_bytes(path, text.encode(encoding))

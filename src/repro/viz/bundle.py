@@ -41,6 +41,7 @@ from repro.bench.reporting import format_markdown_table
 from repro.campaign.spec import CellSpec
 from repro.errors import ConfigError
 from repro.sim.results import RunResult
+from repro.util.atomic import atomic_write_text
 from repro.viz import figures as fig
 from repro.viz.spec import FigureArtifact, content_hash
 from repro.viz.stats import DEFAULT_RESAMPLES, DEFAULT_SEED
@@ -333,21 +334,26 @@ def write_bundle(campaign_dir: str | Path, out_dir: str | Path, *,
         for stale in out.glob(pattern):
             stale.unlink()
 
+    # Every bundle file publishes atomically: a dashboard (or the CI
+    # sha256 comparison) watching the directory never reads a torn
+    # spec/csv, and a killed rebuild leaves the previous bundle intact.
     files: list[str] = []
     for artifact in artifacts:
-        (out / artifact.spec_file()).write_text(artifact.spec_str())
-        (out / artifact.data_file()).write_text(artifact.csv_str())
+        atomic_write_text(out / artifact.spec_file(),
+                          artifact.spec_str())
+        atomic_write_text(out / artifact.data_file(),
+                          artifact.csv_str())
         files += [artifact.spec_file(), artifact.data_file()]
     stats_files = []
     for name, text in sorted(stats_texts.items()):
         stats_name = f"{name}.stats.txt"
-        (out / stats_name).write_text(text)
+        atomic_write_text(out / stats_name, text)
         stats_files.append(stats_name)
         files.append(stats_name)
     status = render_status(data, artifacts, stats_texts,
                            resamples=resamples, seed=seed)
     status_path = out / "STATUS.md"
-    status_path.write_text(status)
+    atomic_write_text(status_path, status)
     files.append("STATUS.md")
     return BundleManifest(out, artifacts, stats_files, sorted(files),
                           status_path)

@@ -1,0 +1,51 @@
+# reprolint-fixture-path: serve/broken_scheduler.py
+"""RPL012 fixture: a scheduler whose completion counter is read on one
+side of an await and written back on the other — the canonical lost-
+update race.  Two tasks that both ``note_done`` around the same yield
+point each read the same starting count and the second write clobbers
+the first (the dynamic twin test in test_atomicity_dynamic.py
+demonstrates the corruption with a deterministic two-task gather).
+
+The locked and loop-synchronous twins at the bottom are the sanctioned
+shapes and must stay clean."""
+
+import asyncio
+
+
+class BrokenScheduler:
+    """Counts completed cells — incorrectly, across an await."""
+
+    def __init__(self) -> None:
+        self.completed = 0
+        self._lock = asyncio.Lock()
+
+    async def note_done(self, n: int) -> None:
+        count = self.completed
+        await asyncio.sleep(0)          # another task runs here
+        self.completed = count + n      # RPL012: clobbers its update
+
+
+class LockedScheduler:
+    """The same read-modify-write, atomic under one asyncio.Lock."""
+
+    def __init__(self) -> None:
+        self.completed = 0
+        self._lock = asyncio.Lock()
+
+    async def note_done(self, n: int) -> None:
+        async with self._lock:
+            count = self.completed
+            await asyncio.sleep(0)      # safe: lock spans the RMW
+            self.completed = count + n
+
+
+class SynchronousScheduler:
+    """The loop-synchronous shape: the whole RMW on one side of the
+    await, so no task can interleave inside it."""
+
+    def __init__(self) -> None:
+        self.completed = 0
+
+    async def note_done(self, n: int) -> None:
+        await asyncio.sleep(0)
+        self.completed = self.completed + n

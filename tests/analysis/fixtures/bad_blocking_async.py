@@ -1,0 +1,22 @@
+# reprolint-fixture-path: serve/blocking.py
+"""RPL014 fixture: a poll loop that calls ``time.sleep`` inside an
+``async def`` — the whole event loop (every connection, every stream)
+freezes for the duration.  The offloaded twin passes the callable to
+``asyncio.to_thread`` (no call edge, the loop keeps running) and must
+stay clean, as must the genuinely-async shape using
+``asyncio.sleep``."""
+
+import asyncio
+import time
+
+
+async def lazy_poll(interval: float) -> None:
+    time.sleep(interval)                # RPL014: stalls the loop
+
+
+async def offloaded_poll(interval: float) -> None:
+    await asyncio.to_thread(time.sleep, interval)
+
+
+async def async_poll(interval: float) -> None:
+    await asyncio.sleep(interval)

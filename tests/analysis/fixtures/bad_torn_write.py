@@ -1,0 +1,33 @@
+# reprolint-fixture-path: campaign/torn_manifest.py
+"""RPL013 fixture: a manifest writer that opens the final path in
+write mode and streams JSON straight into it — a crash mid-dump leaves
+a torn manifest that a concurrent reader (or the post-crash resume)
+parses as garbage.  The atomic twin below stages to a temp file in the
+same directory, fsyncs, and publishes with one ``os.replace``; it must
+stay clean."""
+
+import json
+import os
+import tempfile
+
+
+def save_manifest_torn(path, payload):
+    with open(path, "w") as handle:     # RPL013: truncates in place
+        json.dump(payload, handle)
+
+
+def save_manifest_atomic(path, payload):
+    fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path) or ".",
+                               suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise

@@ -1,0 +1,258 @@
+"""Unit tests for the RPL012/RPL014 engines (repro.analysis.atomicity)
+driven through hand-built :class:`ProjectIndex` instances: lexical
+locksets, *lockset transfer through helper calls* (a helper's accesses
+count at the call site under the caller's lockset), asyncio-primitive
+exemptions, and blocking-call propagation over exact call edges."""
+
+import ast
+import textwrap
+
+from repro.analysis.atomicity import (
+    check_await_atomicity,
+    check_blocking_calls,
+    lexical_locksets,
+)
+from repro.analysis.callgraph import ProjectIndex
+
+
+def index_of(**sources):
+    """ProjectIndex over {relpath_stem: source} modules."""
+    return ProjectIndex(
+        [(f"{name.replace('__', '/')}.py",
+          ast.parse(textwrap.dedent(src)))
+         for name, src in sources.items()])
+
+
+def races(**sources):
+    return check_await_atomicity(index_of(**sources))
+
+
+def blocking(**sources):
+    return check_blocking_calls(index_of(**sources))
+
+
+RACY = """
+import asyncio
+
+
+class Counter:
+    def __init__(self):
+        self.total = 0
+        self._lock = asyncio.Lock()
+
+    async def bump(self, n):
+        seen = self.total
+        await asyncio.sleep(0)
+        self.total = seen + n
+"""
+
+
+class TestAwaitAtomicity:
+    def test_flags_the_plain_race(self):
+        (finding,) = races(serve__counter=RACY)
+        assert finding.relpath == "serve/counter.py"
+        assert "'self.total'" in finding.message
+        assert "no covering asyncio lock" in finding.message
+
+    def test_lock_spanning_the_rmw_is_clean(self):
+        assert races(serve__counter="""
+        import asyncio
+
+
+        class Counter:
+            def __init__(self):
+                self.total = 0
+                self._lock = asyncio.Lock()
+
+            async def bump(self, n):
+                async with self._lock:
+                    seen = self.total
+                    await asyncio.sleep(0)
+                    self.total = seen + n
+        """) == []
+
+    def test_lock_released_between_read_and_write_still_races(self):
+        # Two separate critical sections do NOT make the RMW atomic:
+        # the interference point between them is uncovered.
+        (finding,) = races(serve__counter="""
+        import asyncio
+
+
+        class Counter:
+            def __init__(self):
+                self.total = 0
+                self._lock = asyncio.Lock()
+
+            async def bump(self, n):
+                async with self._lock:
+                    seen = self.total
+                await asyncio.sleep(0)
+                async with self._lock:
+                    self.total = seen + n
+        """)
+        assert "'self.total'" in finding.message
+
+    def test_helper_accesses_transfer_to_the_call_site(self):
+        # The read happens inside a sync helper: its access summary
+        # merges at the call site, so the race across the await is
+        # still seen.
+        (finding,) = races(serve__counter="""
+        import asyncio
+
+
+        class Counter:
+            def __init__(self):
+                self.total = 0
+                self.pending = 0
+
+            def _stage(self):
+                self.pending = self.total
+
+            async def flush(self):
+                self._stage()
+                await asyncio.sleep(0)
+                self.total = self.pending + 1
+        """)
+        assert "'self.total'" in finding.message
+
+    def test_helper_called_under_lock_inherits_the_lockset(self):
+        # Same helper, but every access happens inside one critical
+        # section: the helper's accesses inherit the caller's lockset.
+        assert races(serve__counter="""
+        import asyncio
+
+
+        class Counter:
+            def __init__(self):
+                self.total = 0
+                self.pending = 0
+                self._lock = asyncio.Lock()
+
+            def _stage(self):
+                self.pending = self.total
+
+            async def flush(self):
+                async with self._lock:
+                    self._stage()
+                    await asyncio.sleep(0)
+                    self.total = self.pending + 1
+        """) == []
+
+    def test_asyncio_primitive_attrs_are_exempt(self):
+        # Wake-event choreography (set/clear around awaits) is the
+        # sanctioned loop-synchronous idiom, not shared data.
+        assert races(serve__pump="""
+        import asyncio
+
+
+        class Pump:
+            def __init__(self):
+                self._wake = asyncio.Event()
+
+            async def run(self):
+                await self._wake.wait()
+                self._wake.clear()
+        """) == []
+
+    def test_rmw_on_one_side_of_the_await_is_clean(self):
+        assert races(serve__counter="""
+        import asyncio
+
+
+        class Counter:
+            def __init__(self):
+                self.total = 0
+
+            async def bump(self, n):
+                await asyncio.sleep(0)
+                self.total = self.total + n
+        """) == []
+
+
+class TestLexicalLocksets:
+    def test_context_expr_is_outside_its_own_region(self):
+        source = textwrap.dedent("""
+        async def f(self):
+            async with self._lock:
+                body()
+        """)
+        fn = ast.parse(source).body[0]
+        held = lexical_locksets(fn, frozenset({"_lock"}))
+        with_stmt = fn.body[0]
+        acquire = with_stmt.items[0].context_expr
+        body_stmt = with_stmt.body[0]
+        assert held.get(id(acquire), frozenset()) == frozenset()
+        assert held[id(body_stmt)] == frozenset({"self._lock"})
+
+
+class TestBlockingCalls:
+    def test_direct_sleep_flagged(self):
+        (finding,) = blocking(serve__poll="""
+        import time
+
+
+        async def poll():
+            time.sleep(1)
+        """)
+        assert "'time.sleep()'" in finding.message
+
+    def test_propagates_through_sync_helper(self):
+        (finding,) = blocking(serve__poll="""
+        import time
+
+
+        def nap():
+            time.sleep(1)
+
+
+        async def poll():
+            nap()
+        """)
+        assert "reached via 'nap'" in finding.message
+
+    def test_propagates_through_import_edge(self):
+        # The helper lives in another module: the ``from repro.x
+        # import f`` edge carries the summary across files.
+        findings = blocking(
+            serve__helpers="""
+            import time
+
+
+            def nap():
+                time.sleep(1)
+            """,
+            serve__poll="""
+            from repro.serve.helpers import nap
+
+
+            async def poll():
+                nap()
+            """)
+        assert [f.relpath for f in findings] == ["serve/poll.py"]
+        assert "reached via 'nap'" in findings[0].message
+
+    def test_to_thread_offload_is_clean(self):
+        assert blocking(serve__poll="""
+        import asyncio
+        import time
+
+
+        async def poll():
+            await asyncio.to_thread(time.sleep, 1)
+        """) == []
+
+    def test_async_callee_does_not_propagate(self):
+        # An async callee has its own findings; the caller awaiting it
+        # is not itself blocking.
+        findings = blocking(serve__poll="""
+        import time
+
+
+        async def inner():
+            time.sleep(1)
+
+
+        async def outer():
+            await inner()
+        """)
+        assert [f.message.split("'")[3] for f in findings] == ["inner"]

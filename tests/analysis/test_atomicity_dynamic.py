@@ -1,0 +1,51 @@
+"""The RPL012 fixture race, demonstrated dynamically: the exact module
+the static rule flags (``bad_await_race.py``) is imported and driven by
+a deterministic two-task gather.  ``BrokenScheduler`` loses an update
+— two completions count as one — while the locked and loop-synchronous
+twins (which reprolint accepts) count correctly.  Static finding and
+runtime corruption point at the same line."""
+
+import asyncio
+import importlib.util
+from pathlib import Path
+
+FIXTURE = Path(__file__).parent / "fixtures" / "bad_await_race.py"
+
+
+def _load_fixture():
+    spec = importlib.util.spec_from_file_location("bad_await_race",
+                                                  FIXTURE)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _drive(scheduler_cls) -> int:
+    """Two tasks each report one completed cell; returns the count the
+    scheduler ends up with.  Deterministic: both coroutines reach their
+    single ``await asyncio.sleep(0)`` yield point in submission order,
+    so the interleaving read-read-write-write is forced, not timing-
+    dependent."""
+    async def main() -> int:
+        scheduler = scheduler_cls()
+        await asyncio.gather(scheduler.note_done(1),
+                             scheduler.note_done(1))
+        return scheduler.completed
+
+    return asyncio.run(main())
+
+
+class TestAwaitRaceDynamically:
+    def test_broken_scheduler_loses_an_update(self):
+        fixture = _load_fixture()
+        # Both tasks read completed == 0 before either writes: the
+        # second write clobbers the first and one completion vanishes.
+        assert _drive(fixture.BrokenScheduler) == 1
+
+    def test_locked_scheduler_counts_both(self):
+        fixture = _load_fixture()
+        assert _drive(fixture.LockedScheduler) == 2
+
+    def test_synchronous_scheduler_counts_both(self):
+        fixture = _load_fixture()
+        assert _drive(fixture.SynchronousScheduler) == 2

@@ -1,0 +1,196 @@
+"""Async CFG corners: exact edge lists (mirroring test_cfg.py) for
+``await`` in conditionals, loops and try/finally, ``async with``
+acquiring-then-raising, nested ``async def`` and ``asyncio.gather``
+fan-out — plus the *interference-point* marks RPL012 is built on: a
+statement interferes when executing it may suspend the coroutine, and
+an ``async with`` body's last statement interferes *after* (the
+``__aexit__`` await)."""
+
+import ast
+import textwrap
+
+from repro.analysis.cfg import build_cfg
+
+
+def cfg_of(source):
+    source = textwrap.dedent(source)
+    func = ast.parse(source).body[0]
+    return build_cfg(func), source.splitlines()
+
+
+def edges(source):
+    cfg, lines = cfg_of(source)
+    return cfg.edge_list(lines)
+
+
+def marks(source):
+    """(interferes-during, interferes-after) as stripped source lines."""
+    cfg, lines = cfg_of(source)
+    during = [lines[n.lineno - 1].strip()
+              for _, _, n in cfg.nodes() if cfg.interferes(n)]
+    after = [lines[n.lineno - 1].strip()
+             for _, _, n in cfg.nodes() if cfg.interferes_after(n)]
+    return during, after
+
+
+class TestAwaitEdges:
+    def test_await_in_conditional(self):
+        got = edges("""
+        async def f(x):
+            if x:
+                await a()
+            else:
+                b()
+            c()
+        """)
+        assert got == [
+            ("await a()", "c()", "fall"),
+            ("b()", "c()", "fall"),
+            ("c()", "<exit>", "fall"),
+            ("if x:", "await a()", "true"),
+            ("if x:", "b()", "false"),
+        ]
+
+    def test_await_in_while_loop(self):
+        got = edges("""
+        async def f(x):
+            while cond():
+                await step()
+            done()
+        """)
+        assert got == [
+            ("<entry>", "while cond():", "fall"),
+            ("await step()", "while cond():", "loop"),
+            ("done()", "<exit>", "fall"),
+            ("while cond():", "await step()", "true"),
+            ("while cond():", "done()", "false"),
+        ]
+
+    def test_await_in_try_finally(self):
+        got = edges("""
+        async def f():
+            try:
+                await risky()
+            finally:
+                await cleanup()
+            after()
+        """)
+        assert got == [
+            # The raise path into the finally leaves from BEFORE the
+            # try (the await may never have run)...
+            ("<entry>", "await cleanup()", "except"),
+            ("<entry>", "await risky()", "fall"),
+            ("after()", "<exit>", "fall"),
+            # ...and the finally fans out to the pending raise and the
+            # normal continuation.
+            ("await cleanup()", "<raise>", "raise"),
+            ("await cleanup()", "after()", "finally"),
+            ("await risky()", "await cleanup()", "fall"),
+        ]
+
+    def test_gather_fanout_is_one_interference_point(self):
+        # gather's concurrency happens inside one awaited expression:
+        # a straight-line CFG, but the statement is an interference
+        # point (every fanned-out task runs while we're suspended).
+        source = """
+        async def f(xs):
+            await asyncio.gather(*(work(x) for x in xs))
+            tally()
+        """
+        assert edges(source) == [
+            ("await asyncio.gather(*(work(x) for x in xs))",
+             "<exit>", "fall"),
+        ]
+        during, after = marks(source)
+        assert during == \
+            ["await asyncio.gather(*(work(x) for x in xs))"]
+        assert after == []
+
+
+class TestAsyncWith:
+    def test_acquire_then_raise(self):
+        # __aenter__ awaits (the acquire interferes); the raise
+        # terminates the body, so the statement after the block is
+        # orphaned but keeps its exit edge.
+        source = """
+        async def f(lock):
+            async with lock:
+                step()
+                raise Boom()
+            after()
+        """
+        assert edges(source) == [
+            ("after()", "<exit>", "fall"),
+            ("async with lock:", "<raise>", "raise"),
+        ]
+        during, _after = marks(source)
+        assert during == ["async with lock:"]
+
+    def test_body_exit_awaits_aexit(self):
+        during, after = marks("""
+        async def f(lock):
+            async with lock:
+                a()
+                b()
+            after()
+        """)
+        assert during == ["async with lock:"]     # the acquire
+        assert after == ["b()"]                   # the release
+
+    def test_async_for_header_interferes(self):
+        # Every iteration awaits __anext__: the header is the
+        # interference point, the body statements are not.
+        during, after = marks("""
+        async def f(it):
+            async for item in it:
+                use(item)
+            done()
+        """)
+        assert during == ["async for item in it:"]
+        assert after == []
+
+
+class TestNestedAsyncDef:
+    def test_inner_awaits_do_not_leak_into_outer(self):
+        # The nested coroutine's body is opaque to the outer CFG —
+        # defining it suspends nothing.
+        source = """
+        async def outer():
+            async def inner():
+                await a()
+            b()
+        """
+        assert edges(source) == [("b()", "<exit>", "fall")]
+        during, after = marks(source)
+        assert during == []
+        assert after == []
+
+    def test_inner_cfg_still_sees_its_own_await(self):
+        source = textwrap.dedent("""
+        async def outer():
+            async def inner():
+                await a()
+            b()
+        """)
+        outer = ast.parse(source).body[0]
+        inner = outer.body[0]
+        cfg = build_cfg(inner)
+        assert cfg.is_async
+        assert len(cfg.interference_points()) == 1
+
+
+class TestIsAsync:
+    def test_async_def_is_async(self):
+        cfg, _ = cfg_of("""
+        async def f():
+            pass
+        """)
+        assert cfg.is_async
+
+    def test_sync_def_is_not(self):
+        cfg, _ = cfg_of("""
+        def f():
+            pass
+        """)
+        assert not cfg.is_async
+        assert cfg.interference_points() == []

@@ -1,6 +1,7 @@
 """``python -m repro.analysis`` exit-code gating and output formats."""
 
 import json
+import subprocess
 from pathlib import Path
 
 from repro.analysis.cli import main
@@ -68,3 +69,68 @@ class TestRepoGate:
         """The acceptance criterion: the shipped tree (plus its
         committed baseline) passes ``--strict`` with exit 0."""
         assert main(["--strict"]) == 0
+
+
+class TestChangedOnly:
+    """``--changed-only`` filters the report to files differing from
+    ``--base`` — the whole-tree analysis still runs, but an unrelated
+    pre-existing finding cannot block a commit."""
+
+    @staticmethod
+    def _git(repo, *argv):
+        subprocess.run(
+            ["git", "-c", "user.email=t@example.invalid",
+             "-c", "user.name=t", *argv],
+            cwd=repo, check=True, capture_output=True)
+
+    def _repo(self, tmp_path):
+        repo = tmp_path / "checkout"
+        pkg = repo / "pkg"
+        pkg.mkdir(parents=True)
+        (repo / "pyproject.toml").write_text("[project]\n")
+        (pkg / "old.py").write_text(
+            "def f(x):\n    assert x\n")
+        self._git(repo, "init", "-q")
+        self._git(repo, "add", "-A")
+        self._git(repo, "commit", "-qm", "seed")
+        return repo, pkg
+
+    def test_untracked_finding_gates_committed_one_does_not(
+            self, tmp_path, capsys):
+        repo, pkg = self._repo(tmp_path)
+        (pkg / "new.py").write_text(
+            "def g(x):\n    assert x\n")
+        # Plain run sees both findings...
+        assert main([str(pkg), "--no-baseline"]) == 1
+        assert "old.py" in capsys.readouterr().out
+        # ...changed-only reports only the untracked file.
+        assert main([str(pkg), "--no-baseline", "--changed-only"]) == 1
+        out = capsys.readouterr().out
+        assert "new.py" in out
+        assert "old.py" not in out
+
+    def test_clean_diff_passes_despite_old_findings(self, tmp_path,
+                                                    capsys):
+        repo, pkg = self._repo(tmp_path)
+        assert main([str(pkg), "--no-baseline"]) == 1
+        capsys.readouterr()
+        assert main([str(pkg), "--no-baseline", "--changed-only"]) == 0
+
+    def test_base_ref_widens_the_window(self, tmp_path, capsys):
+        repo, pkg = self._repo(tmp_path)
+        (pkg / "new.py").write_text(
+            "def g(x):\n    assert x\n")
+        self._git(repo, "add", "-A")
+        self._git(repo, "commit", "-qm", "second")
+        # vs HEAD nothing changed; vs HEAD~1 the new file did.
+        assert main([str(pkg), "--no-baseline", "--changed-only"]) == 0
+        capsys.readouterr()
+        assert main([str(pkg), "--no-baseline", "--changed-only",
+                     "--base", "HEAD~1"]) == 1
+        assert "new.py" in capsys.readouterr().out
+
+    def test_unknown_ref_errors(self, tmp_path, capsys):
+        repo, pkg = self._repo(tmp_path)
+        assert main([str(pkg), "--no-baseline", "--changed-only",
+                     "--base", "no-such-ref"]) == 2
+        assert "failed" in capsys.readouterr().err

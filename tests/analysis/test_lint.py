@@ -24,6 +24,9 @@ BAD = {
     "bad_verify_in_callee.py": "unchecked-verify",
     "bad_attribution_escape.py": "exception-unsafe-attribution",
     "bad_hot_path_alloc.py": "hot-path-allocation",
+    "bad_await_race.py": "await-atomicity",
+    "bad_torn_write.py": "torn-file-write",
+    "bad_blocking_async.py": "blocking-call-in-async",
 }
 
 
@@ -42,7 +45,8 @@ class TestKnownBadFixtures:
         (violation,) = lint_file(FIXTURES / fixture)
         # Path-scoped rules saw the pinned in-package path, not the
         # fixture's real location under tests/.
-        assert violation.path.startswith(("secure/", "sim/"))
+        assert violation.path.startswith(
+            ("secure/", "sim/", "serve/", "campaign/"))
         assert "fixtures" not in violation.path
 
 
@@ -131,6 +135,41 @@ class TestNondeterministicReport:
         src = Path(__file__).resolve().parents[2] / "src" / "repro"
         violations = Linter(src, select=("RPL011",)).run()
         assert violations == []
+
+
+class TestConcurrencyRules:
+    """RPL012/013/014 exact locations on the seeded concurrency
+    fixtures — the BAD map above already asserts exactly-once firing;
+    these pin the rule to the precise line so a drift in the engine's
+    reporting point (read vs write, open vs dump) fails loudly."""
+
+    def test_await_race_flags_the_clobbering_write(self):
+        (violation,) = lint_file(FIXTURES / "bad_await_race.py")
+        assert violation.rule.id == "RPL012"
+        assert violation.path == "serve/broken_scheduler.py"
+        # The finding anchors on the write-back, naming the read and
+        # the await it straddles.
+        assert violation.line == 25
+        assert violation.snippet.startswith("self.completed = count")
+        assert "read at line 23" in violation.message
+        assert "await at line 24" in violation.message
+
+    def test_torn_write_flags_the_open(self):
+        (violation,) = lint_file(FIXTURES / "bad_torn_write.py")
+        assert violation.rule.id == "RPL013"
+        assert violation.path == "campaign/torn_manifest.py"
+        assert violation.line == 15
+        assert "open(..., 'w')" in violation.message
+        assert "os.replace" in violation.message
+
+    def test_blocking_call_flags_the_sleep(self):
+        (violation,) = lint_file(FIXTURES / "bad_blocking_async.py")
+        assert violation.rule.id == "RPL014"
+        assert violation.path == "serve/blocking.py"
+        assert violation.line == 14
+        assert "'time.sleep()'" in violation.message
+        assert "lazy_poll" in violation.message
+        assert "asyncio.to_thread" in violation.message
 
 
 class TestSuppression:

@@ -14,6 +14,7 @@ import json
 import threading
 import urllib.request
 from contextlib import contextmanager
+from pathlib import Path
 
 import pytest
 
@@ -204,6 +205,16 @@ class TestEventStreams:
 
 
 class TestDiscovery:
+    def test_discovery_write_leaves_no_staging_residue(self, scratch):
+        """Regression for the RPL013 burn-down: server.json publishes
+        atomically (temp + replace), so the root directory never holds
+        a torn or half-staged advertisement."""
+        with serving(scratch) as (app, client):
+            root = Path(app.config.root)
+            assert (root / "server.json").is_file()
+            assert not list(root.glob("server.json.*.tmp"))
+            assert client.health()["status"] == "ok"
+
     def test_server_json_roundtrip(self, scratch):
         with serving(scratch) as (app, client):
             url = discover_url(app.config.root)

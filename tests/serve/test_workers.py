@@ -230,3 +230,27 @@ class TestSchedulerTimeouts:
             assert "timed out after 0.3s" in job.view.cells[0].error
         _run(_with_scheduler(scratch, body, cell_fn=sleeping_cell,
                              timeout=0.3, retries=0))
+
+
+class TestJobResultsOffload:
+    """Regression for the RPL014 burn-down: ``job_results`` is async
+    (store payload reads happen in a worker thread, off the loop) and
+    still returns every completed payload in spec order."""
+
+    def test_job_results_is_a_coroutine_function(self):
+        # Reverting to a sync method would put disk/sqlite reads back
+        # on the event loop; the route in app.py awaits it.
+        assert asyncio.iscoroutinefunction(Scheduler.job_results)
+
+    def test_payloads_in_spec_order(self, scratch):
+        async def body(scheduler, store, bus):
+            spec = fake_spec(3)
+            job = scheduler.submit(
+                api.SubmitRequest(tenant="t", spec=spec))
+            await asyncio.wait_for(job.done.wait(), 30)
+            results = await scheduler.job_results(job.view.job_id)
+            assert results["state"] == api.JOB_DONE
+            assert [c["cell_id"] for c in results["cells"]] == \
+                [cell.cell_id for cell in spec.cells]
+            assert all("result" in c for c in results["cells"])
+        _run(_with_scheduler(scratch, body))

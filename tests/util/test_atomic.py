@@ -1,0 +1,58 @@
+"""Crash-consistent file publication (repro.util.atomic): content
+lands byte-exact, publication is all-or-nothing, and the staging
+residue is cleaned up on both the success and the failure path."""
+
+import os
+
+import pytest
+
+from repro.util.atomic import atomic_write_bytes, atomic_write_text
+
+
+class TestAtomicWrite:
+    def test_text_roundtrip(self, tmp_path):
+        path = tmp_path / "out.json"
+        atomic_write_text(path, '{"a": 1}\n')
+        assert path.read_text() == '{"a": 1}\n'
+
+    def test_bytes_roundtrip(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        atomic_write_bytes(path, b"\x00\xffpayload")
+        assert path.read_bytes() == b"\x00\xffpayload"
+
+    def test_replaces_existing_content(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("old version")
+        atomic_write_text(path, "new version")
+        assert path.read_text() == "new version"
+
+    def test_no_staging_residue_on_success(self, tmp_path):
+        atomic_write_text(tmp_path / "out.txt", "x" * 4096)
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_failed_publish_keeps_previous_version(self, tmp_path,
+                                                   monkeypatch):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "v1")
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash at publish")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="simulated crash"):
+            atomic_write_text(path, "v2")
+        # The reader-visible file is the complete previous version and
+        # the orphaned temp file was removed.
+        assert path.read_text() == "v1"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_failed_write_leaves_no_file(self, tmp_path, monkeypatch):
+        path = tmp_path / "fresh.txt"
+
+        def exploding_fsync(fd):
+            raise OSError("simulated device error")
+
+        monkeypatch.setattr(os, "fsync", exploding_fsync)
+        with pytest.raises(OSError, match="simulated device"):
+            atomic_write_text(path, "never published")
+        assert list(tmp_path.iterdir()) == []
