@@ -123,6 +123,7 @@ class AddressMap:
         # Interned branch chains, filled lazily per leaf (a fig10-quick
         # run walks the same few thousand branches millions of times).
         set_(self, "_branch_cache", {})
+        set_(self, "_branch_addr_cache", {})
 
     @property
     def counter_bits(self) -> int:
@@ -298,3 +299,19 @@ class AddressMap:
         chain = tuple(coords)
         self._branch_cache[block_index] = chain
         return chain
+
+    def branch_addrs(self, block_index: int) -> tuple[int, ...]:
+        """Media line addresses of :func:`branch_coords`, leaf first.
+
+        Interned like the coordinate chains: persist paths that walk a
+        branch (PLP shadow writes, the epoch engine's scheme tails) hit
+        one dict probe instead of re-deriving ``tree_node_addr`` per
+        node per access.
+        """
+        cached = self._branch_addr_cache.get(block_index)
+        if cached is not None:
+            return cached
+        addrs = tuple(self.tree_node_addr(level, index)
+                      for level, index in self.branch_coords(block_index))
+        self._branch_addr_cache[block_index] = addrs
+        return addrs

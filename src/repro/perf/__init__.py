@@ -14,7 +14,10 @@ optimizations can be proven and regressions caught:
   ``BENCH_perf.json`` schema;
 * :func:`compare_reports` — gate a fresh run against a committed
   baseline (fail on >10% throughput regression; a result-digest
-  mismatch always fails, advisory mode or not).
+  mismatch always fails, advisory mode or not) and diff the
+  candidate's scalar/epoch benchmark pairs (an epoch row must
+  digest-match its scalar twin — the byte-identical oracle applied
+  across engines).
 
 ``repro-sim perf`` / ``repro-sim perf compare`` are the CLI front ends
 (docs/performance.md).
@@ -22,6 +25,7 @@ optimizations can be proven and regressions caught:
 
 from repro.perf.harness import (
     BENCH_NAMES,
+    ENGINE_PAIRS,
     SCHEMA_VERSION,
     BenchResult,
     compare_reports,
@@ -33,6 +37,7 @@ from repro.perf.harness import (
 
 __all__ = [
     "BENCH_NAMES",
+    "ENGINE_PAIRS",
     "SCHEMA_VERSION",
     "BenchResult",
     "compare_reports",

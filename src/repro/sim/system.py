@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
-from repro.errors import AddressError
+from repro.errors import AddressError, ConfigError
 from repro.mem.hierarchy import CacheHierarchy
 from repro.mem.trace import AccessType, MemoryAccess
 from repro.obs import events as ev
@@ -45,9 +45,27 @@ class System:
     threaded through the controller into the WPQ/NVM/hash engine rather
     than stored in :class:`SystemConfig`, which stays a pure, hashable
     experiment description (campaign cache keys depend on it).
+
+    ``engine`` selects the access-loop implementation and, like the
+    recorder, deliberately lives outside :class:`SystemConfig` — it can
+    never change a result, only how fast it is produced:
+
+    * ``"auto"`` (default): run eligible traces through the epoch-batched
+      engine (:mod:`repro.sim.epoch`); anything it cannot reproduce
+      byte-identically — recorders, sanitizer seams, crash knobs,
+      scalar-only environments — silently takes the scalar loop.
+    * ``"scalar"``: always the per-access reference loop.
+    * ``"epoch"``: require the epoch engine; raises ``ConfigError``
+      naming the blocker if the run is ineligible (used by the
+      equivalence tests so a fallback can't masquerade as coverage).
     """
 
-    def __init__(self, config: SystemConfig, recorder=None) -> None:
+    def __init__(self, config: SystemConfig, recorder=None,
+                 engine: str = "auto") -> None:
+        if engine not in ("auto", "scalar", "epoch"):
+            raise ConfigError(
+                f"unknown engine {engine!r}; choose auto, scalar or epoch")
+        self.engine = engine
         self.config = config
         self.obs = recorder if recorder is not None else NULL_RECORDER
         self.controller = make_controller(config, recorder=self.obs)
@@ -141,6 +159,16 @@ class System:
         self.controller.tick(self.cycle)
 
     def run(self, trace: Iterable[MemoryAccess]) -> None:
+        if self.engine != "scalar":
+            # Lazy import: the epoch engine pulls in the scheme stack
+            # and (optionally) numpy; the scalar path never needs it.
+            from repro.sim import epoch
+            if self.engine == "epoch":
+                reason = epoch.ineligible_reason(self)
+                if reason is not None:
+                    raise ConfigError(f"epoch engine ineligible: {reason}")
+            if epoch.run_trace(self, trace):
+                return
         for access in trace:
             self.execute(access)
 

@@ -1,0 +1,16 @@
+# reprolint-fixture-path: secure/vector.py
+"""Known-bad lint fixture: RPL015 (scalar-path-in-epoch-kernel) fires
+exactly once — a declared vectorized kernel that degraded into a
+per-element Python loop."""
+
+
+def apply_bumps(minors, rows, slots):
+    for row, slot in zip(rows, slots):
+        minors[row][slot] += 1
+    return minors
+
+
+def batch_keyed_hash8(key, messages):
+    # Boundary helper outside HOT_KERNELS: the per-row hash loop is the
+    # irreducible residue and must stay unflagged.
+    return [hash((key, bytes(message))) for message in messages]

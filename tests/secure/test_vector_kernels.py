@@ -1,0 +1,160 @@
+"""`repro.secure.vector` kernels vs the scalar reference, byte for byte.
+
+The epoch planner's equivalence argument rests on each kernel being an
+exact re-expression of the scalar layout code (docs/performance.md);
+these tests prove it per kernel against randomized counter states, so a
+layout drift is caught at the kernel boundary — not as an opaque digest
+mismatch three layers up.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+import pytest
+
+from repro.cme.counters import (
+    COUNTER_SUM_BITS,
+    MINOR_LIMIT,
+    MINORS_PER_BLOCK,
+    CounterBlock,
+)
+from repro.secure import vector
+from repro.util.crypto import KeyedMac, make_otp, xor_bytes
+
+pytestmark = pytest.mark.skipif(not vector.HAVE_NUMPY,
+                                reason="kernels require numpy")
+
+K = 37  # odd batch size: exercises non-aligned shapes
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture(scope="module")
+def blocks(rng):
+    return [
+        CounterBlock(index=i, major=rng.getrandbits(30),
+                     minors=[rng.randrange(MINOR_LIMIT)
+                             for _ in range(MINORS_PER_BLOCK)],
+                     hmac=rng.getrandbits(64))
+        for i in range(K)
+    ]
+
+
+def as_arrays(blocks):
+    np = vector.np
+    majors = np.array([b.major for b in blocks], dtype=np.uint64)
+    minors = np.array([b.minors for b in blocks], dtype=np.uint64)
+    return majors, minors
+
+
+def test_u64_le_bytes(rng):
+    np = vector.np
+    values = [rng.getrandbits(64) for _ in range(K)]
+    out = vector.u64_le_bytes(np.array(values, dtype=np.uint64))
+    assert out.tobytes() == b"".join(
+        v.to_bytes(8, "little") for v in values)
+
+
+def test_pack_counter_images(blocks):
+    images = vector.pack_counter_images(*as_arrays(blocks))
+    assert images.shape == (K, 56)
+    for row, block in zip(images, blocks):
+        assert row.tobytes() == block._counter_image()
+
+
+def test_pack_leaf_media(blocks):
+    np = vector.np
+    majors, minors = as_arrays(blocks)
+    hmacs = np.array([b.hmac for b in blocks], dtype=np.uint64)
+    media = vector.pack_leaf_media(
+        vector.pack_counter_images(majors, minors), hmacs)
+    for row, block in zip(media, blocks):
+        assert row.tobytes() == block.to_bytes()
+
+
+@pytest.mark.parametrize("bits", (COUNTER_SUM_BITS, 16, 64))
+def test_dummy_counters(blocks, bits):
+    dummies = vector.dummy_counters(*as_arrays(blocks), bits)
+    assert dummies.tolist() == [b.dummy_counter(bits) for b in blocks]
+
+
+def test_apply_bumps_accumulates_duplicates(rng):
+    np = vector.np
+    minors = np.zeros((4, MINORS_PER_BLOCK), dtype=np.uint64)
+    pairs = [(rng.randrange(4), rng.randrange(MINORS_PER_BLOCK))
+             for _ in range(50)]
+    vector.apply_bumps(minors,
+                       np.array([p[0] for p in pairs]),
+                       np.array([p[1] for p in pairs]))
+    for row in range(4):
+        for slot in range(MINORS_PER_BLOCK):
+            assert minors[row][slot] == pairs.count((row, slot))
+
+
+def test_occurrence_index(rng):
+    np = vector.np
+    keys = [rng.randrange(8) for _ in range(64)]
+    occ = vector.occurrence_index(np.array(keys, dtype=np.int64))
+    assert occ.tolist() == [keys[:i].count(k)
+                            for i, k in enumerate(keys)]
+
+
+def test_otp_messages_and_batch_otps(rng):
+    np = vector.np
+    key = b"repro-cme-key"
+    rows = [(rng.getrandbits(40) & ~0x3F, rng.getrandbits(30),
+             rng.randrange(MINOR_LIMIT)) for _ in range(K)]
+    messages = vector.otp_messages(
+        np.array([r[0] for r in rows], dtype=np.uint64),
+        np.array([r[1] for r in rows], dtype=np.uint64),
+        np.array([r[2] for r in rows], dtype=np.uint64))
+    derived = hashlib.blake2b(key, digest_size=32).digest()
+    pads = vector.batch_otps(derived, messages)
+    for pad, (line, major, minor) in zip(pads, rows):
+        assert pad.tobytes() == make_otp(key, line, major, minor)
+
+
+def test_data_mac_messages_and_batch_hash(rng):
+    np = vector.np
+    mac = KeyedMac(b"repro-data-key")
+    rows = [(rng.getrandbits(40) & ~0x3F, rng.randbytes(64),
+             rng.getrandbits(30), rng.randrange(MINOR_LIMIT))
+            for _ in range(K)]
+    messages = vector.data_mac_messages(
+        np.array([r[0] for r in rows], dtype=np.uint64),
+        np.frombuffer(b"".join(r[1] for r in rows),
+                      dtype=np.uint8).reshape(K, 64),
+        np.array([r[2] for r in rows], dtype=np.uint64),
+        np.array([r[3] for r in rows], dtype=np.uint64))
+    macs = vector.batch_keyed_hash8(mac._key, messages)
+    assert macs == [mac.mac_uncached(line, ct, major, minor)
+                    for line, ct, major, minor in rows]
+
+
+def test_seal_messages_match_leaf_hmacs(rng, blocks):
+    np = vector.np
+    mac = KeyedMac(b"repro-seal-key")
+    addrs = [1 << 26 | (b.index << 6) for b in blocks]
+    parents = [rng.getrandbits(COUNTER_SUM_BITS) for _ in blocks]
+    messages = vector.seal_messages(
+        np.array(addrs, dtype=np.uint64),
+        vector.pack_counter_images(*as_arrays(blocks)),
+        np.array(parents, dtype=np.uint64))
+    macs = vector.batch_keyed_hash8(mac._key, messages)
+    assert macs == [b.compute_hmac(mac, addr, parent)
+                    for b, addr, parent in zip(blocks, addrs, parents)]
+
+
+def test_xor_lines(rng):
+    np = vector.np
+    a = rng.randbytes(K * 64)
+    b = rng.randbytes(K * 64)
+    out = vector.xor_lines(
+        np.frombuffer(a, dtype=np.uint8).reshape(K, 64),
+        np.frombuffer(b, dtype=np.uint8).reshape(K, 64))
+    assert out.tobytes() == xor_bytes(a, b)

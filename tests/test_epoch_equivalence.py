@@ -1,0 +1,161 @@
+"""Scalar/epoch engine equivalence: the byte-identical oracle as tests.
+
+The epoch-batched engine (:mod:`repro.sim.epoch`) promises to reproduce
+the scalar reference loop *exactly* — same result digest, same
+cycle-attribution ledger, same latency histograms — for every scheme,
+and to fall back to the scalar loop (with an unchanged event stream)
+whenever anything it cannot model is attached.  These tests pin both
+halves of that promise:
+
+* every scheme, over randomized-seed mixed workloads, digests
+  identically under both engines (small caches force eviction cascades,
+  so the inlined flush paths are exercised, not just the happy path);
+* a minor-counter overflow (>= 64 persists to one line) re-encrypts the
+  block through the *real* ``_bump_leaf`` seam and still digests
+  identically;
+* the persist-order sanitizer's seam patches make the run ineligible:
+  ``engine="auto"`` silently takes the scalar loop and the sanitizer
+  observes the exact same persist-event stream as an explicit scalar
+  run, while ``engine="epoch"`` refuses loudly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sanitizer import attach_sanitizer
+from repro.cme.counters import MINOR_LIMIT
+from repro.errors import ConfigError
+from repro.mem.trace import AccessType, MemoryAccess
+from repro.perf.harness import result_digest
+from repro.secure import vector
+from repro.sim import epoch
+from repro.sim.system import System
+
+from tests.conftest import random_trace, small_config
+
+needs_numpy = pytest.mark.skipif(
+    not vector.HAVE_NUMPY, reason="epoch engine requires numpy")
+
+SCHEMES = ("baseline", "lazy", "eager", "plp", "bmf-ideal", "scue")
+
+
+def build_system(scheme: str, engine: str, **overrides) -> System:
+    # check_data is a shadow-verification debug mode the epoch engine
+    # does not transcribe; the equivalence runs use the production
+    # setting (off) so both engines are eligible for comparison.
+    config = small_config(scheme, check_data=False, **overrides)
+    return System(config, engine=engine)
+
+
+def run_trace(scheme: str, trace, engine: str, **overrides) -> System:
+    system = build_system(scheme, engine, **overrides)
+    system.run(iter(trace))
+    return system
+
+
+def hot_line_trace(persists: int) -> list[MemoryAccess]:
+    """Hammer one data line with persists (plus a neighbour read per
+    round so the branch stays warm the way real traffic keeps it)."""
+    trace = []
+    for i in range(persists):
+        trace.append(MemoryAccess(AccessType.PERSIST, 0x40, gap=i % 3))
+        if i % 8 == 0:
+            trace.append(MemoryAccess(AccessType.READ, 0x80, gap=1))
+    return trace
+
+
+@needs_numpy
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    @pytest.mark.parametrize("seed", (3, 11, 29))
+    def test_every_scheme_digests_identically(self, scheme, seed):
+        trace = random_trace(500, seed=seed)
+        scalar = run_trace(scheme, trace, "scalar")
+        batched = run_trace(scheme, trace, "epoch")
+        scalar_result = scalar.result("equivalence")
+        batched_result = batched.result("equivalence")
+        assert result_digest(scalar_result) \
+            == result_digest(batched_result)
+        # The digest covers these, but asserting them directly makes a
+        # failure point at the diverging field instead of a hash.
+        assert scalar_result.cycles == batched_result.cycles
+        assert scalar_result.attribution == batched_result.attribution
+        assert scalar_result.histograms == batched_result.histograms
+        assert scalar_result.stats == batched_result.stats
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_overflow_hot_line(self, scheme):
+        # >= MINOR_LIMIT persists to one line force a minor-counter
+        # overflow: the epoch engine must route it through the real
+        # _bump_leaf (whole-block re-encryption) and stay identical.
+        trace = hot_line_trace(MINOR_LIMIT + 8)
+        scalar = run_trace(scheme, trace, "scalar")
+        batched = run_trace(scheme, trace, "epoch")
+        assert result_digest(scalar.result("overflow")) \
+            == result_digest(batched.result("overflow"))
+
+    def test_planner_off_matches_planner_on(self):
+        # plan=False runs the same inlined interpreter without memo
+        # pre-seeding; the memos are content-keyed, so nothing may move.
+        trace = random_trace(400, seed=5)
+        planned = build_system("scue", "epoch")
+        epoch.run_trace(planned, iter(trace), plan=True)
+        unplanned = build_system("scue", "epoch")
+        epoch.run_trace(unplanned, iter(trace), plan=False)
+        assert result_digest(planned.result("plan")) \
+            == result_digest(unplanned.result("plan"))
+
+
+@needs_numpy
+class TestSanitizerFallback:
+    def test_sanitizer_makes_run_ineligible(self):
+        system = build_system("scue", "auto")
+        assert epoch.ineligible_reason(system) is None
+        attach_sanitizer(system.controller)
+        assert epoch.ineligible_reason(system) is not None
+
+    def test_forced_epoch_refuses_sanitized_run(self):
+        system = build_system("scue", "epoch")
+        attach_sanitizer(system.controller)
+        with pytest.raises(ConfigError, match="epoch engine ineligible"):
+            system.run(iter(random_trace(50, seed=1)))
+
+    @pytest.mark.parametrize("scheme", ("scue", "eager", "plp"))
+    def test_fallback_preserves_persist_event_stream(self, scheme):
+        # Same trace, sanitizer attached both times: engine="auto" must
+        # fall back to the scalar loop and the sanitizer must observe
+        # the identical persist-event stream (sequence numbers, kinds,
+        # addresses, cycles, flush nesting) an explicit scalar run sees.
+        trace = random_trace(400, seed=17)
+        streams = {}
+        for engine in ("scalar", "auto"):
+            system = build_system(scheme, engine)
+            sanitizer = attach_sanitizer(system.controller)
+            system.run(iter(trace))
+            streams[engine] = (sanitizer._seq, list(sanitizer.events),
+                               result_digest(system.result("fallback")))
+        assert streams["auto"][0] == streams["scalar"][0]  # event count
+        assert streams["auto"][1] == streams["scalar"][1]  # trace window
+        assert streams["auto"][2] == streams["scalar"][2]  # full digest
+
+
+class TestEligibilityGate:
+    def test_scalar_only_environment_reports_numpy(self, monkeypatch):
+        monkeypatch.setattr(vector, "HAVE_NUMPY", False)
+        system = build_system("scue", "auto")
+        assert epoch.ineligible_reason(system) == "numpy is not available"
+
+    @needs_numpy
+    def test_recorder_disables_epoch(self):
+        from repro.obs.recorder import TraceRecorder
+
+        config = small_config("scue", check_data=False)
+        system = System(config, recorder=TraceRecorder())
+        assert epoch.ineligible_reason(system) is not None
+
+    @needs_numpy
+    def test_check_data_disables_epoch(self):
+        system = System(small_config("scue", check_data=True))
+        assert epoch.ineligible_reason(system) \
+            == "check_data shadow verification"
